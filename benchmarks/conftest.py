@@ -1,0 +1,22 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure: it runs the full
+simulated experiment once (``benchmark.pedantic(..., rounds=1)`` — the
+timing of interest is inside the simulation, not the wall clock),
+prints the same rows/series the paper reports, asserts the *shape*
+(who wins, roughly by what factor), and appends a record to
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2))

@@ -1,0 +1,139 @@
+"""Ablations over the design choices DESIGN.md §6 calls out.
+
+1. **Replication factor / chain length** — chain replication's write
+   latency grows with chain length while EC read capacity grows with
+   replica count: the topology choice is a real trade, not a default.
+2. **Shared-log ordering vs unordered gossip** — BESPOKV AA+EC pays a
+   modest throughput tax vs the Dynomite model for its convergence
+   guarantee under conflicting writes (the paper's App C-C argument).
+3. **EC propagation batching** — the master amortizes propagation
+   messages over batches; tiny batch intervals burn master CPU on
+   write-heavy load.
+"""
+
+from conftest import save_result
+
+from bench_lib import (
+    baseline_run,
+    bench_costs,
+    bespokv_run,
+    print_table,
+    run_load,
+)
+from repro.core.config import ControlConfig
+from repro.core.types import Consistency, Topology
+from repro.harness import Deployment, DeploymentSpec
+from repro.workloads import YCSB_A, YCSB_B
+
+
+def run_with_control(control: ControlConfig, mix, replicas=3, shards=4,
+                     topology=Topology.MS, consistency=Consistency.EVENTUAL):
+    dep = Deployment(
+        DeploymentSpec(
+            shards=shards, replicas=replicas, topology=topology,
+            consistency=consistency, costs=bench_costs(), control=control,
+        )
+    )
+    dep.start()
+    return run_load(dep, mix)
+
+
+def test_ablation_chain_length(benchmark):
+    """Longer chains: slower strong writes, more EC read capacity."""
+
+    def run():
+        out = {}
+        for replicas in (2, 3, 5):
+            sc = bespokv_run(Topology.MS, Consistency.STRONG, 4, YCSB_A,
+                             replicas=replicas)
+            ec = bespokv_run(Topology.MS, Consistency.EVENTUAL, 4, YCSB_B,
+                             replicas=replicas)
+            out[replicas] = {"sc_put_p99_ms": sc.p99_ms, "sc_qps": sc.qps,
+                             "ec_read_qps": ec.qps}
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: replication factor",
+                ["replicas", "MS+SC 50%GET kQPS", "p99 ms", "MS+EC 95%GET kQPS"],
+                [[r, f"{d['sc_qps'] / 1e3:.2f}", f"{d['sc_put_p99_ms']:.0f}",
+                  f"{d['ec_read_qps'] / 1e3:.2f}"] for r, d in out.items()])
+    save_result("ablation_chain_length", out)
+    # EC reads scale with replica count
+    assert out[5]["ec_read_qps"] > out[2]["ec_read_qps"] * 1.5
+    # strong writes get slower as the chain grows
+    assert out[5]["sc_qps"] < out[2]["sc_qps"]
+
+
+def test_ablation_sharedlog_vs_gossip(benchmark):
+    """Ordered shared log (BESPOKV AA+EC) vs unordered peer gossip
+    (Dynomite model): the ordering service costs some throughput and
+    buys convergence (demonstrated in tests/test_baselines.py)."""
+
+    def run():
+        ours = bespokv_run(Topology.AA, Consistency.EVENTUAL, 8, YCSB_A)
+        gossip = baseline_run("dynomite", 8, YCSB_A)
+        return {"sharedlog_qps": ours.qps, "gossip_qps": gossip.qps}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    tax = 1 - out["sharedlog_qps"] / out["gossip_qps"]
+    print_table("Ablation: AA+EC ordering service",
+                ["variant", "kQPS"],
+                [["shared log (ordered)", f"{out['sharedlog_qps'] / 1e3:.2f}"],
+                 ["peer gossip (unordered)", f"{out['gossip_qps'] / 1e3:.2f}"],
+                 ["ordering tax", f"{tax:.0%}"]])
+    save_result("ablation_sharedlog", {**out, "tax": tax})
+    # gossip is faster (it does less), but the tax is bounded
+    assert out["gossip_qps"] > out["sharedlog_qps"] * 0.95
+    assert tax < 0.6, f"ordering tax {tax:.0%} looks broken"
+
+
+def test_ablation_controlet_mapping(benchmark):
+    """1:1 colocated pairs vs the N:1 mapping (§III): packing all
+    controlets onto a few dedicated hosts trades loopback datalet calls
+    for network hops and concentrates control-plane CPU — fine until
+    the controlet hosts saturate."""
+
+    def run():
+        out = {}
+        for label, ctl_hosts in (("1:1 colocated", None), ("6:2 dedicated", 2),
+                                 ("6:1 dedicated", 1)):
+            dep = Deployment(
+                DeploymentSpec(
+                    shards=2, replicas=3, topology=Topology.MS,
+                    consistency=Consistency.EVENTUAL, costs=bench_costs(),
+                    controlet_hosts=ctl_hosts,
+                )
+            )
+            dep.start()
+            out[label] = run_load(dep, YCSB_B).qps
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: controlet:datalet mapping (6 replicas)",
+                ["mapping", "95%GET kQPS"],
+                [[k, f"{v / 1e3:.2f}"] for k, v in out.items()])
+    save_result("ablation_mapping", out)
+    # both mappings function; over-consolidating onto one host loses
+    # throughput to control-plane CPU saturation
+    assert out["6:1 dedicated"] < out["1:1 colocated"]
+    assert out["6:2 dedicated"] > out["6:1 dedicated"] * 0.9
+
+
+def test_ablation_ec_batching(benchmark):
+    """MS+EC propagation batch interval sweep on the write-heavy mix."""
+
+    def run():
+        out = {}
+        for interval in (0.001, 0.01, 0.05):
+            control = ControlConfig(ec_batch_interval=interval)
+            out[interval] = run_with_control(control, YCSB_A).qps
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: EC propagation batch interval",
+                ["interval (s)", "MS+EC 50%GET kQPS"],
+                [[i, f"{q / 1e3:.2f}"] for i, q in out.items()])
+    save_result("ablation_batching", {str(k): v for k, v in out.items()})
+    # batching should not *hurt* much as the interval grows (fewer,
+    # larger propagation messages) — monotone-ish within 15% noise
+    assert out[0.05] > out[0.001] * 0.85

@@ -1,0 +1,88 @@
+"""Fig 10 — seamless online adaptation: MS+EC → {MS+SC, AA+EC, AA+SC}.
+
+3 shards, Zipfian 95% GET, transition triggered at t=20 s.  Paper
+shapes (§VIII-C): "throughput drops to the lowest point ... because
+clients switch connection to the new controlets.  Performance
+stabilizes in ~5 sec"; no downtime (requests keep completing) and no
+data migration.
+"""
+
+from conftest import save_result
+
+from bench_lib import bespokv_deployment, print_timelines
+from repro.core.types import Consistency, Topology
+from repro.harness.loadgen import LoadGenerator, preload
+from repro.workloads import YCSB_B, make_workload
+
+TRIGGER = 20.0
+END = 40.0
+SHARDS = 3
+TARGETS = {
+    "MS-EC->MS-SC": (Topology.MS, Consistency.STRONG),
+    "MS-EC->AA-EC": (Topology.AA, Consistency.EVENTUAL),
+    "MS-EC->AA-SC": (Topology.AA, Consistency.STRONG),
+}
+
+
+def run_transition(target):
+    topo, cons = target
+    dep = bespokv_deployment(Topology.MS, Consistency.EVENTUAL, SHARDS)
+    wl0 = make_workload(YCSB_B, keys=2000, seed=1234)
+    preload(dep, {wl0.space.key(i): wl0.value() for i in range(2000)})
+    dep.sim.call_later(TRIGGER, lambda: dep.request_transition(topo, cons))
+    lg = LoadGenerator(
+        dep,
+        lambda i: make_workload(YCSB_B, keys=2000, seed=2000 + i),
+        clients=9,
+        sessions_per_client=6,
+        warmup=2.0,
+        duration=END - 2.0,
+        timeline_interval=1.0,
+    )
+    result = lg.run()
+    assert dep.shard(0).topology is topo and dep.shard(0).consistency is cons
+    return result
+
+
+def phases(timeline):
+    def window(a, b):
+        vals = [q for t, q in timeline if a <= t < b]
+        return sum(vals) / max(1, len(vals))
+
+    return {
+        "before": window(10.0, TRIGGER),
+        "dip": min(q for t, q in timeline if TRIGGER <= t < TRIGGER + 6.0),
+        "after": window(TRIGGER + 10.0, END),
+    }
+
+
+def test_fig10_adaptability(benchmark):
+    def run():
+        return {name: run_transition(t) for name, t in TARGETS.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_timelines(
+        "Fig 10: throughput timeline across transition (trigger at t=20s)",
+        {name: res.timeline for name, res in results.items()},
+        mark=TRIGGER,
+    )
+    summary = {name: phases(res.timeline) for name, res in results.items()}
+    save_result("fig10", summary)
+
+    for name, ph in summary.items():
+        print(f"{name}: before={ph['before']:.0f} dip={ph['dip']:.0f} after={ph['after']:.0f}")
+        # a visible dip right after the trigger
+        assert ph["dip"] < ph["before"] * 0.8, f"{name}: no dip visible"
+        # service recovers and stabilizes (AA+SC lands lower by design —
+        # the DLM caps it — so compare against its own steady state)
+        assert ph["after"] > ph["dip"], name
+        # no downtime: every 1s window after the trigger completed ops
+        for t, q in results[name].timeline:
+            if TRIGGER <= t < END - 1:
+                assert q > 0, f"{name}: zero throughput at t={t}"
+    # EC->EC topology switch returns to a comparable level (paper: same
+    # steady state); consistency upgrades may settle lower (SC is
+    # costlier than EC)
+    aaec = summary["MS-EC->AA-EC"]
+    assert aaec["after"] > aaec["before"] * 0.7

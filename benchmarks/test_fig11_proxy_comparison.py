@@ -1,0 +1,71 @@
+"""Fig 11 — tRedis under BESPOKV (MS+SC / MS+EC / AA+EC) vs Dynomite
+(AA+EC only) and Twemproxy (sharding only), 8 shards x 3 replicas on
+24 nodes.
+
+Paper shapes (§VIII-E): BESPOKV adds MS+SC and AA+EC to Redis with
+reasonable performance; MS+SC is more expensive than MS+EC; "Twemproxy
+... performs slightly better than BESPOKV in supporting MS+EC" (it
+does strictly less — no replication); Dynomite+Redis ≈ BESPOKV AA+EC.
+"""
+
+from conftest import save_result
+
+from bench_lib import baseline_run, bespokv_run, print_series
+from repro.core.types import Consistency, Topology
+from repro.workloads import YCSB_A, YCSB_B
+
+SHARDS = 8
+
+MIXES = {
+    "Unif 95% GET": (YCSB_B, "uniform"),
+    "Zipf 95% GET": (YCSB_B, "zipfian"),
+    "Unif 50% GET": (YCSB_A, "uniform"),
+    "Zipf 50% GET": (YCSB_A, "zipfian"),
+}
+
+
+def test_fig11_proxy_comparison(benchmark):
+    def run():
+        out = {}
+        for label, (mix, dist) in MIXES.items():
+            out[label] = {
+                "tRedis MS+SC": bespokv_run(
+                    Topology.MS, Consistency.STRONG, SHARDS, mix,
+                    distribution=dist, datalet_kinds=("redis",)).qps,
+                "tRedis MS+EC": bespokv_run(
+                    Topology.MS, Consistency.EVENTUAL, SHARDS, mix,
+                    distribution=dist, datalet_kinds=("redis",)).qps,
+                "tRedis AA+EC": bespokv_run(
+                    Topology.AA, Consistency.EVENTUAL, SHARDS, mix,
+                    distribution=dist, datalet_kinds=("redis",)).qps,
+                # same 24-node hardware, but sharding only — 24 single-
+                # copy backends (Twemproxy does not replicate)
+                "Twem+Redis MS+EC": baseline_run("twemproxy", SHARDS * 3, mix,
+                                                 distribution=dist).qps,
+                "Dyno+Redis AA+EC": baseline_run("dynomite", SHARDS, mix,
+                                                 distribution=dist).qps,
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    systems = list(next(iter(results.values())).keys())
+    print_series(
+        "Fig 11: proxy-based systems on Redis (24 nodes)",
+        "workload",
+        list(results.keys()),
+        {sys_: [results[m][sys_] / 1e3 for m in results] for sys_ in systems},
+    )
+    save_result("fig11", results)
+
+    for label, r in results.items():
+        # SC costs more than EC on the same topology
+        assert r["tRedis MS+SC"] < r["tRedis MS+EC"], label
+        # Dynomite and BESPOKV AA+EC are in the same ballpark (paper:
+        # "we observed the same performance")
+        ratio = r["tRedis AA+EC"] / r["Dyno+Redis AA+EC"]
+        assert 0.5 < ratio < 2.0, f"{label}: AA+EC vs Dynomite ratio {ratio:.2f}"
+    # Twemproxy's no-replication router beats MS+EC on reads (it does
+    # strictly less work per request)
+    for label in ("Unif 95% GET", "Zipf 95% GET"):
+        assert results[label]["Twem+Redis MS+EC"] > results[label]["tRedis MS+EC"] * 0.9

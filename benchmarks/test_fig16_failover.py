@@ -1,0 +1,128 @@
+"""Fig 16 (Appendix D) — throughput timeline across a node failure.
+
+3 shards x 3 replicas, Zipfian workload, one node killed at t=20 s.
+Paper shapes:
+
+* MS+SC, 95% GET, tail killed: throughput drops by ~1/3 (one of three
+  shards loses its read replica), recovers once the coordinator
+  re-points reads and the standby pair joins;
+* MS+SC, 50% GET, head killed: write path of one shard stalls until
+  leader election, then recovers;
+* MS+EC, 95% GET, slave killed: reads spread over all replicas, so the
+  dip is ~1/9;
+* AA+EC (and Dynomite): all replicas serve everything — failure is
+  barely visible.
+"""
+
+from conftest import save_result
+
+from bench_lib import bespokv_deployment, print_timelines
+from repro.baselines import BaselineDeployment
+from repro.core.types import Consistency, Topology
+from repro.harness.loadgen import LoadGenerator, preload
+from repro.sim import CostModel
+from repro.workloads import YCSB_A, YCSB_B, make_workload
+
+KILL_AT = 20.0
+END = 45.0
+SHARDS = 3
+
+
+def run_bespokv(topology, consistency, mix, kill_pos):
+    dep = bespokv_deployment(topology, consistency, SHARDS)
+    wl0 = make_workload(mix, keys=2000, seed=1234)
+    preload(dep, {wl0.space.key(i): wl0.value() for i in range(2000)})
+    dep.sim.call_later(KILL_AT, lambda: dep.kill_replica(0, kill_pos))
+    lg = LoadGenerator(
+        dep,
+        lambda i: make_workload(mix, keys=2000, seed=2000 + i),
+        clients=9,
+        sessions_per_client=6,
+        warmup=2.0,
+        duration=END - 2.0,
+        timeline_interval=1.0,
+    )
+    result = lg.run()
+    assert len(dep.shard(0).replicas) == 3, "standby should have joined"
+    return result
+
+
+def run_dynomite(mix):
+    dep = BaselineDeployment("dynomite", shards=SHARDS, replicas=3,
+                             costs=CostModel(cpu_scale=600.0))
+    dep.start()
+    wl0 = make_workload(mix, keys=2000, seed=1234)
+    dep.preload({wl0.space.key(i): wl0.value() for i in range(2000)})
+    # kill one dynomite host (rack 0, position 0)
+    dep.sim.call_later(KILL_AT, lambda: dep.cluster.kill_host("dynohost.r0.0"))
+    lg = LoadGenerator(
+        dep,
+        lambda i: make_workload(mix, keys=2000, seed=2000 + i),
+        clients=9,
+        sessions_per_client=6,
+        warmup=2.0,
+        duration=END - 2.0,
+        timeline_interval=1.0,
+        client_factory=lambda name: dep.client(name, op_timeout=0.5),
+    )
+    return lg.run()
+
+
+def window(timeline, a, b):
+    vals = [q for t, q in timeline if a <= t < b]
+    return sum(vals) / max(1, len(vals))
+
+
+def test_fig16_failover(benchmark):
+    cases = {
+        "MS+SC 95%GET (tail)": lambda: run_bespokv(Topology.MS, Consistency.STRONG, YCSB_B, 2),
+        "MS+SC 50%GET (head)": lambda: run_bespokv(Topology.MS, Consistency.STRONG, YCSB_A, 0),
+        "MS+EC 95%GET (slave)": lambda: run_bespokv(Topology.MS, Consistency.EVENTUAL, YCSB_B, 2),
+        "MS+EC 50%GET (master)": lambda: run_bespokv(Topology.MS, Consistency.EVENTUAL, YCSB_A, 0),
+        "AA+EC 95%GET": lambda: run_bespokv(Topology.AA, Consistency.EVENTUAL, YCSB_B, 1),
+        "Dyno 95%GET": lambda: run_dynomite(YCSB_B),
+    }
+
+    def run():
+        return {name: fn() for name, fn in cases.items()}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_timelines(
+        "Fig 16: throughput timeline across node failure (kill at t=20s)",
+        {name: res.timeline for name, res in results.items()},
+        mark=KILL_AT,
+    )
+    summary = {
+        name: {
+            "before": window(res.timeline, 10, KILL_AT),
+            "during": window(res.timeline, KILL_AT + 1, KILL_AT + 6),
+            "after": window(res.timeline, 35, END - 1),
+        }
+        for name, res in results.items()
+    }
+    save_result("fig16", summary)
+    for name, ph in summary.items():
+        print(f"{name}: before={ph['before']:.0f} during={ph['during']:.0f} "
+              f"after={ph['after']:.0f}")
+
+    # strong tail kill: a visible dip (one shard's reads stall)
+    sc_get = summary["MS+SC 95%GET (tail)"]
+    assert sc_get["during"] < sc_get["before"] * 0.85
+    # recovery restores most of the original throughput
+    assert sc_get["after"] > sc_get["before"] * 0.8
+    # head kill stalls one shard's writes until leader election
+    sc_put = summary["MS+SC 50%GET (head)"]
+    assert sc_put["during"] < sc_put["before"] * 0.9
+    assert sc_put["after"] > sc_put["before"] * 0.8
+    # EC slave kill barely dents reads (1/9 vs 1/3): relative dip is
+    # milder than the strong-consistency tail kill
+    ec_get = summary["MS+EC 95%GET (slave)"]
+    sc_dip = sc_get["during"] / sc_get["before"]
+    ec_dip = ec_get["during"] / ec_get["before"]
+    assert ec_dip > sc_dip, f"EC dip {ec_dip:.2f} should be milder than SC dip {sc_dip:.2f}"
+    # AA and Dynomite serve from all replicas: only slight impact
+    for name in ("AA+EC 95%GET", "Dyno 95%GET"):
+        ph = summary[name]
+        assert ph["during"] > ph["before"] * 0.6, f"{name} dipped too hard"
+        assert ph["after"] > ph["before"] * 0.75, name

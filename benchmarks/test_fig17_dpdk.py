@@ -1,0 +1,73 @@
+"""Fig 17 (Appendix E) — DPDK vs kernel sockets on a single shard.
+
+Paper shapes: "DPDK reduces latency by up to 65%.  We also observe 3x
+improvement in throughput ... DPDK based communication results in more
+stable performance."
+"""
+
+import statistics
+
+from conftest import save_result
+
+from bench_lib import bench_costs, print_table, print_timelines, run_load
+from repro.core.config import ControlConfig
+from repro.core.types import Consistency, Topology
+from repro.harness import Deployment, DeploymentSpec
+from repro.net.dpdk import SOCKET_NET_PARAMS, dpdk_net_params
+from repro.workloads import YCSB_B
+
+
+def run_variant(dpdk: bool):
+    dep = Deployment(
+        DeploymentSpec(
+            shards=1,
+            replicas=3,
+            topology=Topology.MS,
+            consistency=Consistency.EVENTUAL,
+            costs=bench_costs(),
+            net_params=dpdk_net_params() if dpdk else SOCKET_NET_PARAMS,
+            dpdk=dpdk,
+            control=ControlConfig(),
+        )
+    )
+    dep.start()
+    return run_load(
+        dep, YCSB_B, distribution="uniform",
+        duration=4.0, warmup=1.0, clients=6, sessions_per_client=8,
+        timeline_interval=0.5,
+    )
+
+
+def test_fig17_dpdk(benchmark):
+    def run():
+        return {"Socket": run_variant(False), "DPDK": run_variant(True)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    stability = {}
+    for name, res in results.items():
+        steady = [q for t, q in res.timeline if t >= 1.0]
+        cv = statistics.pstdev(steady) / statistics.mean(steady)
+        stability[name] = cv
+        rows.append([name, f"{res.qps:,.0f}", f"{res.mean_latency_ms:.2f}",
+                     f"{res.p99_ms:.2f}", f"{cv:.3f}"])
+    print_table("Fig 17: socket vs DPDK (single shard)",
+                ["transport", "QPS", "mean ms", "p99 ms", "throughput CV"], rows)
+    print_timelines("Fig 17: throughput timeline",
+                    {name: res.timeline for name, res in results.items()})
+    save_result("fig17", {
+        name: {"qps": res.qps, "mean_ms": res.mean_latency_ms,
+               "p99_ms": res.p99_ms, "cv": stability[name]}
+        for name, res in results.items()
+    })
+
+    socket, dpdk = results["Socket"], results["DPDK"]
+    # latency cut: paper reports up to 65%; require >= 40%
+    cut = 1 - dpdk.mean_latency_ms / socket.mean_latency_ms
+    assert cut > 0.40, f"DPDK latency cut only {cut:.0%}"
+    # throughput: paper reports ~3x; require >= 2x
+    gain = dpdk.qps / socket.qps
+    assert gain > 2.0, f"DPDK throughput gain only {gain:.1f}x"
+    # more stable performance: lower coefficient of variation
+    assert stability["DPDK"] <= stability["Socket"] * 1.1

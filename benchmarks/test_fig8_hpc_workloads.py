@@ -1,0 +1,61 @@
+"""Fig 8 — BESPOKV scales HPC workloads: job launch and I/O forwarding
+under MS/AA x SC/EC, 3→48 nodes.
+
+Paper shapes (§VIII-B): "MS outperforms AA for SC whereas the trend is
+opposite for EC where AA performs better than MS.  Performance of I/O
+forwarding is slightly better than job launch ... 12% more reads."
+"""
+
+from conftest import save_result
+
+from bench_lib import bespokv_run, print_series
+from repro.core.types import Consistency, Topology
+from repro.workloads import IO_FORWARDING_MIX, JOB_LAUNCH_MIX
+
+SHARD_SIZES = [1, 2, 4, 8, 16]
+NODES = [s * 3 for s in SHARD_SIZES]
+
+WORKLOADS = {"Job-L": JOB_LAUNCH_MIX, "I/O-F": IO_FORWARDING_MIX}
+
+
+def sweep(consistency):
+    series = {}
+    for topo_name, topo in (("MS", Topology.MS), ("AA", Topology.AA)):
+        for wl_name, mix in WORKLOADS.items():
+            series[f"{topo_name} {wl_name}"] = [
+                bespokv_run(topo, consistency, s, mix, distribution="uniform").qps
+                for s in SHARD_SIZES
+            ]
+    return series
+
+
+def test_fig8_hpc_workloads(benchmark):
+    def run():
+        return {
+            "SC": sweep(Consistency.STRONG),
+            "EC": sweep(Consistency.EVENTUAL),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for cons, series in results.items():
+        print_series(
+            f"Fig 8: HPC workloads, {cons}",
+            "nodes",
+            NODES,
+            {k: [v / 1e3 for v in vs] for k, vs in series.items()},
+        )
+    save_result("fig8", results)
+
+    sc, ec = results["SC"], results["EC"]
+    for wl in ("Job-L", "I/O-F"):
+        # MS beats AA under SC (chain replication vs DLM locking)
+        assert sc[f"MS {wl}"][-1] > sc[f"AA {wl}"][-1] * 1.5, wl
+        # AA at least matches MS under EC (any active takes writes)
+        assert ec[f"AA {wl}"][-1] > ec[f"MS {wl}"][-1] * 0.95, wl
+        # MS curves scale with cluster size
+        assert sc[f"MS {wl}"][-1] > sc[f"MS {wl}"][0] * 4
+        assert ec[f"MS {wl}"][-1] > ec[f"MS {wl}"][0] * 4
+    # I/O forwarding (62% reads) edges out job launch (50% reads)
+    for series, combo in ((ec, "MS"), (ec, "AA"), (sc, "MS")):
+        assert series[f"{combo} I/O-F"][-1] > series[f"{combo} Job-L"][-1] * 0.98, combo

@@ -1,0 +1,74 @@
+"""Fig 9 — BESPOKV scales tSSDB, tLog and tMT with MS+EC, 3→48 nodes,
+including the scan-intensive YCSB-E mix for ordered engines.
+
+Paper shapes (§VIII-B): all three scale near-linearly; "tMT is an
+in-memory database and thus outperforms both tLog and tSSDB which
+persist data on disk"; "the throughput of Scans (range queries) is
+much lower than point queries".
+"""
+
+from conftest import save_result
+
+from bench_lib import bespokv_run, print_series
+from repro.core.types import Consistency, Topology
+from repro.workloads import YCSB_A, YCSB_B, YCSB_E
+
+SHARD_SIZES = [1, 2, 4, 8, 16]
+NODES = [s * 3 for s in SHARD_SIZES]
+
+DATALETS = {"tSSDB": "ssdb", "tLog": "log", "tMT": "mt"}
+SCAN_CAPABLE = {"tSSDB", "tMT"}
+
+
+def run_config(kind: str, mix, dist: str):
+    # Range partitioning so scans touch only covering shards, as the
+    # paper's range-query service prescribes (§IV-B).
+    return [
+        bespokv_run(
+            Topology.MS, Consistency.EVENTUAL, s, mix,
+            distribution=dist, datalet_kinds=(kind,), partitioner="range",
+            scan_length=50,
+        ).qps
+        for s in SHARD_SIZES
+    ]
+
+
+def test_fig9_datalet_scalability(benchmark):
+    def run():
+        results = {}
+        for label, kind in DATALETS.items():
+            series = {
+                "Unif 95% GET": run_config(kind, YCSB_B, "uniform"),
+                "Zipf 95% GET": run_config(kind, YCSB_B, "zipfian"),
+                "Unif 50% GET": run_config(kind, YCSB_A, "uniform"),
+                "Zipf 50% GET": run_config(kind, YCSB_A, "zipfian"),
+            }
+            if label in SCAN_CAPABLE:
+                series["Unif 95% SCAN"] = run_config(kind, YCSB_E, "uniform")
+                series["Zipf 95% SCAN"] = run_config(kind, YCSB_E, "zipfian")
+            results[label] = series
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for label, series in results.items():
+        print_series(
+            f"Fig 9: {label} scalability (MS+EC)",
+            "nodes",
+            NODES,
+            {k: [v / 1e3 for v in vs] for k, vs in series.items()},
+        )
+    save_result("fig9", results)
+
+    # 1) every datalet scales: 16 shards >= 4x one shard on point ops
+    for label, series in results.items():
+        for wl in ("Unif 95% GET", "Unif 50% GET"):
+            growth = series[wl][-1] / series[wl][0]
+            assert growth > 4, f"{label} {wl} growth {growth:.1f}x"
+    # 2) the in-memory tMT outperforms both persistent datalets
+    for wl in ("Unif 95% GET", "Zipf 95% GET", "Unif 50% GET", "Zipf 50% GET"):
+        assert results["tMT"][wl][-1] > results["tLog"][wl][-1], wl
+        assert results["tMT"][wl][-1] > results["tSSDB"][wl][-1], wl
+    # 3) scans are far slower than point queries
+    for label in SCAN_CAPABLE:
+        assert results[label]["Unif 95% SCAN"][-1] < results[label]["Unif 95% GET"][-1] / 3

@@ -1,0 +1,58 @@
+"""bespokv-py: a Python reproduction of *BESPOKV: Application Tailored
+Scale-Out Key-Value Stores* (SC'18).
+
+Quick tour::
+
+    from repro import Deployment, DeploymentSpec, Topology, Consistency
+
+    dep = Deployment(DeploymentSpec(shards=4, replicas=3,
+                                    topology=Topology.MS,
+                                    consistency=Consistency.STRONG))
+    dep.start()
+    client = dep.client("app")
+    dep.sim.run_future(client.connect())
+    dep.sim.run_future(client.put("k", "v"))
+    assert dep.sim.run_future(client.get("k")) == "v"
+
+Subpackages:
+
+* :mod:`repro.sim` — deterministic discrete-event substrate
+* :mod:`repro.net` — messages, actors, transports, wire protocols, TCP
+* :mod:`repro.datalet` — single-server storage engines (tHT/tMT/tLSM/...)
+* :mod:`repro.core` — controlets, cluster types, transitions, hybrids
+* :mod:`repro.coordinator` / :mod:`repro.dlm` / :mod:`repro.sharedlog`
+* :mod:`repro.client` — the routing client library
+* :mod:`repro.harness` — deployment builder + load generation
+* :mod:`repro.workloads` — YCSB/HPC/DL workload generators
+* :mod:`repro.baselines` — Twemproxy/Dynomite/Cassandra/Voldemort models
+"""
+
+from repro.client import KVClient
+from repro.core import (
+    ClusterMap,
+    Consistency,
+    ControlConfig,
+    Replica,
+    ShardInfo,
+    Topology,
+)
+from repro.datalet import DataletActor, Engine, make_engine
+from repro.harness import Deployment, DeploymentSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Deployment",
+    "DeploymentSpec",
+    "KVClient",
+    "Topology",
+    "Consistency",
+    "ControlConfig",
+    "ClusterMap",
+    "ShardInfo",
+    "Replica",
+    "Engine",
+    "DataletActor",
+    "make_engine",
+    "__version__",
+]

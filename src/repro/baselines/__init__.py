@@ -1,0 +1,17 @@
+"""Comparator systems the paper evaluates against (Figs 11 & 12),
+implemented on the same simulated substrate as BESPOKV."""
+
+from repro.baselines.deploy import BaselineClient, BaselineDeployment
+from repro.baselines.proxies import DynomiteActor, McrouterActor, TwemproxyActor
+from repro.baselines.quorum import CassandraLikeNode, QuorumStoreNode, VoldemortLikeNode
+
+__all__ = [
+    "BaselineDeployment",
+    "BaselineClient",
+    "TwemproxyActor",
+    "McrouterActor",
+    "DynomiteActor",
+    "QuorumStoreNode",
+    "CassandraLikeNode",
+    "VoldemortLikeNode",
+]

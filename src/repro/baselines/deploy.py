@@ -1,0 +1,256 @@
+"""Builders + client for baseline systems.
+
+Layouts (all on the same simulated substrate and cost model as the
+BESPOKV deployments, so Fig 11/12 comparisons are apples-to-apples):
+
+* ``twemproxy``  — P proxy hosts + B backend hosts (tRedis datalets);
+  sharding only, no replication.
+* ``dynomite``   — R racks x S positions; each rack holds a full copy
+  of the keyspace; a node replicates to its same-position peers in the
+  other racks.
+* ``cassandra`` / ``voldemort`` — N peer nodes, RF=3, CL=ONE.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.baselines.proxies import DynomiteActor, TwemproxyActor
+from repro.baselines.quorum import CassandraLikeNode, VoldemortLikeNode
+from repro.datalet import DataletActor, make_engine
+from repro.errors import BespoError, ConfigError, KeyNotFound
+from repro.hashing import HashRing
+from repro.net.simnet import ClientPort, SimCluster
+from repro.sim import DEFAULT_COSTS, CostModel, NetworkParams, SimFuture
+
+__all__ = ["BaselineDeployment", "BaselineClient"]
+
+
+class BaselineClient:
+    """Minimal client with the same surface LoadGenerator drives."""
+
+    def __init__(self, deployment: "BaselineDeployment", name: str,
+                 op_timeout: float = 2.0):
+        self.dep = deployment
+        self.sim = deployment.sim
+        self.op_timeout = op_timeout
+        self.port: ClientPort = deployment.cluster.add_port(name)
+        self._rng = random.Random(deployment.cluster.rng.stream(f"bclient.{name}").random())
+        self.ops = 0
+        #: node -> sim time until which it is considered down (real
+        #: Dynomite/Cassandra drivers mark unresponsive hosts and route
+        #: around them).
+        self._suspect: Dict[str, float] = {}
+        self.suspect_window = 10.0
+
+    def connect(self) -> SimFuture:
+        fut = self.sim.create_future()
+        fut.set_result(None)  # topology is static; nothing to fetch
+        return fut
+
+    def _target(self, key: str) -> str:
+        now = self.sim.now
+        for _ in range(6):
+            node = self.dep.route(key, self._rng)
+            if self._suspect.get(node, 0.0) <= now:
+                return node
+        return node  # everyone suspect: try anyway
+
+    def _request(self, op: str, key: str, payload: dict):
+        self.ops += 1
+        last: Exception = BespoError("unreachable")
+        for _attempt in range(3):
+            # each attempt re-rolls the coordinator/rack choice, which
+            # is how Dynomite clients ride out a dead node (surviving
+            # racks hold the replica)
+            target = self._target(key)
+            try:
+                resp = yield self.port.request(target, op, payload, timeout=self.op_timeout)
+            except BespoError as e:
+                self._suspect[target] = self.sim.now + self.suspect_window
+                last = e
+                continue
+            if resp.type == "error":
+                err = resp.payload.get("error", "")
+                if err == "not_found":
+                    raise KeyNotFound(key)
+                raise BespoError(f"{op} {key!r} failed: {err}")
+            return resp
+        raise last
+
+    def put(self, key: str, val: str) -> SimFuture:
+        def proc():
+            yield from self._request("put", key, {"key": key, "val": val})
+
+        return self.sim.spawn(proc())
+
+    def get(self, key: str) -> SimFuture:
+        def proc():
+            resp = yield from self._request("get", key, {"key": key})
+            return resp.payload["val"]
+
+        return self.sim.spawn(proc())
+
+    def delete(self, key: str) -> SimFuture:
+        def proc():
+            yield from self._request("del", key, {"key": key})
+
+        return self.sim.spawn(proc())
+
+    def scan(self, start: str, end: str, limit: Optional[int] = None) -> SimFuture:
+        def proc():
+            yield from self._request("scan", start, {"start": start, "end": end, "limit": limit})
+
+        return self.sim.spawn(proc())
+
+
+class BaselineDeployment:
+    """Stand up one baseline system on a fresh simulated cluster."""
+
+    KINDS = ("twemproxy", "mcrouter", "dynomite", "cassandra", "voldemort")
+
+    def __init__(
+        self,
+        kind: str,
+        shards: int = 8,
+        replicas: int = 3,
+        costs: CostModel = DEFAULT_COSTS,
+        net_params: Optional[NetworkParams] = None,
+        seed: int = 0,
+        host_cpus: int = 4,
+    ):
+        if kind not in self.KINDS:
+            raise ConfigError(f"unknown baseline {kind!r}; choose from {self.KINDS}")
+        self.kind = kind
+        self.shards = shards
+        self.replicas = replicas
+        self.cluster = SimCluster(costs=costs, net_params=net_params, seed=seed)
+        self.sim = self.cluster.sim
+        self._route_ring: Optional[HashRing] = None
+        self._racks: Dict[str, List[str]] = {}
+        self._nodes: List[str] = []
+        getattr(self, f"_build_{kind}")(host_cpus)
+
+    # ------------------------------------------------------------------
+    def _build_twemproxy(self, cpus: int) -> None:
+        backends = []
+        for i in range(self.shards):
+            datalet = f"redis{i}"
+            self.cluster.add_host(f"backend{i}", cpus=cpus)
+            self.cluster.add_actor(
+                DataletActor(datalet, make_engine("redis")), host=f"backend{i}"
+            )
+            backends.append(datalet)
+        self._route_ring = HashRing(backends)
+        # one proxy per backend host count / 2, at least one
+        n_proxies = max(1, self.shards // 2)
+        for p in range(n_proxies):
+            name = f"twemproxy{p}"
+            self.cluster.add_host(name, cpus=cpus)
+            self.cluster.add_actor(TwemproxyActor(name, backends), host=name)
+            self._nodes.append(name)
+
+    def _build_mcrouter(self, cpus: int) -> None:
+        from repro.baselines.proxies import McrouterActor
+
+        self._pools: List[List[str]] = []
+        for p in range(self.shards):
+            pool = []
+            for r in range(self.replicas):
+                datalet = f"mc{p}.{r}"
+                host = f"mchost{p}.{r}"
+                self.cluster.add_host(host, cpus=cpus)
+                self.cluster.add_actor(DataletActor(datalet, make_engine("ht")), host=host)
+                pool.append(datalet)
+            self._pools.append(pool)
+        self._route_ring = HashRing([f"pool{i}" for i in range(self.shards)])
+        n_routers = max(1, self.shards // 2)
+        for i in range(n_routers):
+            name = f"mcrouter{i}"
+            self.cluster.add_host(name, cpus=cpus)
+            self.cluster.add_actor(McrouterActor(name, self._pools), host=name)
+            self._nodes.append(name)
+
+    def _build_dynomite(self, cpus: int) -> None:
+        # racks x positions; ring over positions
+        positions = [f"p{i}" for i in range(self.shards)]
+        self._route_ring = HashRing(positions)
+        for r in range(self.replicas):
+            rack_nodes = []
+            for i, pos in enumerate(positions):
+                node = f"dyno.r{r}.{pos}"
+                datalet = f"dynodata.r{r}.{pos}"
+                host = f"dynohost.r{r}.{i}"
+                self.cluster.add_host(host, cpus=cpus)
+                self.cluster.add_actor(DataletActor(datalet, make_engine("redis")), host=host)
+                peers = [f"dyno.r{rr}.{pos}" for rr in range(self.replicas) if rr != r]
+                self.cluster.add_actor(DynomiteActor(node, datalet, peers), host=host)
+                rack_nodes.append(node)
+            self._racks[f"r{r}"] = rack_nodes
+
+    def _build_cassandra(self, cpus: int) -> None:
+        self._build_quorum(CassandraLikeNode, cpus)
+
+    def _build_voldemort(self, cpus: int) -> None:
+        self._build_quorum(VoldemortLikeNode, cpus)
+
+    def _build_quorum(self, node_cls, cpus: int) -> None:
+        names = [f"{node_cls.__name__.lower()}{i}" for i in range(self.shards)]
+        for name in names:
+            self.cluster.add_host(name, cpus=cpus)
+            self.cluster.add_actor(
+                node_cls(name, members=names, rf=min(self.replicas, len(names))),
+                host=name,
+            )
+        self._nodes = names
+        self._route_ring = HashRing(names)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.cluster.start()
+
+    def route(self, key: str, rng: random.Random) -> str:
+        """Pick the node a client contacts for ``key``."""
+        if self.kind == "dynomite":
+            # token-aware client: owner position in a random rack
+            rack = self._racks[f"r{rng.randrange(self.replicas)}"]
+            pos = self._route_ring.lookup(key)
+            return next(n for n in rack if n.endswith("." + pos))
+        return self._nodes[rng.randrange(len(self._nodes))]
+
+    def client(self, name: str, **kwargs) -> BaselineClient:
+        return BaselineClient(self, name, **kwargs)
+
+    def preload(self, items: Dict[str, str]) -> None:
+        """Load data directly into the engines that own each key,
+        matching the system's own placement rules."""
+        if self.kind == "twemproxy":
+            for k, v in items.items():
+                self.cluster.actor(self._route_ring.lookup(k)).engine.put(k, v)
+        elif self.kind == "mcrouter":
+            for k, v in items.items():
+                pool = self._pools[int(self._route_ring.lookup(k)[4:])]
+                for datalet in pool:
+                    self.cluster.actor(datalet).engine.put(k, v)
+        elif self.kind == "dynomite":
+            for k, v in items.items():
+                pos = self._route_ring.lookup(k)
+                for rack in self._racks.values():
+                    node = next(n for n in rack if n.endswith("." + pos))
+                    datalet = self.cluster.actor(node).datalet
+                    self.cluster.actor(datalet).engine.put(k, v)
+        else:
+            rf = min(self.replicas, len(self._nodes))
+            for k, v in items.items():
+                for node in self._route_ring.lookup_n(k, rf):
+                    self.cluster.actor(node).engine.put(k, v)
+
+    def node_engines(self):
+        """All storage engines (for convergence checks in tests)."""
+        engines = []
+        for actor in self.cluster.actors.values():
+            engine = getattr(actor, "engine", None)
+            if engine is not None:
+                engines.append((actor.node_id, engine))
+        return engines

@@ -1,0 +1,159 @@
+"""Proxy-layer baselines: Twemproxy and Dynomite models (Fig 11).
+
+* **Twemproxy** — a pure request router: consistent-hashes the key to
+  exactly one backend, no replication, no failover.  Slightly faster
+  than BESPOKV's MS+EC because it does strictly less work per request
+  (the paper's own observation).
+* **Dynomite** — Netflix's Twemproxy extension: every node owns a local
+  backend; a write applies locally, acks, then propagates to peer
+  replicas directly (no ordering service — which is why the paper notes
+  Dynomite cannot guarantee strict EC under conflicting concurrent
+  writes; :mod:`tests.test_baselines` demonstrates the divergence the
+  shared log prevents).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hashing import HashRing
+from repro.net.actor import Actor
+from repro.net.message import Message
+
+__all__ = ["TwemproxyActor", "DynomiteActor"]
+
+
+class TwemproxyActor(Actor):
+    """Stateless shard router over a pool of backend datalets."""
+
+    def __init__(self, node_id: str, backends: List[str]):
+        super().__init__(node_id)
+        self.ring = HashRing(backends)
+        self.routed = 0
+        for op in ("put", "get", "del"):
+            self.register(op, self._route_op)
+        self.register("scan", self._reject_scan)
+
+    def service_demand(self, msg: Message, costs) -> float:
+        return costs.scaled("controlet_overhead")
+
+    def _route_op(self, msg: Message) -> None:
+        self.routed += 1
+        backend = self.ring.lookup(msg.payload["key"])
+        # forward preserving correlation: the backend answers the client
+        self.forward(msg, backend)
+
+    def _reject_scan(self, msg: Message) -> None:
+        self.respond(msg, "error", {"error": "twemproxy does not support scans"})
+
+
+class McrouterActor(Actor):
+    """Mcrouter model: Facebook's memcached router (Table I: S+R, no
+    multiple backends).
+
+    Routes by consistent hashing over *pools*; each pool is a set of
+    replicated memcached backends.  Writes fan out to every replica in
+    the pool (``AllSyncRoute``), reads go to one.
+    """
+
+    def __init__(self, node_id: str, pools: List[List[str]]):
+        if not pools or any(not p for p in pools):
+            raise ValueError("pools must be non-empty lists of backends")
+        super().__init__(node_id)
+        self.pools = pools
+        self.ring = HashRing([f"pool{i}" for i in range(len(pools))])
+        self.routed = 0
+        self.register("put", lambda m: self._write(m, "put"))
+        self.register("del", lambda m: self._write(m, "del"))
+        self.register("get", self._read)
+        self.register("scan", self._reject_scan)
+
+    def service_demand(self, msg: Message, costs) -> float:
+        return costs.scaled("controlet_overhead")
+
+    def _pool_of(self, key: str) -> List[str]:
+        return self.pools[int(self.ring.lookup(key)[4:])]
+
+    def _write(self, msg: Message, op: str) -> None:
+        """AllSyncRoute: ack after every replica in the pool acks."""
+        self.routed += 1
+        pool = self._pool_of(msg.payload["key"])
+        payload = {"key": msg.payload["key"]}
+        if op == "put":
+            payload["val"] = msg.payload["val"]
+        remaining = {"n": len(pool)}
+        failed = {"err": None}
+
+        def on_ack(resp, err) -> None:
+            if err is not None:
+                failed["err"] = err
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                if failed["err"] is not None:
+                    self.respond(msg, "error", {"error": str(failed["err"])})
+                else:
+                    self.respond(msg, "ok")
+
+        for backend in pool:
+            self.call(backend, op, dict(payload), callback=on_ack, timeout=1.0)
+
+    def _read(self, msg: Message) -> None:
+        self.routed += 1
+        pool = self._pool_of(msg.payload["key"])
+        self.forward(msg, pool[msg.msg_id % len(pool)])
+
+    def _reject_scan(self, msg: Message) -> None:
+        self.respond(msg, "error", {"error": "mcrouter does not support scans"})
+
+
+class DynomiteActor(Actor):
+    """One Dynomite node: proxy + colocated backend datalet.
+
+    ``peers`` are the other nodes of the same replica group (one per
+    rack/DC in real Dynomite).  Replication is peer-to-peer
+    last-writer-wins — no global order.
+    """
+
+    def __init__(self, node_id: str, datalet: str, peers: Optional[List[str]] = None):
+        super().__init__(node_id)
+        self.datalet = datalet
+        self.peers = peers or []
+        self.replicated = 0
+        self.register("put", lambda m: self._write(m, "put"))
+        self.register("del", lambda m: self._write(m, "del"))
+        self.register("get", self._get)
+        self.register("dyno_replicate", self._on_replicate)
+        self.register("scan", self._reject_scan)
+
+    def service_demand(self, msg: Message, costs) -> float:
+        return costs.scaled("controlet_overhead")
+
+    def _write(self, msg: Message, op: str) -> None:
+        payload = {"key": msg.payload["key"]}
+        if op == "put":
+            payload["val"] = msg.payload["val"]
+
+        def after_local(resp, err) -> None:
+            if err is not None or resp is None:
+                self.respond(msg, "error", {"error": str(err)})
+                return
+            self.respond(msg, resp.type, dict(resp.payload))
+            if resp.type != "error":
+                # async peer propagation, no ordering
+                for peer in self.peers:
+                    self.send(peer, "dyno_replicate", {"op": op, **payload})
+                    self.replicated += 1
+
+        self.call(self.datalet, op, payload, callback=after_local)
+
+    def _on_replicate(self, msg: Message) -> None:
+        entry = dict(msg.payload)
+        op = entry.pop("op")
+        self.send(self.datalet, "apply_batch", {"ops": [{"op": op, "key": entry["key"],
+                                                         "val": entry.get("val")}]})
+
+    def _get(self, msg: Message) -> None:
+        self.forward(msg, self.datalet)
+
+    def _reject_scan(self, msg: Message) -> None:
+        self.respond(msg, "error", {"error": "dynomite does not support scans"})

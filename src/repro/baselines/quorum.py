@@ -1,0 +1,149 @@
+"""Natively-distributed baselines: Cassandra-like and Voldemort-like
+quorum stores (Fig 12).
+
+Both follow the Dynamo design the paper attributes to them: every node
+is a peer; the node receiving a request acts as *coordinator*, fans the
+operation out to the key's RF-replica preference list on a consistent-
+hash ring, and acks after ``consistency_level`` replies (the paper
+configures CL=ONE for both systems).
+
+The two differ in their storage engines, which is where the paper
+locates BESPOKV's advantage: "Cassandra uses compaction in its storage
+engine which significantly effects the write performance and increases
+the read latency due to use of extra CPU and disk usage".  The cost
+model charges :attr:`~repro.sim.costs.CostModel.cassandra_engine_overhead`
+/ ``voldemort_engine_overhead`` per storage operation on top of the raw
+data-structure cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.datalet import Engine, HashTableEngine
+from repro.errors import KeyNotFound
+from repro.hashing import HashRing
+from repro.net.actor import Actor
+from repro.net.message import Message
+
+__all__ = ["QuorumStoreNode", "CassandraLikeNode", "VoldemortLikeNode"]
+
+
+class QuorumStoreNode(Actor):
+    """Peer node: coordinator role + local storage in one actor."""
+
+    #: per-storage-op engine overhead attribute on the cost model.
+    engine_overhead_attr = ""
+    engine_kind = "ht"
+
+    def __init__(
+        self,
+        node_id: str,
+        members: List[str],
+        rf: int = 3,
+        consistency_level: int = 1,
+        engine: Optional[Engine] = None,
+        seed: int = 0,
+    ):
+        super().__init__(node_id)
+        self.members = list(members)
+        self.ring = HashRing(self.members)
+        self.rf = min(rf, len(self.members))
+        self.cl = consistency_level
+        self.engine = engine or HashTableEngine()
+        self.rng = random.Random(seed ^ hash(node_id) & 0xFFFF)
+        self.coordinated = 0
+        self.register("put", lambda m: self._coordinate_write(m, "put"))
+        self.register("del", lambda m: self._coordinate_write(m, "del"))
+        self.register("get", self._coordinate_read)
+        self.register("q_apply", self._on_apply)
+        self.register("q_read", self._on_read)
+        self.register("scan", self._reject_scan)
+
+    # ------------------------------------------------------------------
+    def service_demand(self, msg: Message, costs) -> float:
+        if msg.type in ("q_apply", "q_read"):
+            base = costs.datalet_cost(self.engine_kind, "put" if msg.type == "q_apply" else "get")
+            overhead = getattr(costs, self.engine_overhead_attr, 0.0) if self.engine_overhead_attr else 0.0
+            return base + overhead * costs.cpu_scale
+        return costs.scaled("controlet_overhead")
+
+    # ------------------------------------------------------------------
+    # coordinator role
+    # ------------------------------------------------------------------
+    def _preference_list(self, key: str) -> List[str]:
+        return self.ring.lookup_n(key, self.rf)
+
+    def _coordinate_write(self, msg: Message, op: str) -> None:
+        self.coordinated += 1
+        key = msg.payload["key"]
+        replicas = self._preference_list(key)
+        needed = {"n": self.cl, "done": False}
+        payload = {"op": op, "key": key, "val": msg.payload.get("val")}
+
+        def on_ack(resp, err) -> None:
+            if needed["done"]:
+                return
+            if resp is not None and resp.type == "ok":
+                needed["n"] -= 1
+                if needed["n"] <= 0:
+                    needed["done"] = True
+                    self.respond(msg, "ok")
+
+        for node in replicas:
+            self.call(node, "q_apply", dict(payload), callback=on_ack, timeout=1.0)
+
+    def _coordinate_read(self, msg: Message) -> None:
+        self.coordinated += 1
+        key = msg.payload["key"]
+        replicas = self._preference_list(key)
+        target = self.rng.choice(replicas)
+
+        def on_value(resp, err) -> None:
+            if err is not None or resp is None:
+                self.respond(msg, "error", {"error": str(err)})
+                return
+            self.respond(msg, resp.type, dict(resp.payload))
+
+        self.call(target, "q_read", {"key": key}, callback=on_value, timeout=1.0)
+
+    # ------------------------------------------------------------------
+    # storage role
+    # ------------------------------------------------------------------
+    def _on_apply(self, msg: Message) -> None:
+        op = msg.payload["op"]
+        try:
+            if op == "put":
+                self.engine.put(msg.payload["key"], msg.payload["val"])
+            else:
+                self.engine.delete(msg.payload["key"])
+        except KeyNotFound:
+            pass  # deletes of unseen keys tolerated (Dynamo semantics)
+        self.respond(msg, "ok")
+
+    def _on_read(self, msg: Message) -> None:
+        try:
+            val = self.engine.get(msg.payload["key"])
+        except KeyNotFound:
+            self.respond(msg, "error", {"error": "not_found", "key": msg.payload["key"]})
+            return
+        self.respond(msg, "value", {"val": val})
+
+    def _reject_scan(self, msg: Message) -> None:
+        self.respond(msg, "error", {"error": f"{type(self).__name__} does not support scans"})
+
+
+class CassandraLikeNode(QuorumStoreNode):
+    """Cassandra model: LSM storage with heavy compaction/bookkeeping."""
+
+    engine_overhead_attr = "cassandra_engine_overhead"
+    engine_kind = "lsm"
+
+
+class VoldemortLikeNode(QuorumStoreNode):
+    """Voldemort model: BDB-style storage, lighter than Cassandra's but
+    heavier than a bare hash table."""
+
+    engine_overhead_attr = "voldemort_engine_overhead"
+    engine_kind = "ht"

@@ -1,0 +1,185 @@
+"""Command-line interface — the artifact's runnable surface.
+
+The paper's artifact ships ``conkv`` (a datalet server), ``conproxy``
+(the controlet) and a bench client.  The equivalents here:
+
+* ``bespokv serve``  — serve a datalet engine over real TCP
+  (RESP or framed-binary protocol); the ``conkv`` experience.
+* ``bespokv bench``  — stand up a simulated deployment from CLI flags
+  (or the artifact's JSON config file) and drive a YCSB-style workload,
+  printing throughput/latency.
+* ``bespokv demo``   — a 30-second tour: deploy, write, read, kill a
+  node, watch failover, switch consistency live.
+
+Installed as the ``bespokv`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.config import load_deployment_config
+from repro.core.types import Consistency, Topology
+from repro.datalet import ENGINE_KINDS, make_engine
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bespokv",
+        description="bespokv-py: application-tailored scale-out KV stores (SC'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="serve a datalet engine over TCP")
+    serve.add_argument("--engine", choices=sorted(ENGINE_KINDS), default="ht")
+    serve.add_argument("--protocol", choices=("resp", "binary"), default="resp")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0, help="0 = ephemeral")
+    serve.add_argument("--serve-seconds", type=float, default=None,
+                       help="exit after N seconds (default: run until interrupted)")
+
+    bench = sub.add_parser("bench", help="deploy + drive a workload (simulated)")
+    bench.add_argument("--config", help="artifact-style JSON deployment config")
+    bench.add_argument("--topology", choices=("ms", "aa"), default="ms")
+    bench.add_argument("--consistency", choices=("strong", "eventual"), default="eventual")
+    bench.add_argument("--shards", type=int, default=4)
+    bench.add_argument("--replicas", type=int, default=3)
+    bench.add_argument("--datalet", choices=sorted(ENGINE_KINDS), default="ht")
+    bench.add_argument("--mix", choices=("a", "b", "e"), default="b",
+                       help="YCSB mix: a=50%% GET, b=95%% GET, e=scan-heavy")
+    bench.add_argument("--distribution", choices=("zipfian", "uniform"), default="zipfian")
+    bench.add_argument("--keys", type=int, default=2000)
+    bench.add_argument("--clients", type=int, default=None)
+    bench.add_argument("--duration", type=float, default=2.0)
+    bench.add_argument("--warmup", type=float, default=0.5)
+    bench.add_argument("--cpu-scale", type=float, default=150.0)
+    bench.add_argument("--seed", type=int, default=0)
+
+    demo = sub.add_parser("demo", help="guided tour of the framework")
+    demo.add_argument("--shards", type=int, default=3)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# serve
+# ---------------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net.tcp import DataletServer
+
+    engine = make_engine(args.engine)
+    server = DataletServer(engine, protocol=args.protocol, host=args.host, port=args.port)
+    host, port = server.start()
+    print(f"datalet engine={args.engine} protocol={args.protocol} "
+          f"listening on {host}:{port}")
+    if args.protocol == "resp":
+        print(f"try: redis-cli -h {host} -p {port}  (SET/GET/DEL/SCAN/DBSIZE/PING)")
+    try:
+        if args.serve_seconds is not None:
+            time.sleep(args.serve_seconds)
+        else:  # pragma: no cover - interactive path
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.stop()
+    print("server stopped")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# bench
+# ---------------------------------------------------------------------------
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness import Deployment, DeploymentSpec
+    from repro.harness.loadgen import LoadGenerator, preload
+    from repro.sim import CostModel
+    from repro.workloads import YCSB_A, YCSB_B, YCSB_E, make_workload
+
+    if args.config:
+        cfg = load_deployment_config(args.config)
+        topology, consistency = cfg.topology, cfg.consistency
+        replicas = cfg.num_replicas
+        datalet = cfg.datalet_kinds[0]
+    else:
+        topology = Topology(args.topology)
+        consistency = Consistency(args.consistency)
+        replicas = args.replicas
+        datalet = args.datalet
+
+    spec = DeploymentSpec(
+        shards=args.shards, replicas=replicas, topology=topology,
+        consistency=consistency, datalet_kinds=(datalet,),
+        costs=CostModel(cpu_scale=args.cpu_scale), seed=args.seed,
+    )
+    dep = Deployment(spec)
+    dep.start()
+
+    mix = {"a": YCSB_A, "b": YCSB_B, "e": YCSB_E}[args.mix]
+    wl0 = make_workload(mix, keys=args.keys, seed=1234)
+    preload(dep, {wl0.space.key(i): wl0.value() for i in range(args.keys)})
+
+    clients = args.clients or max(3, args.shards * replicas)
+    lg = LoadGenerator(
+        dep,
+        lambda i: make_workload(mix, keys=args.keys,
+                                distribution=args.distribution, seed=1000 + i),
+        clients=clients, warmup=args.warmup, duration=args.duration,
+    )
+    t0 = time.time()
+    result = lg.run()
+    wall = time.time() - t0
+    label = f"{topology.value.upper()}+{'SC' if consistency is Consistency.STRONG else 'EC'}"
+    print(f"{label}  {args.shards}x{replicas} {datalet} datalets  "
+          f"mix={args.mix} dist={args.distribution}")
+    print(result)
+    print(f"(simulated {args.warmup + args.duration:.1f}s in {wall:.1f}s wall, "
+          f"{dep.sim.events_processed:,} events)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# demo
+# ---------------------------------------------------------------------------
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.harness import Deployment, DeploymentSpec
+
+    dep = Deployment(DeploymentSpec(shards=args.shards, replicas=3,
+                                    topology=Topology.MS,
+                                    consistency=Consistency.EVENTUAL))
+    dep.start()
+    sim = dep.sim
+    client = dep.client("demo")
+    sim.run_future(client.connect())
+    print(f"deployed {args.shards} shards x 3 replicas (MS+EC)")
+    for i in range(5):
+        sim.run_future(client.put(f"key{i}", f"value{i}"))
+    sim.run_until(sim.now + 1.0)
+    print("key3 ->", sim.run_future(client.get("key3")))
+    victim = dep.kill_replica(0, chain_pos=0)
+    print(f"killed master host {victim!r} ...")
+    sim.run_until(sim.now + 12.0)
+    print(f"failover complete (failovers={dep.coordinator.failovers}, "
+          f"epoch={dep.map.epoch}); key3 ->", sim.run_future(client.get("key3")))
+    print("switching to MS+SC live ...")
+    sim.run_future(dep.request_transition(Topology.MS, Consistency.STRONG))
+    sim.run_future(client.put("final", "strong"))
+    print("final ->", sim.run_future(client.get("final")),
+          f"(now {dep.shard(0).topology.value.upper()}+SC, epoch {dep.map.epoch})")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {"serve": _cmd_serve, "bench": _cmd_bench, "demo": _cmd_demo}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Client library (paper Table II) and the hot-key shadow-replication
+extension (App C-C)."""
+
+from repro.client.hotkey import HotKeyReplicatingClient
+from repro.client.kv import KVClient
+
+__all__ = ["KVClient", "HotKeyReplicatingClient"]

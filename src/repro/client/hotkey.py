@@ -1,0 +1,138 @@
+"""Hot-key load balancing via shadow replication (paper App C-C).
+
+"Load imbalance due to hot keys can be solved by integrating a small
+metadata cache at BESPOKV's client library to keep track of hot keys;
+once the popularity of hot keys exceeds a certain pre-defined
+threshold, the client library replicates this key on a shadow server
+that is rehashed by adding a suffix to the key."
+
+:class:`HotKeyReplicatingClient` wraps a :class:`~repro.client.kv.KVClient`:
+
+* a small popularity counter tracks per-key read rates;
+* once a key crosses ``threshold`` reads it becomes *hot*: the client
+  writes ``n_shadows`` copies under suffixed keys (each rehashing to a
+  different shard with high probability);
+* subsequent reads of a hot key pick a random replica among the
+  original and its shadows, spreading the load; a missing/stale shadow
+  falls back to the primary and is refreshed;
+* writes to a hot key go write-through to the primary and every shadow
+  (eventual consistency across shadows, like the rest of the EC paths).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Set
+
+from repro.client.kv import KVClient
+from repro.errors import KeyNotFound
+from repro.sim import SimFuture
+
+__all__ = ["HotKeyReplicatingClient"]
+
+
+class HotKeyReplicatingClient:
+    """Client-side hot-key cache + shadow replication."""
+
+    def __init__(
+        self,
+        inner: KVClient,
+        threshold: int = 64,
+        n_shadows: int = 3,
+        counter_capacity: int = 1024,
+    ):
+        self.inner = inner
+        self.sim = inner.sim
+        self.threshold = threshold
+        self.n_shadows = n_shadows
+        self.counter_capacity = counter_capacity
+        self._counts: Dict[str, int] = {}
+        self._hot: Set[str] = set()
+        self._rng = random.Random(0x480)
+        self.shadow_reads = 0
+        self.promotions = 0
+
+    # ------------------------------------------------------------------
+    def connect(self) -> SimFuture:
+        return self.inner.connect()
+
+    @staticmethod
+    def shadow_key(key: str, i: int) -> str:
+        return f"{key}#shadow{i}"
+
+    def is_hot(self, key: str) -> bool:
+        return key in self._hot
+
+    def _note_read(self, key: str) -> bool:
+        """Count a read; returns True if the key just became hot."""
+        if key in self._hot:
+            return False
+        if len(self._counts) >= self.counter_capacity and key not in self._counts:
+            # bounded metadata cache: decay everything instead of
+            # tracking unboundedly (approximate, like a count sketch)
+            self._counts = {k: c // 2 for k, c in self._counts.items() if c > 1}
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if count >= self.threshold:
+            self._hot.add(key)
+            self._counts.pop(key, None)
+            self.promotions += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def get(self, key: str, **kw) -> SimFuture:
+        def proc():
+            promoted = self._note_read(key)
+            if promoted:
+                # replicate onto shadow servers
+                value = yield self.inner.get(key, **kw)
+                yield self.sim.gather([
+                    self.inner.put(self.shadow_key(key, i), value)
+                    for i in range(self.n_shadows)
+                ])
+                return value
+            if key in self._hot:
+                choice = self._rng.randrange(self.n_shadows + 1)
+                if choice > 0:
+                    self.shadow_reads += 1
+                    try:
+                        value = yield self.inner.get(self.shadow_key(key, choice - 1), **kw)
+                        return value
+                    except KeyNotFound:
+                        # stale/missing shadow: fall back and refresh
+                        value = yield self.inner.get(key, **kw)
+                        yield self.inner.put(self.shadow_key(key, choice - 1), value)
+                        return value
+            value = yield self.inner.get(key, **kw)
+            return value
+
+        return self.sim.spawn(proc())
+
+    def put(self, key: str, val: str, **kw) -> SimFuture:
+        def proc():
+            yield self.inner.put(key, val, **kw)
+            if key in self._hot:
+                # write-through to every shadow
+                yield self.sim.gather([
+                    self.inner.put(self.shadow_key(key, i), val)
+                    for i in range(self.n_shadows)
+                ])
+
+        return self.sim.spawn(proc())
+
+    def delete(self, key: str, **kw) -> SimFuture:
+        def proc():
+            yield self.inner.delete(key, **kw)
+            if key in self._hot:
+                self._hot.discard(key)
+                for i in range(self.n_shadows):
+                    try:
+                        yield self.inner.delete(self.shadow_key(key, i))
+                    except KeyNotFound:
+                        pass
+
+        return self.sim.spawn(proc())
+
+    def scan(self, *a, **kw) -> SimFuture:
+        return self.inner.scan(*a, **kw)

@@ -1,0 +1,391 @@
+"""BESPOKV client library (paper §III "Client library", Table II).
+
+The client caches the coordinator's cluster map, partitions keys across
+shards (consistent hashing by default, range partitioning for the
+range-query service), and routes each operation to the right controlet
+for the shard's topology/consistency combination:
+
+* MS+SC — writes to the chain head, strong reads to the tail;
+* MS+EC — writes to the master, reads to any replica;
+* AA+*  — any active for anything.
+
+Stale routing shows up as ``redirect``/``retired`` errors or timeouts;
+the client then refreshes its map and retries with jittered backoff —
+this is the mechanism behind the throughput dip-and-recover shape in
+the transition and failover experiments (Figs 10 & 16).
+
+All operations return :class:`~repro.sim.kernel.SimFuture` so that
+closed-loop load generators can drive thousands of concurrent client
+sessions inside the simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.types import ClusterMap, Consistency, ShardInfo, Topology
+from repro.errors import (
+    BespoError,
+    KeyNotFound,
+    RequestTimeout,
+    ShardUnavailable,
+    TableNotFound,
+)
+from repro.hashing import HashRing, RangePartitioner
+from repro.net.simnet import ClientPort, SimCluster
+from repro.sim import SimFuture
+
+__all__ = ["KVClient"]
+
+
+class KVClient:
+    """Routing, retrying KV client over a :class:`SimCluster`."""
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        name: str,
+        coordinator: "str | Sequence[str]" = "coordinator",
+        partitioner: str = "hash",
+        op_timeout: float = 0.5,
+        max_retries: int = 6,
+        retry_backoff: float = 0.2,
+    ):
+        if partitioner not in ("hash", "range"):
+            raise BespoError(f"unknown partitioner {partitioner!r}")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.port: ClientPort = cluster.add_port(name)
+        #: coordinator preference list; on timeout the client fails over
+        #: to the next entry (primary/standby resilience, §VII).
+        self.coordinators: List[str] = (
+            [coordinator] if isinstance(coordinator, str) else list(coordinator)
+        )
+        if not self.coordinators:
+            raise BespoError("need at least one coordinator address")
+        self.partitioner = partitioner
+        self.op_timeout = op_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.map: Optional[ClusterMap] = None
+        self._ring: Optional[HashRing] = None
+        self._range: Optional[RangePartitioner] = None
+        self._rng = random.Random(cluster.rng.stream(f"client.{name}").random())
+        self._tables: Dict[str, bool] = {}
+        self.ops = 0
+        self.retries = 0
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    # topology cache
+    # ------------------------------------------------------------------
+    def connect(self) -> SimFuture:
+        """Fetch the cluster map; must complete before the first op."""
+        return self.sim.spawn(self._refresh_proc())
+
+    def _refresh_proc(self):
+        last_error: Optional[BespoError] = None
+        for coord in list(self.coordinators):
+            try:
+                resp = yield self.port.request(
+                    coord, "get_cluster_map", {}, timeout=self.op_timeout * 4
+                )
+            except RequestTimeout as e:
+                last_error = e
+                continue
+            self._install_map(ClusterMap.from_dict(resp.payload["map"]))
+            self.refreshes += 1
+            if coord != self.coordinators[0]:
+                # promote the responsive coordinator to the front
+                self.coordinators.remove(coord)
+                self.coordinators.insert(0, coord)
+            return self.map.epoch
+        raise last_error or BespoError("no coordinator reachable")
+
+    def _install_map(self, cmap: ClusterMap) -> None:
+        self.map = cmap
+        shard_ids = cmap.shard_ids()
+        self._ring = HashRing(shard_ids)
+        if self.partitioner == "range":
+            self._range = RangePartitioner.uniform_alpha(shard_ids)
+
+    def auto_refresh(self, interval: float) -> None:
+        """Poll the coordinator for map updates (transition pickup)."""
+
+        def loop():
+            while True:
+                yield interval
+                try:
+                    yield self.sim.spawn(self._refresh_proc())
+                except BespoError:
+                    pass  # coordinator briefly unreachable; keep old map
+
+        self.sim.spawn(loop())
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_for(self, key: str) -> ShardInfo:
+        if self.map is None:
+            raise BespoError("client not connected: call connect() first")
+        if self.partitioner == "range":
+            return self.map.shard(self._range.lookup(key))
+        return self.map.shard(self._ring.lookup(key))
+
+    def _route(
+        self,
+        shard: ShardInfo,
+        op: str,
+        consistency: Optional[str],
+        prefer_kind: Optional[str],
+    ) -> str:
+        replicas = shard.ordered()
+        if not replicas:
+            raise ShardUnavailable(f"shard {shard.shard_id} has no replicas")
+        if prefer_kind is not None:
+            preferred = [r for r in replicas if r.datalet_kind == prefer_kind]
+            if preferred:
+                replicas = preferred
+        write = op in ("put", "del")
+        if shard.topology is Topology.AA:
+            return self._rng.choice(replicas).controlet
+        # Master-Slave
+        if write:
+            return shard.head.controlet
+        if shard.consistency is Consistency.STRONG and consistency != "eventual":
+            return shard.tail.controlet
+        return self._rng.choice(replicas).controlet
+
+    # ------------------------------------------------------------------
+    # core op engine
+    # ------------------------------------------------------------------
+    def _op_proc(
+        self,
+        op: str,
+        key: str,
+        payload: Dict[str, Any],
+        consistency: Optional[str] = None,
+        prefer_kind: Optional[str] = None,
+    ):
+        self.ops += 1
+        override_target: Optional[str] = None
+        last_error: Optional[str] = None
+        for attempt in range(self.max_retries + 1):
+            shard = self.shard_for(key)
+            target = override_target or self._route(shard, op, consistency, prefer_kind)
+            override_target = None
+            try:
+                resp = yield self.port.request(target, op, dict(payload), timeout=self.op_timeout)
+            except RequestTimeout:
+                last_error = f"timeout talking to {target}"
+                self.retries += 1
+                yield self._backoff(attempt)
+                yield from self._refresh_best_effort()
+                continue
+            if resp.type != "error":
+                return resp
+            err = resp.payload.get("error", "")
+            if err == "not_found":
+                raise KeyNotFound(key)
+            if err == "redirect":
+                override_target = resp.payload.get("to")
+                self.retries += 1
+                continue
+            if err == "retired":
+                last_error = f"{target} retired"
+                self.retries += 1
+                yield self._backoff(attempt)
+                yield from self._refresh_best_effort()
+                continue
+            raise BespoError(f"{op} {key!r} failed: {err}")
+        raise ShardUnavailable(f"{op} {key!r} exhausted retries: {last_error}")
+
+    def _refresh_best_effort(self):
+        """Refresh the map inside a retry loop; a lost/failed refresh
+        must not abort the operation — the stale map plus another retry
+        is still a valid plan."""
+        try:
+            yield self.sim.spawn(self._refresh_proc())
+        except BespoError:
+            pass
+
+    def _backoff(self, attempt: int) -> float:
+        """Jittered linear backoff before re-resolving the topology."""
+        return self.retry_backoff * (attempt + 1) * (0.5 + self._rng.random())
+
+    def _run(self, gen) -> SimFuture:
+        return self.sim.spawn(gen)
+
+    # ------------------------------------------------------------------
+    # public KV API (Table II)
+    # ------------------------------------------------------------------
+    def put(self, key: str, val: str, consistency: Optional[str] = None) -> SimFuture:
+        """Write a pair; resolves to None."""
+
+        def proc():
+            yield from self._op_proc("put", key, {"key": key, "val": val}, consistency)
+
+        return self._run(proc())
+
+    def get(
+        self,
+        key: str,
+        consistency: Optional[str] = None,
+        prefer_kind: Optional[str] = None,
+    ) -> SimFuture:
+        """Read a value; resolves to the value string.
+
+        ``consistency="eventual"`` relaxes a strong deployment for this
+        request only (§IV-C); ``prefer_kind`` picks a replica backed by
+        a specific datalet engine (polyglot persistence, §IV-D).
+        """
+
+        def proc():
+            payload: Dict[str, Any] = {"key": key}
+            if consistency is not None:
+                payload["consistency"] = consistency
+            resp = yield from self._op_proc("get", key, payload, consistency, prefer_kind)
+            return resp.payload["val"]
+
+        return self._run(proc())
+
+    def delete(self, key: str, consistency: Optional[str] = None) -> SimFuture:
+        """Delete a pair; resolves to None."""
+
+        def proc():
+            yield from self._op_proc("del", key, {"key": key}, consistency)
+
+        return self._run(proc())
+
+    def scan(self, start: str, end: str, limit: Optional[int] = None) -> SimFuture:
+        """Range query over ``[start, end)`` (§IV-B).
+
+        With range partitioning only the covering shards are contacted,
+        each with a clipped sub-range; with hash partitioning every
+        shard must be consulted.  Results merge into one sorted list.
+        """
+
+        def proc():
+            if self.map is None:
+                raise BespoError("client not connected: call connect() first")
+            if self.partitioner == "range":
+                targets = self._range.covering(start, end)
+            else:
+                targets = {sid: (start, end) for sid in self.map.shard_ids()}
+            ordered = sorted(targets.items(), key=lambda kv: kv[1][0])
+            if limit is not None and self.partitioner == "range":
+                # Range-partitioned limited scan: shards are visited in
+                # key order and the walk stops as soon as the limit is
+                # filled — most scans touch one or two shards.
+                out: List[Tuple[str, str]] = []
+                for sid, (lo, hi) in ordered:
+                    shard = self.map.shard(sid)
+                    payload = {"start": lo, "end": hi, "limit": limit - len(out)}
+                    chunk = yield self.sim.spawn(self._scan_one(shard, payload))
+                    out.extend(tuple(item) for item in chunk)
+                    if len(out) >= limit:
+                        break
+                return out[:limit]
+            # Unlimited (or hash-partitioned) scan: scatter-gather.
+            futs = []
+            for sid, (lo, hi) in ordered:
+                shard = self.map.shard(sid)
+                payload = {"start": lo, "end": hi, "limit": limit}
+                futs.append(self.sim.spawn(self._scan_one(shard, payload)))
+            chunks = yield self.sim.gather(futs)
+            merged: List[Tuple[str, str]] = sorted(
+                (tuple(item) for chunk in chunks for item in chunk)
+            )
+            return merged[:limit] if limit is not None else merged
+
+        return self._run(proc())
+
+    def _scan_one(self, shard: ShardInfo, payload: Dict[str, Any]):
+        override_target: Optional[str] = None
+        for attempt in range(self.max_retries + 1):
+            target = override_target or self._route(shard, "scan", None, None)
+            override_target = None
+            try:
+                resp = yield self.port.request(target, "scan", dict(payload), timeout=self.op_timeout)
+            except RequestTimeout:
+                self.retries += 1
+                yield self._backoff(attempt)
+                continue
+            if resp.type != "error":
+                return resp.payload["items"]
+            if resp.payload.get("error") == "redirect":
+                override_target = resp.payload.get("to")
+                continue
+            raise BespoError(f"scan failed on {shard.shard_id}: {resp.payload}")
+        raise ShardUnavailable(f"scan on shard {shard.shard_id} exhausted retries")
+
+    # ------------------------------------------------------------------
+    # table namespace API (Table II client API)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _table_marker(table: str) -> str:
+        return f"__table__:{table}"
+
+    @staticmethod
+    def _table_key(table: str, key: str) -> str:
+        return f"{table}:{key}"
+
+    def create_table(self, table: str) -> SimFuture:
+        def proc():
+            yield self.put(self._table_marker(table), "1")
+            self._tables[table] = True
+
+        return self._run(proc())
+
+    def _check_table(self, table: str):
+        if self._tables.get(table):
+            return
+        try:
+            yield self.get(self._table_marker(table))
+        except KeyNotFound:
+            raise TableNotFound(table) from None
+        self._tables[table] = True
+
+    def table_put(self, key: str, val: str, table: str) -> SimFuture:
+        def proc():
+            yield from self._check_table(table)
+            yield self.put(self._table_key(table, key), val)
+
+        return self._run(proc())
+
+    def table_get(self, key: str, table: str) -> SimFuture:
+        def proc():
+            yield from self._check_table(table)
+            value = yield self.get(self._table_key(table, key))
+            return value
+
+        return self._run(proc())
+
+    def table_del(self, key: str, table: str) -> SimFuture:
+        def proc():
+            yield from self._check_table(table)
+            yield self.delete(self._table_key(table, key))
+
+        return self._run(proc())
+
+    def delete_table(self, table: str) -> SimFuture:
+        """Drop the marker and (where the backend supports scans)
+        best-effort delete the table's keys."""
+
+        def proc():
+            yield from self._check_table(table)
+            prefix = self._table_key(table, "")
+            try:
+                items = yield self.scan(prefix, prefix + "￿")
+            except BespoError:
+                items = []  # hash-table backends cannot enumerate
+            for k, _ in items:
+                try:
+                    yield self.delete(k)
+                except KeyNotFound:
+                    pass
+            yield self.delete(self._table_marker(table))
+            self._tables.pop(table, None)
+
+        return self._run(proc())

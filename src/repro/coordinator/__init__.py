@@ -1,0 +1,13 @@
+"""Coordinator: metadata service, liveness tracking, failover, and the
+transition manager (paper §III "Coordinator", §V).
+
+The paper builds this on ZooKeeper; here it is a first-class actor with
+the same three responsibilities — cluster-map queries, heartbeat
+liveness, failover orchestration — plus the §V dual-controlet
+transition protocol.
+"""
+
+from repro.coordinator.coordinator import CoordinatorActor
+from repro.coordinator.standby import PrimaryCoordinator, StandbyCoordinator
+
+__all__ = ["CoordinatorActor", "PrimaryCoordinator", "StandbyCoordinator"]

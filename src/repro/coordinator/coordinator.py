@@ -1,0 +1,238 @@
+"""The coordinator actor.
+
+Responsibilities (paper §III, Table III):
+
+1. **Metadata server** — authoritative :class:`ClusterMap`, served to
+   clients (``get_cluster_map``) and controlets (``get_shard_info``).
+2. **Liveness** — controlets heartbeat periodically; a sweep declares a
+   node dead after ``failure_timeout`` without one.
+3. **Failover** — on a death: repair the shard (chain re-linking /
+   leader election), bump the epoch, push ``config_update`` to
+   survivors, and launch a replacement controlet-datalet pair on a
+   standby host; when the replacement reports ``recovery_done`` it
+   joins as the new tail.
+4. **Transition manager** (§V) — orchestrates live topology/consistency
+   switches with the dual-controlet handover protocol.
+
+Spawning new actors requires constructing them inside the hosting
+runtime, so the coordinator takes two injected factories from the
+deployment layer: ``spawner`` (replacement pairs) and
+``transition_spawner`` (a parallel controlet set over existing
+datalets).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.core.config import ControlConfig
+from repro.core.types import ClusterMap, Consistency, Replica, ShardInfo, Topology
+from repro.net.actor import Actor
+from repro.net.message import Message
+
+__all__ = ["CoordinatorActor"]
+
+#: (shard, recovery_source_datalet) -> new Replica, or None if no standby.
+Spawner = Callable[[ShardInfo, str], Optional[Replica]]
+#: (shard, topology, consistency) -> new ShardInfo with fresh controlets.
+TransitionSpawner = Callable[[ShardInfo, Topology, Consistency], ShardInfo]
+
+
+class CoordinatorActor(Actor):
+    """ZooKeeper-backed coordinator stand-in."""
+
+    def __init__(
+        self,
+        node_id: str = "coordinator",
+        cluster_map: Optional[ClusterMap] = None,
+        config: Optional[ControlConfig] = None,
+        spawner: Optional[Spawner] = None,
+        transition_spawner: Optional[TransitionSpawner] = None,
+    ):
+        super().__init__(node_id)
+        self.map = cluster_map or ClusterMap()
+        self.config = config or ControlConfig()
+        self.spawner = spawner
+        self.transition_spawner = transition_spawner
+        self._last_seen: Dict[str, float] = {}
+        self._dead: Set[str] = set()
+        #: controlets whose replacement is being recovered.
+        self._recovering: Dict[str, str] = {}  # new controlet -> shard
+        #: replicas spawned but not yet recovered (see register_pending).
+        self._pending_replicas: Dict[str, Replica] = {}
+        #: in-flight transitions per shard.
+        self._transitions: Dict[str, Dict[str, object]] = {}
+        self._transition_requester: Optional[Message] = None
+        self.failovers = 0
+        self.register("heartbeat", self._on_heartbeat)
+        self.register("datalet_failed", self._on_datalet_failed)
+        self.register("get_cluster_map", self._on_get_map)
+        self.register("get_shard_info", self._on_get_shard)
+        self.register("recovery_done", self._on_recovery_done)
+        self.register("request_transition", self._on_request_transition)
+        self.register("transition_ready", self._on_transition_ready)
+
+    def service_demand(self, msg: Message, costs) -> float:
+        return costs.scaled("coordinator_overhead")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        now = self.now()
+        for shard in self.map.shards.values():
+            for r in shard.replicas:
+                self._last_seen.setdefault(r.controlet, now)
+        self.set_timer(self.config.heartbeat_interval, self._sweep)
+
+    # ------------------------------------------------------------------
+    # metadata queries
+    # ------------------------------------------------------------------
+    def _on_get_map(self, msg: Message) -> None:
+        self.respond(msg, "cluster_map", {"map": self.map.to_dict()})
+
+    def _on_get_shard(self, msg: Message) -> None:
+        sid = msg.payload["shard"]
+        if sid not in self.map.shards:
+            self.respond(msg, "error", {"error": f"unknown shard {sid!r}"})
+            return
+        self.respond(msg, "shard_info", {"shard": self.map.shard(sid).to_dict()})
+
+    # ------------------------------------------------------------------
+    # liveness & failover
+    # ------------------------------------------------------------------
+    def _on_heartbeat(self, msg: Message) -> None:
+        self._last_seen[msg.payload["controlet"]] = self.now()
+
+    def _on_datalet_failed(self, msg: Message) -> None:
+        """Split-placement failure report: a controlet's (remote)
+        datalet stopped answering.  The pair is repaired as a unit —
+        the orphaned controlet is retired and the shard relinked, the
+        same path a missed host heartbeat takes."""
+        controlet = msg.payload["controlet"]
+        sid = msg.payload["shard"]
+        if controlet in self._dead or sid not in self.map.shards:
+            return
+        shard = self.map.shard(sid)
+        try:
+            replica = shard.replica_of(controlet)
+        except Exception:  # noqa: BLE001 - stale report after repair
+            return
+        self._handle_failure(shard, replica)
+        self.send(controlet, "retire", {})
+
+    def _sweep(self) -> None:
+        now = self.now()
+        for shard in list(self.map.shards.values()):
+            for replica in shard.ordered():
+                c = replica.controlet
+                if c in self._dead:
+                    continue
+                seen = self._last_seen.get(c, now)
+                if now - seen > self.config.failure_timeout:
+                    self._handle_failure(shard, replica)
+        self.set_timer(self.config.heartbeat_interval, self._sweep)
+
+    def _handle_failure(self, shard: ShardInfo, dead: Replica) -> None:
+        """Chain repair + leader election + replacement launch."""
+        self.failovers += 1
+        self._dead.add(dead.controlet)
+        shard.remove_replica(dead.controlet)
+        # Re-number the chain: if the head died this *is* the leader
+        # election (second node promoted); if a mid/tail died the chain
+        # simply re-links around it.
+        for pos, replica in enumerate(shard.ordered()):
+            replica.chain_pos = pos
+        self.map.bump()
+        self._broadcast_config(shard)
+
+        if self.spawner is not None and shard.replicas:
+            # Recover from the current tail: under chain replication the
+            # tail holds every committed write; under EC/AA any live
+            # replica is as good as another.
+            source = shard.tail.datalet
+            new_replica = self.spawner(shard, source)
+            if new_replica is not None:
+                self._recovering[new_replica.controlet] = shard.shard_id
+                self._last_seen[new_replica.controlet] = self.now()
+
+    def _on_recovery_done(self, msg: Message) -> None:
+        controlet = msg.payload["controlet"]
+        sid = self._recovering.pop(controlet, None)
+        if sid is None or sid not in self.map.shards:
+            return
+        shard = self.map.shard(sid)
+        # The deployment's spawner registered the replica's identity via
+        # the pending queue; re-derive it from the heartbeat payload.
+        # The replacement joins at the end of the chain (paper: "adds
+        # the new pair as the new tail").
+        replica = self._pending_replicas.pop(controlet, None)
+        if replica is None:
+            return
+        replica.chain_pos = len(shard.replicas)
+        shard.replicas.append(replica)
+        self.map.bump()
+        self._broadcast_config(shard)
+
+    def register_pending(self, replica: Replica) -> None:
+        """Called by the deployment's spawner so the coordinator can add
+        the replica to the shard once recovery completes."""
+        self._pending_replicas[replica.controlet] = replica
+
+    def _broadcast_config(self, shard: ShardInfo) -> None:
+        payload = {"shard": shard.to_dict(), "epoch": self.map.epoch}
+        for replica in shard.ordered():
+            self.send(replica.controlet, "config_update", dict(payload))
+
+    def leader_elect(self, shard_id: str) -> str:
+        """LeaderElect(s) (Table III): current head after repairs."""
+        return self.map.shard(shard_id).head.controlet
+
+    # ------------------------------------------------------------------
+    # transitions (§V)
+    # ------------------------------------------------------------------
+    def _on_request_transition(self, msg: Message) -> None:
+        if self.transition_spawner is None:
+            self.respond(msg, "error", {"error": "no transition spawner configured"})
+            return
+        if self._transitions:
+            self.respond(msg, "error", {"error": "transition already in progress"})
+            return
+        topology = Topology(msg.payload["topology"])
+        consistency = Consistency(msg.payload["consistency"])
+        self._transition_requester = msg
+        for shard in self.map.shards.values():
+            new_shard = self.transition_spawner(shard, topology, consistency)
+            old_controlets = shard.controlets()
+            self._transitions[shard.shard_id] = {
+                "new_shard": new_shard,
+                "waiting": set(old_controlets),
+                "old": list(old_controlets),
+            }
+            forward_to = new_shard.head.controlet
+            for c in old_controlets:
+                self.send(c, "transition_start", {"forward_to": forward_to})
+
+    def _on_transition_ready(self, msg: Message) -> None:
+        sid = msg.payload["shard"]
+        state = self._transitions.get(sid)
+        if state is None:
+            return
+        waiting: Set[str] = state["waiting"]  # type: ignore[assignment]
+        waiting.discard(msg.payload["controlet"])
+        if waiting:
+            return
+        # Every old controlet drained: flip the shard to the new service.
+        new_shard: ShardInfo = state["new_shard"]  # type: ignore[assignment]
+        self.map.shards[sid] = new_shard
+        self.map.bump()
+        now = self.now()
+        for replica in new_shard.ordered():
+            self._last_seen.setdefault(replica.controlet, now)
+        self._broadcast_config(new_shard)
+        for old in state["old"]:  # type: ignore[union-attr]
+            self.send(old, "retire", {})
+        del self._transitions[sid]
+        if not self._transitions and self._transition_requester is not None:
+            req, self._transition_requester = self._transition_requester, None
+            self.respond(req, "transition_done", {"epoch": self.map.epoch})

@@ -1,0 +1,33 @@
+"""BESPOKV control plane: controlets, cluster types, configuration.
+
+The four pre-built controlets cover the topology x consistency matrix
+of paper §IV; new combinations are subclasses of
+:class:`~repro.core.controlet.Controlet` (see the hybrid topologies in
+:mod:`repro.core.hybrid`).
+"""
+
+from repro.core.aa_ec import AAEventualControlet
+from repro.core.aa_sc import AAStrongControlet
+from repro.core.config import ControlConfig, DeploymentConfig, load_deployment_config
+from repro.core.controlet import Controlet
+from repro.core.ms_ec import MSEventualControlet
+from repro.core.ms_sc import MSStrongControlet
+from repro.core.range_query import RangeQueryControlet
+from repro.core.types import ClusterMap, Consistency, Replica, ShardInfo, Topology
+
+__all__ = [
+    "Controlet",
+    "MSStrongControlet",
+    "MSEventualControlet",
+    "AAStrongControlet",
+    "AAEventualControlet",
+    "RangeQueryControlet",
+    "ControlConfig",
+    "DeploymentConfig",
+    "load_deployment_config",
+    "ClusterMap",
+    "ShardInfo",
+    "Replica",
+    "Topology",
+    "Consistency",
+]

@@ -1,0 +1,183 @@
+"""AA+EC controlet: Active-Active topology, Eventual Consistency via a
+shared log (paper App C-C, Fig 15c).
+
+Any active accepts any request.  A write is first appended to the
+shared log — whose sequencer imposes the global order that plain
+gossip (Dynomite) cannot guarantee under conflicting concurrent Puts —
+then applied to the local datalet and acked.  Every active polls the
+log (``AsyncFetch``) and applies entries written by its peers, skipping
+its own.  Reads are local.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.controlet import Controlet
+from repro.errors import BespoError
+from repro.net.message import Message
+
+__all__ = ["AAEventualControlet"]
+
+
+class AAEventualControlet(Controlet):
+    """Shared-log controlet."""
+
+    def __init__(
+        self,
+        *args,
+        sharedlog: str = "sharedlog",
+        start_cursor_at_tail: bool = False,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        self.sharedlog = sharedlog
+        #: next log position to fetch.
+        self.cursor = 0
+        #: joiners (transition/recovery launches) start replaying at the
+        #: current tail: everything older is already in their datalet
+        #: (via snapshot) or belongs to the previous service generation.
+        self._start_at_tail = start_cursor_at_tail
+        self.applied_from_log = 0
+        self._draining: Optional[Dict[str, object]] = None
+
+    def on_start(self) -> None:
+        super().on_start()
+        if self._start_at_tail:
+            self._fetch_initial_tail()
+        else:
+            self.set_timer(self.config.log_fetch_interval, self._fetch_tick)
+
+    def _fetch_initial_tail(self) -> None:
+        self.call(
+            self.sharedlog,
+            "log_fetch",
+            {"pos": 1 << 62, "max": 1},
+            callback=self._on_initial_tail,
+            timeout=self.config.replication_timeout,
+        )
+
+    def _on_initial_tail(self, resp: Optional[Message], err: Optional[BespoError]) -> None:
+        if resp is not None and resp.type == "entries":
+            self.cursor = resp.payload["tail"]
+            self._start_at_tail = False
+            self.set_timer(self.config.log_fetch_interval, self._fetch_tick)
+        else:  # log unreachable; retry shortly
+            self.set_timer(self.config.replication_timeout, self._fetch_initial_tail)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def handle_put(self, msg: Message) -> None:
+        self._accept_write(msg, "put")
+
+    def handle_del(self, msg: Message) -> None:
+        self._accept_write(msg, "del")
+
+    def _accept_write(self, msg: Message, op: str) -> None:
+        key = msg.payload["key"]
+        val = msg.payload.get("val")
+
+        def on_appended(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type != "appended":
+                self.stats["errors"] += 1
+                self.respond(msg, "error", {"error": f"shared log append failed: {err}"})
+                return
+            payload = {"key": key}
+            if op == "put":
+                payload["val"] = val
+
+            def after_local(dresp: Optional[Message], derr: Optional[BespoError]) -> None:
+                if derr is not None or dresp is None:
+                    self.stats["errors"] += 1
+                    self.respond(msg, "error", {"error": f"local apply failed: {derr}"})
+                    return
+                if op == "del" and dresp.type == "error":
+                    # Our replica may simply not have replayed the put
+                    # yet; the log entry *is* the delete, so ack anyway.
+                    self.respond(msg, "ok")
+                    return
+                self.respond(msg, dresp.type, dict(dresp.payload))
+
+            self.datalet_call(op, payload, callback=after_local)
+
+        self.call(
+            self.sharedlog,
+            "log_append",
+            {"op": op, "key": key, "val": val},
+            callback=on_appended,
+            timeout=self.config.replication_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # log replay
+    # ------------------------------------------------------------------
+    def _fetch_tick(self) -> None:
+        if self.retired:
+            return
+
+        def on_entries(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if resp is not None and resp.type == "entries":
+                self._apply_entries(resp.payload["entries"])
+                tail = resp.payload["tail"]
+                drain = self._draining
+                if drain is not None and self.cursor >= drain["target"]:
+                    self._draining = None
+                    drain["done"]()  # type: ignore[operator]
+                # keep pulling immediately if we are behind
+                if self.cursor < tail:
+                    self._fetch_tick()
+                    return
+            self.set_timer(self.config.log_fetch_interval, self._fetch_tick)
+
+        self.call(
+            self.sharedlog,
+            "log_fetch",
+            {"pos": self.cursor, "max": self.config.log_fetch_max},
+            callback=on_entries,
+            timeout=self.config.replication_timeout,
+        )
+
+    def _apply_entries(self, entries) -> None:
+        # Replay *everything* in log order — including our own writes,
+        # which we already applied once at accept time.  The log's total
+        # order is the authority: skipping own entries would let a
+        # peer's older write overwrite our newer one during replay and
+        # the replicas would never converge.  One ordered apply_batch
+        # per fetch so network jitter cannot reorder entries.
+        ops = []
+        for d in entries:
+            pos = int(d["pos"])
+            if pos < self.cursor:
+                continue
+            self.cursor = pos + 1
+            ops.append({"op": d["op"], "key": d["key"], "val": d["value"]})
+        if ops:
+            self.send(self.datalet, "apply_batch", {"ops": ops})  # fire-and-forget: EC
+            self.applied_from_log += len(ops)
+
+    # ------------------------------------------------------------------
+    # transition support
+    # ------------------------------------------------------------------
+    def prepare_retirement(self, done) -> None:
+        """Drain: hand over only after we have replayed the log up to
+        its tail as of the transition start (paper §V-B: the new master
+        takes the in-flight Puts from the Shared Log)."""
+
+        def on_tail(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if resp is None or resp.type != "entries":
+                done()  # log unreachable; nothing more we can replay
+                return
+            target = resp.payload["tail"]
+            if self.cursor >= target:
+                done()
+            else:
+                self._draining = {"target": target, "done": done}
+
+        self.call(
+            self.sharedlog,
+            "log_fetch",
+            {"pos": self.cursor, "max": 1},
+            callback=on_tail,
+            timeout=self.config.replication_timeout,
+        )

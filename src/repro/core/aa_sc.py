@@ -1,0 +1,114 @@
+"""AA+SC controlet: Active-Active topology, Strong Consistency via the
+distributed lock manager (paper App C-B, Fig 15b).
+
+Any active controlet accepts any request.  A write takes an exclusive
+DLM lock on the key, applies the value to **every** replica's datalet,
+releases the lock and acks.  A read takes a shared lock, reads the
+local datalet and releases.  The DLM round-trips and hot-key
+serialization are the paper's explanation for AA+SC's flat scaling in
+Fig 7 ("lock contention at the DLM caps the performance").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.controlet import Controlet
+from repro.errors import BespoError
+from repro.net.message import Message
+
+__all__ = ["AAStrongControlet"]
+
+
+class AAStrongControlet(Controlet):
+    """DLM-locking controlet."""
+
+    def __init__(self, *args, dlm: str = "dlm", **kwargs):
+        super().__init__(*args, **kwargs)
+        self.dlm = dlm
+        self.lock_waits = 0
+
+    # ------------------------------------------------------------------
+    # locking helpers
+    # ------------------------------------------------------------------
+    def _with_lock(self, key: str, mode: str, body, msg: Message) -> None:
+        """Acquire → body(release) → body calls release(reply...)."""
+
+        def on_grant(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type != "granted":
+                self.stats["errors"] += 1
+                self.respond(msg, "error", {"error": f"lock acquisition failed: {err}"})
+                return
+            body()
+
+        self.lock_waits += 1
+        self.call(
+            self.dlm,
+            "lock",
+            {"key": key, "mode": mode},
+            callback=on_grant,
+            timeout=self.config.lock_lease * 4,
+        )
+
+    def _unlock(self, key: str) -> None:
+        self.send(self.dlm, "unlock", {"key": key})
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def handle_put(self, msg: Message) -> None:
+        self._accept_write(msg, "put")
+
+    def handle_del(self, msg: Message) -> None:
+        self._accept_write(msg, "del")
+
+    def _accept_write(self, msg: Message, op: str) -> None:
+        key = msg.payload["key"]
+
+        def body() -> None:
+            payload = {"key": key}
+            if op == "put":
+                payload["val"] = msg.payload["val"]
+            replicas = self.shard.ordered()
+            remaining = {"n": len(replicas)}
+            failed = {"err": None}
+
+            def on_ack(resp: Optional[Message], err: Optional[BespoError]) -> None:
+                if err is not None:
+                    failed["err"] = err
+                elif resp is not None and resp.type == "error" and op == "put":
+                    failed["err"] = BespoError(str(resp.payload))
+                remaining["n"] -= 1
+                if remaining["n"] == 0:
+                    self._unlock(key)
+                    if failed["err"] is not None:
+                        self.stats["errors"] += 1
+                        self.respond(msg, "error", {"error": str(failed["err"])})
+                    else:
+                        self.respond(msg, "ok")
+
+            # Write every replica's datalet directly while holding the
+            # lock (paper Fig 15b steps 4-5).
+            for replica in replicas:
+                self.datalet_call(op, dict(payload), callback=on_ack, datalet=replica.datalet)
+
+        self._with_lock(key, "w", body, msg)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def handle_get(self, msg: Message) -> None:
+        key = msg.payload["key"]
+        if msg.payload.get("consistency") == "eventual":
+            # per-request relaxation skips the read lock entirely
+            super().handle_get(msg)
+            return
+
+        def body() -> None:
+            def on_value(resp: Optional[Message], err: Optional[BespoError]) -> None:
+                self._unlock(key)
+                self._relay(msg, resp, err)
+
+            self.datalet_call("get", {"key": key}, callback=on_value)
+
+        self._with_lock(key, "r", body, msg)

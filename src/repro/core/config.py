@@ -1,0 +1,151 @@
+"""Control-plane configuration.
+
+Two layers, mirroring the paper's artifact:
+
+* :class:`ControlConfig` — runtime knobs every controlet takes
+  (heartbeat cadence, replication timeouts, EC batching, shared-log
+  polling), the tunables §III-B says each controlet loads at startup;
+* :func:`load_deployment_config` — parser for the JSON deployment file
+  shown in the artifact appendix (``topology``, ``consistency_model``,
+  ``consistency_tech``, ``num_replicas``, ...), plus the datalet host
+  file format (``ip:port:role`` lines).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.core.types import Consistency, Topology
+from repro.errors import ConfigError
+
+__all__ = ["ControlConfig", "DeploymentConfig", "load_deployment_config", "parse_datalet_hosts"]
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Per-controlet runtime knobs (all times in seconds)."""
+
+    #: heartbeat cadence to the coordinator (paper uses 5 s in tests;
+    #: benchmarks here shrink it to make failover windows visible).
+    heartbeat_interval: float = 1.0
+    #: missed-heartbeat window after which the coordinator declares a
+    #: node dead.
+    failure_timeout: float = 3.0
+    #: timeout for intra-chain / replica RPCs.
+    replication_timeout: float = 1.0
+    #: MS+EC: max delay before a propagation batch is flushed.
+    ec_batch_interval: float = 0.01
+    #: MS+EC: flush immediately once this many ops are buffered.
+    ec_batch_max: int = 64
+    #: AA+EC: shared-log polling cadence.
+    log_fetch_interval: float = 0.01
+    #: AA+EC: max entries pulled per poll.
+    log_fetch_max: int = 256
+    #: AA+SC: DLM lease duration.
+    lock_lease: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "heartbeat_interval",
+            "failure_timeout",
+            "replication_timeout",
+            "ec_batch_interval",
+            "log_fetch_interval",
+            "lock_lease",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be positive")
+        if self.ec_batch_max < 1 or self.log_fetch_max < 1:
+            raise ConfigError("batch sizes must be >= 1")
+
+
+@dataclass
+class DeploymentConfig:
+    """Parsed deployment file (artifact appendix A-E)."""
+
+    topology: Topology
+    consistency: Consistency
+    num_replicas: int
+    consistency_tech: str = "cr"  # cr | locking | sharedlog | async
+    coordinator: str = "coordinator"
+    datalet_kinds: List[str] = field(default_factory=lambda: ["ht"])
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+def load_deployment_config(source: Union[str, Path, Dict[str, object]]) -> DeploymentConfig:
+    """Parse a JSON deployment config (path, JSON string, or dict).
+
+    Accepts the artifact's field names::
+
+        {"topology": "ms", "consistency_model": "strong",
+         "consistency_tech": "cr", "num_replicas": "2", ...}
+
+    ``num_replicas`` counts replicas *excluding* the master, as the
+    artifact documents ("how many replicas excluding the master
+    replica"); the returned config stores the total.
+    """
+    if isinstance(source, dict):
+        raw: Dict[str, object] = dict(source)
+    else:
+        text = Path(source).read_text() if Path(str(source)).exists() else str(source)
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as e:
+            raise ConfigError(f"invalid deployment JSON: {e}") from None
+
+    try:
+        topology = Topology(str(raw.pop("topology")))
+    except (KeyError, ValueError):
+        raise ConfigError("deployment config needs topology 'ms' or 'aa'") from None
+
+    model = str(raw.pop("consistency_model", "eventual"))
+    try:
+        consistency = Consistency(model)
+    except ValueError:
+        raise ConfigError(f"unknown consistency_model {model!r}") from None
+
+    try:
+        extra_replicas = int(str(raw.pop("num_replicas", "2")))
+    except ValueError:
+        raise ConfigError("num_replicas must be an integer") from None
+    if extra_replicas < 0:
+        raise ConfigError("num_replicas must be >= 0")
+
+    kinds = raw.pop("datalet_kinds", ["ht"])
+    if not isinstance(kinds, list) or not kinds:
+        raise ConfigError("datalet_kinds must be a non-empty list")
+
+    return DeploymentConfig(
+        topology=topology,
+        consistency=consistency,
+        num_replicas=extra_replicas + 1,
+        consistency_tech=str(raw.pop("consistency_tech", "cr")),
+        coordinator=str(raw.pop("zk", raw.pop("coordinator", "coordinator"))),
+        datalet_kinds=[str(k) for k in kinds],
+        extras=raw,
+    )
+
+
+def parse_datalet_hosts(text: str) -> List[Tuple[str, int, str]]:
+    """Parse the artifact's datalet host file: ``ip:port:role`` lines,
+    role 0 = master, 1 = slave; ``#`` comments ignored."""
+    out: List[Tuple[str, int, str]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split(":")
+        if len(parts) != 3:
+            raise ConfigError(f"host file line {lineno}: expected ip:port:role, got {line!r}")
+        ip, port_s, role_s = parts
+        try:
+            port = int(port_s)
+        except ValueError:
+            raise ConfigError(f"host file line {lineno}: bad port {port_s!r}") from None
+        if role_s not in ("0", "1"):
+            raise ConfigError(f"host file line {lineno}: role must be 0 or 1, got {role_s!r}")
+        out.append((ip, port, "master" if role_s == "0" else "slave"))
+    return out

@@ -1,0 +1,349 @@
+"""Controlet base class (paper §III-B).
+
+A controlet is the control-plane proxy paired with one datalet.  It
+terminates client requests, runs the replication protocol of its
+topology/consistency combination, heartbeats the coordinator, follows
+cluster-map updates, performs recovery when launched as a replacement
+pair, and supports live retirement during topology/consistency
+transitions (§V).
+
+Subclasses implement four hooks — ``handle_put``/``handle_get``/
+``handle_del``/``handle_scan`` — plus whatever replication message
+handlers their protocol needs.  Everything else (heartbeats, config
+updates, transition forwarding, recovery, stats) lives here, which is
+exactly the reuse story the paper tells: the MS+SC template is ~150 LoC
+on top of this framework.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.config import ControlConfig
+from repro.core.types import Replica, ShardInfo
+from repro.errors import BespoError
+from repro.net.actor import Actor
+from repro.net.message import Message
+
+__all__ = ["Controlet"]
+
+#: client-facing operation message types.
+CLIENT_OPS = ("put", "get", "del", "scan")
+
+
+class Controlet(Actor):
+    """Common machinery for every topology/consistency controlet."""
+
+    def __init__(
+        self,
+        node_id: str,
+        shard: ShardInfo,
+        datalet: str,
+        coordinator: str,
+        config: Optional[ControlConfig] = None,
+        recovery_source: Optional[str] = None,
+        datalet_colocated: bool = True,
+        backup_coordinators: Optional[List[str]] = None,
+    ):
+        super().__init__(node_id)
+        self.shard = shard
+        self.datalet = datalet
+        self.coordinator = coordinator
+        #: standby coordinators also receive our heartbeats so a
+        #: promoted follower owns fresh liveness data (§VII).
+        self.backup_coordinators = backup_coordinators or []
+        self.config = config or ControlConfig()
+        #: False when the paper's N:1 controlet:datalet mapping places
+        #: our datalet on a different host — its failure is then *ours*
+        #: to detect and report (the host-level heartbeat cannot).
+        self.datalet_colocated = datalet_colocated
+        self._datalet_strikes = 0
+        self._datalet_reported = False
+        #: datalet to copy state from when launched as a standby
+        #: replacement (paper: "recovers the data from one of the
+        #: datalets").
+        self.recovery_source = recovery_source
+        self.recovered = recovery_source is None
+        #: set once a transition replaced this controlet; all client ops
+        #: are rejected with a ``retired`` error that carries the new
+        #: epoch hint so clients refresh their map.
+        self.retired = False
+        #: during a transition, client *writes* are forwarded here.
+        self.forward_writes_to: Optional[str] = None
+        self.stats: Dict[str, int] = {
+            "puts": 0, "gets": 0, "dels": 0, "scans": 0,
+            "redirects": 0, "forwarded": 0, "errors": 0,
+        }
+        self.register("put", self._client_op)
+        self.register("get", self._client_op)
+        self.register("del", self._client_op)
+        self.register("scan", self._client_op)
+        self.register("config_update", self._on_config_update)
+        self.register("transition_start", self._on_transition_start)
+        self.register("retire", self._on_retire)
+        self.register("ctl_stats", self._on_stats)
+
+    # ------------------------------------------------------------------
+    # cost accounting
+    # ------------------------------------------------------------------
+    def service_demand(self, msg: Message, costs: Any) -> float:
+        return costs.scaled("controlet_overhead")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._heartbeat()
+        if self.recovery_source is not None:
+            self._recover()
+
+    def _heartbeat(self) -> None:
+        """LogHeartbeat(c, d) loop (paper Table III)."""
+        payload = {"controlet": self.node_id, "datalet": self.datalet,
+                   "shard": self.shard.shard_id}
+        self.send(self.coordinator, "heartbeat", dict(payload))
+        for backup in self.backup_coordinators:
+            self.send(backup, "heartbeat", dict(payload))
+        self.set_timer(self.config.heartbeat_interval, self._heartbeat)
+
+    def _recover(self) -> None:
+        """Copy a snapshot from a surviving datalet into our own, then
+        report readiness to the coordinator."""
+
+        def on_snapshot(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type != "snapshot":
+                # source died mid-recovery: the coordinator will notice
+                # our missing recovery_done and may relaunch; retry once
+                # the map changes. Here we simply retry after a beat.
+                self.set_timer(self.config.replication_timeout, self._recover)
+                return
+            self.call(
+                self.datalet,
+                "restore",
+                {"data": resp.payload["data"]},
+                callback=lambda r, e: self._recovery_done(e),
+                timeout=self.config.replication_timeout * 10,
+            )
+
+        self.call(
+            self.recovery_source,
+            "snapshot",
+            {},
+            callback=on_snapshot,
+            timeout=self.config.replication_timeout * 10,
+        )
+
+    def _recovery_done(self, err: Optional[BespoError]) -> None:
+        if err is not None:
+            self.set_timer(self.config.replication_timeout, self._recover)
+            return
+        self.recovered = True
+        self.send(
+            self.coordinator,
+            "recovery_done",
+            {"controlet": self.node_id, "shard": self.shard.shard_id},
+        )
+
+    # ------------------------------------------------------------------
+    # shard-view helpers
+    # ------------------------------------------------------------------
+    @property
+    def my_replica(self) -> Replica:
+        return self.shard.replica_of(self.node_id)
+
+    @property
+    def is_head(self) -> bool:
+        return self.shard.head.controlet == self.node_id
+
+    @property
+    def is_tail(self) -> bool:
+        return self.shard.tail.controlet == self.node_id
+
+    def peers(self) -> List[Replica]:
+        """Every replica in the shard except this one, in chain order."""
+        return [r for r in self.shard.ordered() if r.controlet != self.node_id]
+
+    def datalet_call(
+        self,
+        type: str,
+        payload: Dict[str, Any],
+        callback: Optional[Callable] = None,
+        datalet: Optional[str] = None,
+    ) -> None:
+        """RPC to a datalet (default: our own).
+
+        Calls to a *colocated* own datalet skip the timeout timer: the
+        pair shares a host, so the only way our datalet stops answering
+        is the host dying — taking us with it.  Remote datalet calls
+        (split placement, AA+SC fan-out writes, recovery snapshots) keep
+        the timeout; repeated timeouts against our own remote datalet
+        are reported to the coordinator as a ``datalet_failed`` event.
+        """
+        target = datalet or self.datalet
+        own = target == self.datalet
+        if callback is not None and own and self.datalet_colocated:
+            self.call(target, type, payload, callback=callback, timeout=None)
+            return
+        if own and not self.datalet_colocated and callback is not None:
+            inner = callback
+
+            def watching(resp, err):
+                self._note_datalet_result(err)
+                inner(resp, err)
+
+            callback = watching
+        timeout = self.config.replication_timeout if callback is not None else None
+        self.call(target, type, payload, callback=callback, timeout=timeout)
+
+    def _note_datalet_result(self, err) -> None:
+        if err is None:
+            self._datalet_strikes = 0
+            return
+        self._datalet_strikes += 1
+        if self._datalet_strikes >= 3 and not self._datalet_reported:
+            self._datalet_reported = True
+            self.send(
+                self.coordinator,
+                "datalet_failed",
+                {"controlet": self.node_id, "datalet": self.datalet,
+                 "shard": self.shard.shard_id},
+            )
+
+    def refresh_shard(self, then: Optional[Callable[[], None]] = None) -> None:
+        """Re-fetch our shard's info from the coordinator (used when a
+        chain peer stops responding mid-request)."""
+
+        def on_info(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if resp is not None and resp.type == "shard_info":
+                self.shard = ShardInfo.from_dict(resp.payload["shard"])
+            if then is not None:
+                then()
+
+        self.call(
+            self.coordinator,
+            "get_shard_info",
+            {"shard": self.shard.shard_id},
+            callback=on_info,
+            timeout=self.config.replication_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # client-op entry: retirement / transition forwarding, then dispatch
+    # ------------------------------------------------------------------
+    def _client_op(self, msg: Message) -> None:
+        if self.retired:
+            self.stats["errors"] += 1
+            self.respond(msg, "error", {"error": "retired"})
+            return
+        if self.forward_writes_to is not None and msg.type in ("put", "del"):
+            self._forward_write(msg)
+            return
+        if msg.type == "put":
+            self.stats["puts"] += 1
+            self.handle_put(msg)
+        elif msg.type == "get":
+            self.stats["gets"] += 1
+            self.handle_get(msg)
+        elif msg.type == "del":
+            self.stats["dels"] += 1
+            self.handle_del(msg)
+        else:
+            self.stats["scans"] += 1
+            self.handle_scan(msg)
+
+    def _forward_write(self, msg: Message) -> None:
+        """Transition mode: relay the write to the new controlet and ack
+        the client only once the new service has committed it
+        (paper Fig 4)."""
+        self.stats["forwarded"] += 1
+        self.call(
+            self.forward_writes_to,
+            msg.type,
+            dict(msg.payload),
+            callback=lambda resp, err: self.respond(
+                msg,
+                resp.type if resp is not None else "error",
+                dict(resp.payload) if resp is not None else {"error": str(err)},
+            ),
+            timeout=self.config.replication_timeout * 4,
+        )
+
+    # -- subclass protocol hooks -------------------------------------------
+    def handle_put(self, msg: Message) -> None:
+        raise NotImplementedError
+
+    def handle_get(self, msg: Message) -> None:
+        """Default read path: serve from the local datalet."""
+        self.datalet_call(
+            "get",
+            {"key": msg.payload["key"]},
+            callback=lambda resp, err: self._relay(msg, resp, err),
+        )
+
+    def handle_del(self, msg: Message) -> None:
+        raise NotImplementedError
+
+    def handle_scan(self, msg: Message) -> None:
+        """Default scan path: local datalet (ordered engines only)."""
+        self.datalet_call(
+            "scan",
+            {
+                "start": msg.payload["start"],
+                "end": msg.payload["end"],
+                "limit": msg.payload.get("limit"),
+            },
+            callback=lambda resp, err: self._relay(msg, resp, err),
+        )
+
+    def _relay(self, client_msg: Message, resp: Optional[Message], err: Optional[BespoError]) -> None:
+        """Forward a datalet response (or error) back to the client."""
+        if err is not None or resp is None:
+            self.stats["errors"] += 1
+            self.respond(client_msg, "error", {"error": str(err) if err else "no response"})
+            return
+        self.respond(client_msg, resp.type, dict(resp.payload))
+
+    def redirect(self, msg: Message, to: str, why: str) -> None:
+        """Tell a (stale) client to retry against the right replica."""
+        self.stats["redirects"] += 1
+        self.respond(msg, "error", {"error": "redirect", "to": to, "why": why})
+
+    # ------------------------------------------------------------------
+    # reconfiguration & transitions
+    # ------------------------------------------------------------------
+    def _on_config_update(self, msg: Message) -> None:
+        new_shard = ShardInfo.from_dict(msg.payload["shard"])
+        if new_shard.shard_id != self.shard.shard_id:
+            return  # not ours; stale broadcast
+        self.shard = new_shard
+        self.on_shard_changed()
+
+    def on_shard_changed(self) -> None:
+        """Hook: the shard view changed (failover, replica added)."""
+
+    def _on_transition_start(self, msg: Message) -> None:
+        """An incoming transition: forward writes to the new service and
+        start draining; report readiness when drained."""
+        self.forward_writes_to = msg.payload["forward_to"]
+
+        def ready() -> None:
+            self.send(
+                self.coordinator,
+                "transition_ready",
+                {"controlet": self.node_id, "shard": self.shard.shard_id},
+            )
+
+        self.prepare_retirement(ready)
+
+    def prepare_retirement(self, done: Callable[[], None]) -> None:
+        """Drain protocol state built up before the transition; call
+        ``done`` when the new controlets can take over.  Default: ready
+        immediately (nothing buffered)."""
+        done()
+
+    def _on_retire(self, msg: Message) -> None:
+        self.retired = True
+        self.respond(msg, "ok")
+
+    def _on_stats(self, msg: Message) -> None:
+        self.respond(msg, "ctl_stats", {k: float(v) for k, v in self.stats.items()})

@@ -1,0 +1,218 @@
+"""MS+EC controlet: Master-Slave topology, Eventual Consistency via
+asynchronous propagation (paper App C-A, Fig 15a).
+
+The master commits to its local datalet and acks the client
+immediately; mutations are buffered and propagated to slaves in
+batches ("data is replicated asynchronously in batch mode from master
+to slaves", §VI-A).  Any replica serves reads, so reads scale with the
+replica count — the property that makes MS+EC match AA+EC on
+read-heavy workloads in Fig 12.
+
+**Anti-entropy** (App C-C mentions anti-entropy/reconciliation as the
+standard companion of asynchronous replication): batches carry dense
+per-master sequence numbers.  A slave that detects a gap — dropped
+batches during a partition, a crashed-and-restarted link — requests a
+resend from the master's retained-ops window; if the gap predates the
+window, the master falls back to a full snapshot sync.  Slaves
+therefore converge after arbitrary message loss, not just in the
+fault-free case.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.core.controlet import Controlet
+from repro.errors import BespoError
+from repro.net.message import Message
+
+__all__ = ["MSEventualControlet"]
+
+#: retained-ops window for resends before snapshot fallback.
+RETAIN_LIMIT = 8192
+
+
+class MSEventualControlet(Controlet):
+    """Async-propagation controlet with gap-repair anti-entropy."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # -- master state ---------------------------------------------
+        #: buffered (op, key, val) awaiting propagation.
+        self._backlog: List[Tuple[str, str, Optional[str]]] = []
+        self._flush_timer_armed = False
+        #: next sequence number to assign to a propagated op.
+        self._seq = 0
+        #: recent ops window for resends: (seq, op_dict).
+        self._retained: Deque[Tuple[int, Dict[str, Optional[str]]]] = deque(
+            maxlen=RETAIN_LIMIT
+        )
+        self.propagated = 0
+        self.resends_served = 0
+        self.snapshot_syncs_served = 0
+        # -- slave state --------------------------------------------------
+        #: (master_id, next expected sequence).
+        self._stream: Tuple[Optional[str], int] = (None, 0)
+        self._repair_pending = False
+        self.applied_from_master = 0
+        self.gaps_detected = 0
+        self.register("replicate", self._on_replicate)
+        self.register("resend_request", self._on_resend_request)
+        self.register("sync_snapshot", self._on_sync_snapshot)
+
+    # ------------------------------------------------------------------
+    # write path (master)
+    # ------------------------------------------------------------------
+    def handle_put(self, msg: Message) -> None:
+        self._accept_write(msg, "put")
+
+    def handle_del(self, msg: Message) -> None:
+        self._accept_write(msg, "del")
+
+    def _accept_write(self, msg: Message, op: str) -> None:
+        if not self.is_head:
+            self.redirect(msg, self.shard.head.controlet, "writes go to the master")
+            return
+        payload = {"key": msg.payload["key"]}
+        if op == "put":
+            payload["val"] = msg.payload["val"]
+
+        def after_local(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None:
+                self.stats["errors"] += 1
+                self.respond(msg, "error", {"error": f"local datalet write failed: {err}"})
+                return
+            # EC: ack as soon as one replica (ours) has the write.
+            self.respond(msg, resp.type, dict(resp.payload))
+            if resp.type != "error":
+                self._enqueue(op, msg.payload["key"], msg.payload.get("val"))
+
+        self.datalet_call(op, payload, callback=after_local)
+
+    # ------------------------------------------------------------------
+    # async propagation (master)
+    # ------------------------------------------------------------------
+    def _enqueue(self, op: str, key: str, val: Optional[str]) -> None:
+        self._backlog.append((op, key, val))
+        if len(self._backlog) >= self.config.ec_batch_max:
+            self._flush()
+        elif not self._flush_timer_armed:
+            self._flush_timer_armed = True
+            self.set_timer(self.config.ec_batch_interval, self._flush_tick)
+
+    def _flush_tick(self) -> None:
+        self._flush_timer_armed = False
+        self._flush()
+
+    def _flush(self) -> None:
+        if not self._backlog:
+            return
+        batch, self._backlog = self._backlog, []
+        ops = [{"op": op, "key": k, "val": v} for op, k, v in batch]
+        start_seq = self._seq
+        for op_dict in ops:
+            self._retained.append((self._seq, op_dict))
+            self._seq += 1
+        payload = {"master": self.node_id, "start_seq": start_seq, "ops": ops}
+        for peer in self.peers():
+            self.send(peer.controlet, "replicate", dict(payload))
+        self.propagated += len(batch)
+
+    def _on_resend_request(self, msg: Message) -> None:
+        """A slave detected a gap.  Serve from the retained window, or
+        fall back to a full snapshot if the window has rolled past."""
+        from_seq = msg.payload["from_seq"]
+        if self._retained and self._retained[0][0] <= from_seq:
+            ops = [op for seq, op in self._retained if seq >= from_seq]
+            self.resends_served += 1
+            self.respond(msg, "replicate", {
+                "master": self.node_id,
+                "start_seq": from_seq if ops else self._seq,
+                "ops": ops,
+            })
+            return
+
+        def with_snapshot(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type != "snapshot":
+                self.respond(msg, "error", {"error": f"snapshot failed: {err}"})
+                return
+            self.snapshot_syncs_served += 1
+            self.respond(msg, "sync_snapshot", {
+                "master": self.node_id,
+                "data": resp.payload["data"],
+                "seq": self._seq,
+            })
+
+        self.datalet_call("snapshot", {}, callback=with_snapshot)
+
+    # ------------------------------------------------------------------
+    # slave side
+    # ------------------------------------------------------------------
+    def _on_replicate(self, msg: Message) -> None:
+        master = msg.payload["master"]
+        start_seq = int(msg.payload["start_seq"])
+        ops = msg.payload["ops"]
+        tracked_master, next_seq = self._stream
+        if master != tracked_master:
+            # new master (failover/transition): adopt its numbering —
+            # the data below start_seq reached us through recovery or
+            # the previous master's stream.
+            tracked_master, next_seq = master, start_seq
+        if start_seq > next_seq:
+            # gap: batches were lost (partition, drop).  Ask for a
+            # resend and discard this batch — the resend covers it.
+            self.gaps_detected += 1
+            self._stream = (tracked_master, next_seq)
+            self._request_repair(master, next_seq)
+            return
+        skip = next_seq - start_seq
+        if skip >= len(ops) and ops:
+            return  # duplicate/overlapping resend, fully applied already
+        fresh = ops[skip:]
+        if fresh:
+            # one ordered apply_batch per batch — per-op messages could
+            # reorder in flight and apply a delete before its put.
+            self.send(self.datalet, "apply_batch", {"ops": fresh})
+            self.applied_from_master += len(fresh)
+        self._stream = (tracked_master, start_seq + len(ops))
+        self._repair_pending = False
+
+    def _request_repair(self, master: str, from_seq: int) -> None:
+        if self._repair_pending:
+            return
+        self._repair_pending = True
+
+        def on_reply(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            self._repair_pending = False
+            if resp is None or err is not None:
+                return  # master gone; failover will rewire the stream
+            if resp.type == "replicate":
+                self._on_replicate(resp)
+            elif resp.type == "sync_snapshot":
+                self._on_sync_snapshot(resp)
+
+        self.call(
+            master,
+            "resend_request",
+            {"from_seq": from_seq},
+            callback=on_reply,
+            timeout=self.config.replication_timeout * 4,
+        )
+
+    def _on_sync_snapshot(self, msg: Message) -> None:
+        """Full-state fallback: load the master's snapshot and fast-
+        forward the stream cursor."""
+        self.send(self.datalet, "restore", {"data": msg.payload["data"]})
+        self._stream = (msg.payload["master"], int(msg.payload["seq"]))
+        self._repair_pending = False
+
+    # ------------------------------------------------------------------
+    # transition support
+    # ------------------------------------------------------------------
+    def prepare_retirement(self, done) -> None:
+        """Flush everything buffered before handing over (paper §V-A:
+        "the old master keeps flushing out any pending propagation")."""
+        self._flush()
+        # allow the final batch one network round before declaring ready
+        self.set_timer(self.config.replication_timeout, done)

@@ -1,0 +1,122 @@
+"""MS+SC controlet: Master-Slave topology, Strong Consistency via chain
+replication (paper §IV-A, Fig 3).
+
+Writes enter at the chain **head**, flow node-by-node to the **tail**
+(each node persisting to its local datalet before forwarding), and the
+ack travels back up the chain; the head answers the client only after
+the tail has committed — CRAQ-style head acknowledgment, which the
+paper adopts because the head already holds the client connection.
+Reads are served **only by the tail**, which is what makes the
+guarantee strong: a read can never observe a write that is not yet
+fully replicated.
+
+If a downstream peer stops answering mid-request, the sender refreshes
+its shard view from the coordinator and resumes the chain from its new
+successor — the paper's in-flight request resolution during chain
+repair.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.controlet import Controlet
+from repro.errors import BespoError
+from repro.net.message import Message
+
+__all__ = ["MSStrongControlet"]
+
+#: bounded retries while the coordinator repairs the chain under us.
+MAX_CHAIN_RETRIES = 3
+
+
+class MSStrongControlet(Controlet):
+    """Chain-replication controlet."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.register("chain_put", self._on_chain_put)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def handle_put(self, msg: Message) -> None:
+        self._accept_write(msg, "put")
+
+    def handle_del(self, msg: Message) -> None:
+        self._accept_write(msg, "del")
+
+    def _accept_write(self, msg: Message, op: str) -> None:
+        if not self.is_head:
+            self.redirect(msg, self.shard.head.controlet, "writes enter at the chain head")
+            return
+        self._apply_and_forward(msg, op, retries=0)
+
+    def _on_chain_put(self, msg: Message) -> None:
+        """A chain write arriving from our predecessor."""
+        self._apply_and_forward(msg, msg.payload["op"], retries=0)
+
+    def _apply_and_forward(self, msg: Message, op: str, retries: int) -> None:
+        """Persist locally, then continue down the chain; ack upstream
+        (or to the client, at the head) once downstream has committed."""
+        payload = {"key": msg.payload["key"]}
+        if op == "put":
+            payload["val"] = msg.payload["val"]
+
+        def after_local(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None:
+                self.stats["errors"] += 1
+                self.respond(msg, "error", {"error": f"local datalet write failed: {err}"})
+                return
+            if resp.type == "error":
+                # e.g. delete of a missing key: surface without touching
+                # the rest of the chain beyond what already applied.
+                self.respond(msg, "error", dict(resp.payload))
+                return
+            self._forward_down(msg, op, retries)
+
+        self.datalet_call(op, payload, callback=after_local)
+
+    def _forward_down(self, msg: Message, op: str, retries: int) -> None:
+        succ = self.shard.successor(self.node_id)
+        if succ is None:  # we are the tail: commit point reached
+            self.respond(msg, "ok")
+            return
+
+        def on_ack(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None:
+                # Successor unresponsive: likely mid-failover. Refresh the
+                # chain view and resume from the (possibly new) successor.
+                if retries >= MAX_CHAIN_RETRIES:
+                    self.stats["errors"] += 1
+                    self.respond(msg, "error", {"error": "chain replication failed"})
+                    return
+                self.refresh_shard(then=lambda: self._forward_down(msg, op, retries + 1))
+                return
+            self.respond(msg, resp.type, dict(resp.payload))
+
+        self.call(
+            succ.controlet,
+            "chain_put",
+            {"op": op, "key": msg.payload["key"], "val": msg.payload.get("val")},
+            callback=on_ack,
+            timeout=self.config.replication_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def handle_get(self, msg: Message) -> None:
+        # Per-request consistency (§IV-C): a client may explicitly relax
+        # this GET to eventual, in which case any replica serves it.
+        relaxed = msg.payload.get("consistency") == "eventual"
+        if not self.is_tail and not relaxed:
+            self.redirect(msg, self.shard.tail.controlet, "strong reads go to the tail")
+            return
+        super().handle_get(msg)
+
+    def handle_scan(self, msg: Message) -> None:
+        if not self.is_tail and msg.payload.get("consistency") != "eventual":
+            self.redirect(msg, self.shard.tail.controlet, "strong scans go to the tail")
+            return
+        super().handle_scan(msg)

@@ -1,0 +1,56 @@
+"""Datalets: single-server storage engines + their message front-end.
+
+========== =============================== ===========================
+name        engine                          characteristics
+========== =============================== ===========================
+``ht``      :class:`HashTableEngine` (tHT)  fastest point ops, no scan
+``mt``      :class:`BTreeEngine` (tMT)      ordered, scans, fast reads
+``lsm``     :class:`LSMEngine` (tLSM)       fast writes, slower reads
+``log``     :class:`LogEngine` (tLog)       persistent append log
+``ssdb``    :class:`SSDBEngine` (tSSDB)     LevelDB-style persistent
+``redis``   :class:`RedisEngine` (tRedis)   RESP-ported in-memory store
+========== =============================== ===========================
+"""
+
+from __future__ import annotations
+
+from repro.datalet.base import DataletActor, Engine
+from repro.datalet.btree import BTreeEngine
+from repro.datalet.hashtable import HashTableEngine
+from repro.datalet.log import LogEngine
+from repro.datalet.lsm import LSMEngine, SSTable
+from repro.datalet.ports import RedisEngine, SSDBEngine
+
+__all__ = [
+    "Engine",
+    "DataletActor",
+    "HashTableEngine",
+    "BTreeEngine",
+    "LogEngine",
+    "LSMEngine",
+    "SSTable",
+    "SSDBEngine",
+    "RedisEngine",
+    "ENGINE_KINDS",
+    "make_engine",
+]
+
+ENGINE_KINDS = {
+    "ht": HashTableEngine,
+    "mt": BTreeEngine,
+    "lsm": LSMEngine,
+    "log": LogEngine,
+    "ssdb": SSDBEngine,
+    "redis": RedisEngine,
+}
+
+
+def make_engine(kind: str, **kwargs) -> Engine:
+    """Instantiate a datalet engine by cost-model kind name."""
+    try:
+        cls = ENGINE_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown datalet kind {kind!r}; choose from {sorted(ENGINE_KINDS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,203 @@
+"""Datalet API: the single-server KV store contract.
+
+A *datalet* is the user-supplied half of BESPOKV (paper §III-A): a
+single-node store exposing ``Put``/``Get``/``Del`` (Table II), oblivious
+to replication, topology or consistency.  Here it splits into:
+
+* a **storage engine** (:class:`Engine`) — a plain synchronous data
+  structure, unit- and property-testable in isolation; and
+* a **datalet actor** (:class:`DataletActor`) — the message-facing
+  wrapper that serves the datalet protocol and charges engine-specific
+  CPU costs in simulation.
+
+Engines additionally support ``snapshot``/``restore`` which the failover
+manager uses to rebuild a replica on a standby node, mirroring the
+paper's "recovers the data from one of the datalets".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import KeyNotFound
+from repro.net.actor import Actor
+from repro.net.message import Message
+
+__all__ = ["Engine", "DataletActor"]
+
+
+class Engine(ABC):
+    """Synchronous single-node storage engine."""
+
+    #: cost-model kind ("ht", "lsm", "log", "mt", "ssdb", "redis").
+    kind: str = ""
+    #: whether :meth:`scan` is supported (tMT/tLSM/tSSDB are; tHT is not).
+    supports_scan: bool = False
+
+    @abstractmethod
+    def put(self, key: str, value: str) -> None:
+        """Insert or overwrite ``key``."""
+
+    @abstractmethod
+    def get(self, key: str) -> str:
+        """Return the value for ``key`` or raise :class:`KeyNotFound`."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove ``key``; raise :class:`KeyNotFound` if absent."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of live keys."""
+
+    @abstractmethod
+    def items(self) -> Iterator[Tuple[str, str]]:
+        """Iterate live ``(key, value)`` pairs in unspecified order."""
+
+    def contains(self, key: str) -> bool:
+        try:
+            self.get(key)
+            return True
+        except KeyNotFound:
+            return False
+
+    def scan(self, start: str, end: str, limit: Optional[int] = None) -> List[Tuple[str, str]]:
+        """Return pairs with ``start <= key < end`` in key order.
+
+        Only ordered engines implement this; the default raises to match
+        a hash-table backend rejecting range queries.
+        """
+        raise NotImplementedError(f"{self.kind} engine does not support range scans")
+
+    # -- recovery support -------------------------------------------------
+    def snapshot(self) -> Dict[str, str]:
+        """Full copy of live data (sent to a standby during failover)."""
+        return dict(self.items())
+
+    def restore(self, data: Dict[str, str]) -> None:
+        """Bulk-load a snapshot into an empty or existing engine."""
+        for k, v in data.items():
+            self.put(k, v)
+
+    def stats(self) -> Dict[str, float]:
+        """Engine-specific internals (levels, garbage ratio, ...)."""
+        return {"live_keys": float(len(self))}
+
+
+class DataletActor(Actor):
+    """Message front-end for an :class:`Engine`.
+
+    Understands the datalet protocol:
+
+    ========= ============================== =========================
+    request    payload                        response
+    ========= ============================== =========================
+    ``put``    ``key``, ``val``               ``ok``
+    ``get``    ``key``                        ``value`` {``val``} / ``error``
+    ``del``    ``key``                        ``ok`` / ``error``
+    ``scan``   ``start``, ``end``, ``limit``  ``range`` {``items``}
+    ``snapshot``                              ``snapshot`` {``data``}
+    ``restore`` ``data``                      ``ok``
+    ``stats``                                 ``stats`` {...}
+    ========= ============================== =========================
+    """
+
+    def __init__(self, node_id: str, engine: Engine):
+        super().__init__(node_id)
+        self.engine = engine
+        self.kind = engine.kind
+        self.ops = {"put": 0, "get": 0, "del": 0, "scan": 0}
+        self.register("put", self._on_put)
+        self.register("get", self._on_get)
+        self.register("del", self._on_del)
+        self.register("scan", self._on_scan)
+        self.register("apply_batch", self._on_apply_batch)
+        self.register("snapshot", self._on_snapshot)
+        self.register("restore", self._on_restore)
+        self.register("stats", self._on_stats)
+
+    # -- cost accounting ---------------------------------------------------
+    def service_demand(self, msg: Message, costs) -> float:
+        op = msg.type
+        if op in ("put", "get", "del"):
+            return costs.datalet_cost(self.kind, op)
+        if op == "scan":
+            limit = msg.payload.get("limit") or 100
+            try:
+                return costs.datalet_cost(self.kind, "scan", items=limit)
+            except KeyError:
+                return 0.0
+        if op == "apply_batch":
+            return sum(
+                costs.datalet_cost(self.kind, "put" if e["op"] == "put" else "del")
+                for e in msg.payload["ops"]
+            )
+        return 0.0
+
+    # -- handlers ------------------------------------------------------
+    def _on_put(self, msg: Message) -> None:
+        self.engine.put(msg.payload["key"], msg.payload["val"])
+        self.ops["put"] += 1
+        self.respond(msg, "ok")
+
+    def _on_get(self, msg: Message) -> None:
+        self.ops["get"] += 1
+        try:
+            val = self.engine.get(msg.payload["key"])
+        except KeyNotFound:
+            self.respond(msg, "error", {"error": "not_found", "key": msg.payload["key"]})
+            return
+        self.respond(msg, "value", {"val": val})
+
+    def _on_del(self, msg: Message) -> None:
+        self.ops["del"] += 1
+        try:
+            self.engine.delete(msg.payload["key"])
+        except KeyNotFound:
+            self.respond(msg, "error", {"error": "not_found", "key": msg.payload["key"]})
+            return
+        self.respond(msg, "ok")
+
+    def _on_scan(self, msg: Message) -> None:
+        self.ops["scan"] += 1
+        try:
+            items = self.engine.scan(
+                msg.payload["start"], msg.payload["end"], msg.payload.get("limit")
+            )
+        except NotImplementedError as e:
+            self.respond(msg, "error", {"error": str(e)})
+            return
+        self.respond(msg, "range", {"items": items})
+
+    def _on_apply_batch(self, msg: Message) -> None:
+        """Apply replicated mutations *in order* within one message —
+        replication paths use this instead of per-op messages so network
+        jitter can never reorder a delete ahead of its put.  Deletes of
+        absent keys are tolerated (a lagging replica may see a delete
+        for a put it never received)."""
+        applied = 0
+        for entry in msg.payload["ops"]:
+            try:
+                if entry["op"] == "put":
+                    self.engine.put(entry["key"], entry["val"])
+                    self.ops["put"] += 1
+                else:
+                    self.engine.delete(entry["key"])
+                    self.ops["del"] += 1
+                applied += 1
+            except KeyNotFound:
+                pass
+        self.respond(msg, "ok", {"applied": applied})
+
+    def _on_snapshot(self, msg: Message) -> None:
+        self.respond(msg, "snapshot", {"data": self.engine.snapshot()})
+
+    def _on_restore(self, msg: Message) -> None:
+        self.engine.restore(msg.payload["data"])
+        self.respond(msg, "ok")
+
+    def _on_stats(self, msg: Message) -> None:
+        stats = dict(self.engine.stats())
+        stats.update({f"ops_{k}": float(v) for k, v in self.ops.items()})
+        self.respond(msg, "stats", stats)

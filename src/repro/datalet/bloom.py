@@ -1,0 +1,59 @@
+"""Bloom filter for SSTable membership tests.
+
+Real LSM engines (LevelDB — the engine behind tSSDB — and successors)
+attach a Bloom filter to every SSTable so point reads skip tables that
+cannot contain the key, taming read amplification.  This is a textbook
+double-hashing Bloom filter (Kirsch-Mitzenmacher): k index functions
+derived from two base hashes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.hashing import stable_hash
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Fixed-size bit-array Bloom filter."""
+
+    def __init__(self, expected_items: int, false_positive_rate: float = 0.01):
+        if expected_items < 1:
+            raise ValueError(f"expected_items must be >= 1, got {expected_items}")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise ValueError(f"false_positive_rate must be in (0,1), got {false_positive_rate}")
+        # optimal sizing: m = -n ln p / (ln 2)^2 ; k = m/n ln 2
+        self.m = max(8, int(-expected_items * math.log(false_positive_rate) / (math.log(2) ** 2)))
+        self.k = max(1, round(self.m / expected_items * math.log(2)))
+        self._bits = bytearray((self.m + 7) // 8)
+        self.items = 0
+
+    def _indexes(self, key: str) -> Iterable[int]:
+        h = stable_hash(key)
+        h1 = h & 0xFFFFFFFF
+        h2 = (h >> 32) | 1  # odd, so strides cover the table
+        for i in range(self.k):
+            yield (h1 + i * h2) % self.m
+
+    def add(self, key: str) -> None:
+        for idx in self._indexes(key):
+            self._bits[idx >> 3] |= 1 << (idx & 7)
+        self.items += 1
+
+    def might_contain(self, key: str) -> bool:
+        """False means *definitely absent*; True means "probably"."""
+        return all(self._bits[i >> 3] & (1 << (i & 7)) for i in self._indexes(key))
+
+    @classmethod
+    def build(cls, keys: Iterable[str], false_positive_rate: float = 0.01) -> "BloomFilter":
+        keys = list(keys)
+        bloom = cls(max(1, len(keys)), false_positive_rate)
+        for k in keys:
+            bloom.add(k)
+        return bloom
+
+    def __len__(self) -> int:
+        return self.items

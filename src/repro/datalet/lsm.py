@@ -1,0 +1,172 @@
+"""tLSM: log-structured merge-tree datalet.
+
+Implements the classic LSM write path the paper's Fig 6 relies on:
+mutations land in a mutable **memtable**; when it fills, it is flushed
+as an immutable sorted **SSTable**; when too many SSTables accumulate,
+a size-tiered **compaction** merges them (newest version wins,
+tombstones dropped once the merge covers every table).  Reads probe the
+memtable then SSTables newest-first — the read amplification that makes
+LSM slower than a B+-tree for read-heavy workloads.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.datalet.base import Engine
+from repro.datalet.bloom import BloomFilter
+from repro.errors import KeyNotFound
+
+__all__ = ["LSMEngine", "SSTable"]
+
+#: sentinel distinguishing "deleted" from "absent" inside tables.
+_TOMBSTONE = None
+
+
+class SSTable:
+    """Immutable sorted run of ``(key, value-or-None)`` pairs, fronted
+    by a Bloom filter so point reads skip tables that cannot contain
+    the key (LevelDB-style read-amplification control)."""
+
+    __slots__ = ("keys", "values", "bloom")
+
+    def __init__(self, entries: List[Tuple[str, Optional[str]]]):
+        # entries must be sorted by key and duplicate-free
+        self.keys = [k for k, _ in entries]
+        self.values = [v for _, v in entries]
+        self.bloom = BloomFilter.build(self.keys) if self.keys else None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def lookup(self, key: str) -> Tuple[bool, Optional[str]]:
+        """Return (present, value).  value None with present=True is a
+        tombstone."""
+        if self.bloom is None or not self.bloom.might_contain(key):
+            return False, None
+        i = bisect.bisect_left(self.keys, key)
+        if i < len(self.keys) and self.keys[i] == key:
+            return True, self.values[i]
+        return False, None
+
+    def range(self, start: str, end: str) -> Iterator[Tuple[str, Optional[str]]]:
+        i = bisect.bisect_left(self.keys, start)
+        while i < len(self.keys) and self.keys[i] < end:
+            yield self.keys[i], self.values[i]
+            i += 1
+
+
+class LSMEngine(Engine):
+    """Memtable + size-tiered SSTables."""
+
+    kind = "lsm"
+    supports_scan = True
+
+    def __init__(self, memtable_limit: int = 4096, max_sstables: int = 6):
+        if memtable_limit < 1:
+            raise ValueError(f"memtable_limit must be >= 1, got {memtable_limit}")
+        if max_sstables < 1:
+            raise ValueError(f"max_sstables must be >= 1, got {max_sstables}")
+        self._mem: Dict[str, Optional[str]] = {}
+        self._tables: List[SSTable] = []  # newest first
+        self._memtable_limit = memtable_limit
+        self._max_sstables = max_sstables
+        self.flushes = 0
+        self.compactions = 0
+
+    # -- write path ---------------------------------------------------
+    def put(self, key: str, value: str) -> None:
+        self._mem[key] = value
+        self._maybe_flush()
+
+    def delete(self, key: str) -> None:
+        if not self.contains(key):
+            raise KeyNotFound(key)
+        self._mem[key] = _TOMBSTONE
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if len(self._mem) >= self._memtable_limit:
+            self.flush()
+        if len(self._tables) > self._max_sstables:
+            self.compact()
+
+    def flush(self) -> None:
+        """Freeze the memtable into a new SSTable."""
+        if not self._mem:
+            return
+        entries = sorted(self._mem.items())
+        self._tables.insert(0, SSTable(entries))
+        self._mem = {}
+        self.flushes += 1
+
+    def compact(self) -> None:
+        """Merge every SSTable into one; tombstones are dropped because
+        the merge covers the full history below the memtable."""
+        merged: Dict[str, Optional[str]] = {}
+        for table in reversed(self._tables):  # oldest first; newer overwrite
+            for k, v in zip(table.keys, table.values):
+                merged[k] = v
+        live = sorted((k, v) for k, v in merged.items() if v is not _TOMBSTONE)
+        self._tables = [SSTable(live)] if live else []
+        self.compactions += 1
+
+    # -- read path ------------------------------------------------------
+    def get(self, key: str) -> str:
+        if key in self._mem:
+            value = self._mem[key]
+            if value is _TOMBSTONE:
+                raise KeyNotFound(key)
+            return value
+        for table in self._tables:
+            present, value = table.lookup(key)
+            if present:
+                if value is _TOMBSTONE:
+                    raise KeyNotFound(key)
+                return value
+        raise KeyNotFound(key)
+
+    def contains(self, key: str) -> bool:
+        try:
+            self.get(key)
+            return True
+        except KeyNotFound:
+            return False
+
+    def _merged_view(self) -> Dict[str, Optional[str]]:
+        view: Dict[str, Optional[str]] = {}
+        for table in reversed(self._tables):
+            for k, v in zip(table.keys, table.values):
+                view[k] = v
+        view.update(self._mem)
+        return view
+
+    def __len__(self) -> int:
+        return sum(1 for _, v in self._merged_view().items() if v is not _TOMBSTONE)
+
+    def items(self) -> Iterator[Tuple[str, str]]:
+        for k, v in self._merged_view().items():
+            if v is not _TOMBSTONE:
+                yield k, v
+
+    def scan(self, start: str, end: str, limit: Optional[int] = None) -> List[Tuple[str, str]]:
+        """K-way merge over memtable + SSTables, newest version wins."""
+        view: Dict[str, Optional[str]] = {}
+        for table in reversed(self._tables):
+            for k, v in table.range(start, end):
+                view[k] = v
+        for k, v in self._mem.items():
+            if start <= k < end:
+                view[k] = v
+        out = sorted((k, v) for k, v in view.items() if v is not _TOMBSTONE)
+        return out[:limit] if limit is not None else out
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "live_keys": float(len(self)),
+            "memtable_keys": float(len(self._mem)),
+            "sstables": float(len(self._tables)),
+            "flushes": float(self.flushes),
+            "compactions": float(self.compactions),
+        }

@@ -1,0 +1,35 @@
+"""Ported datalets: tSSDB and tRedis.
+
+The paper demonstrates "drop-in" support for existing single-server
+stores by adding protocol parsers for SSDB and Redis (§VII).  Their
+storage engines are, respectively, a LevelDB-style LSM persisted on
+disk and an in-memory hash/str store — so here each port reuses the
+matching native engine under a distinct cost-model ``kind`` (tSSDB pays
+the persistent-store penalty, tRedis a small protocol-parsing overhead
+above tHT; see :mod:`repro.sim.costs`).
+
+The RESP-style wire protocol used when exposing tRedis over real TCP
+lives in :mod:`repro.net.resp`.
+"""
+
+from __future__ import annotations
+
+from repro.datalet.hashtable import HashTableEngine
+from repro.datalet.lsm import LSMEngine
+
+__all__ = ["SSDBEngine", "RedisEngine"]
+
+
+class SSDBEngine(LSMEngine):
+    """tSSDB: LevelDB-backed persistent store (SSDB's engine)."""
+
+    kind = "ssdb"
+
+    def __init__(self, memtable_limit: int = 2048, max_sstables: int = 8):
+        super().__init__(memtable_limit=memtable_limit, max_sstables=max_sstables)
+
+
+class RedisEngine(HashTableEngine):
+    """tRedis: in-memory store behind a text (RESP) protocol parser."""
+
+    kind = "redis"

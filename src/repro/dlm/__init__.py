@@ -1,0 +1,17 @@
+"""Distributed lock manager (paper §III optional components, Table III).
+
+BESPOKV imports Redlock for its locking service; here the DLM is a
+lease-based lock server actor with reader/writer modes, FIFO fairness
+and automatic lease expiry — the paper's deadlock-freedom rule:
+"locks are released after a configurable period of time. If a controlet
+fails after acquiring a lock, the lock is auto-released after it
+expires."
+
+The AA+SC controlet is its only framework client, and the lock-server
+round trips plus serialization on hot keys are exactly what caps AA+SC
+throughput in Fig 7/12.
+"""
+
+from repro.dlm.manager import LockManagerActor, LockTable
+
+__all__ = ["LockManagerActor", "LockTable"]

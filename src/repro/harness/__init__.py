@@ -1,0 +1,5 @@
+"""Experiment harness: deployment builder, load generation, probes."""
+
+from repro.harness.deploy import CONTROLET_CLASSES, Deployment, DeploymentSpec
+
+__all__ = ["Deployment", "DeploymentSpec", "CONTROLET_CLASSES"]

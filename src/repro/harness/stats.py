@@ -1,0 +1,54 @@
+"""Cluster observability: harvest per-component statistics.
+
+The paper's monitoring story (§VI-A) needs introspection; operators of
+a real deployment would scrape controlet/datalet/DLM/shared-log
+counters.  :func:`collect_stats` gathers everything over the message
+plane (using the same ``ctl_stats``/``stats`` RPCs a monitoring agent
+would), and :func:`utilization_report` summarizes host CPU usage from
+the simulator's resource accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.harness.deploy import Deployment
+
+__all__ = ["collect_stats", "utilization_report"]
+
+
+def collect_stats(dep: Deployment) -> Dict[str, Dict[str, Any]]:
+    """Fetch controlet and datalet counters for every replica.
+
+    Returns ``{shard_id: {controlet_id: {...}, datalet_id: {...}}}``.
+    Issues real ``ctl_stats``/``stats`` requests so the collection
+    itself exercises (and is accounted like) the monitoring plane.
+    """
+    sim = dep.sim
+    port = dep.cluster.add_port(f"statscollector{sim.events_processed}")
+    out: Dict[str, Dict[str, Any]] = {}
+    for sid in dep.map.shard_ids():
+        shard_stats: Dict[str, Any] = {}
+        for replica in dep.map.shard(sid).ordered():
+            resp = sim.run_future(
+                port.request(replica.controlet, "ctl_stats", {}, timeout=5.0)
+            )
+            shard_stats[replica.controlet] = dict(resp.payload)
+            resp = sim.run_future(
+                port.request(replica.datalet, "stats", {}, timeout=5.0)
+            )
+            shard_stats[replica.datalet] = dict(resp.payload)
+        out[sid] = shard_stats
+    return out
+
+
+def utilization_report(dep: Deployment) -> Dict[str, float]:
+    """Per-host CPU utilization since t=0 (busy slot-seconds over
+    capacity x elapsed)."""
+    elapsed = dep.sim.now
+    report: Dict[str, float] = {}
+    for name, host in dep.cluster._hosts.items():
+        if host.free:
+            continue
+        report[name] = host.cpu.utilization(elapsed)
+    return report

@@ -1,0 +1,6 @@
+"""Data partitioning schemes for the client library."""
+
+from repro.hashing.range_part import RangePartitioner
+from repro.hashing.ring import HashRing, stable_hash
+
+__all__ = ["HashRing", "RangePartitioner", "stable_hash"]

@@ -1,0 +1,81 @@
+"""Range-based partitioning for the range-query service (paper §IV-B).
+
+"The client library supports range-based partitioning, e.g., dividing
+the name space by alphabetical order (A-C on one node, D-F on
+another)."  A :class:`RangePartitioner` owns a sorted list of split
+points; shard *i* covers ``[split[i-1], split[i])``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["RangePartitioner"]
+
+
+class RangePartitioner:
+    """Maps keys and key ranges to shard names by sorted split points."""
+
+    def __init__(self, shards: Sequence[str], splits: Sequence[str]):
+        """``splits`` are the lower-exclusive boundaries between
+        consecutive shards; ``len(splits) == len(shards) - 1``.
+
+        Example: shards ``["s0","s1","s2"]`` with splits ``["g","n"]``
+        puts keys < "g" on s0, ["g","n") on s1 and >= "n" on s2.
+        """
+        if len(shards) < 1:
+            raise ConfigError("need at least one shard")
+        if len(splits) != len(shards) - 1:
+            raise ConfigError(
+                f"expected {len(shards) - 1} splits for {len(shards)} shards, got {len(splits)}"
+            )
+        if list(splits) != sorted(splits):
+            raise ConfigError("splits must be sorted")
+        if len(set(splits)) != len(splits):
+            raise ConfigError("splits must be distinct")
+        self._shards: List[str] = list(shards)
+        self._splits: List[str] = list(splits)
+
+    @classmethod
+    def uniform_alpha(cls, shards: Sequence[str]) -> "RangePartitioner":
+        """Split the lowercase-alpha keyspace evenly across ``shards``."""
+        n = len(shards)
+        alphabet = "abcdefghijklmnopqrstuvwxyz"
+        splits = [alphabet[(i * 26) // n] for i in range(1, n)]
+        if len(set(splits)) != len(splits):
+            raise ConfigError(f"too many shards ({n}) for single-letter splits")
+        return cls(shards, splits)
+
+    @property
+    def shards(self) -> List[str]:
+        return list(self._shards)
+
+    def lookup(self, key: str) -> str:
+        return self._shards[bisect.bisect_right(self._splits, key)]
+
+    def shard_bounds(self, shard: str) -> Tuple[str, str]:
+        """Inclusive-lo / exclusive-hi bounds of ``shard`` ("" and
+        "\\uffff" stand for the open ends)."""
+        try:
+            i = self._shards.index(shard)
+        except ValueError:
+            raise ConfigError(f"unknown shard {shard!r}") from None
+        lo = self._splits[i - 1] if i > 0 else ""
+        hi = self._splits[i] if i < len(self._splits) else "￿"
+        return lo, hi
+
+    def covering(self, start: str, end: str) -> Dict[str, Tuple[str, str]]:
+        """Shards intersecting ``[start, end)`` with per-shard clipped
+        sub-ranges — how the range-query controlet fans a scan out."""
+        if start >= end:
+            return {}
+        out: Dict[str, Tuple[str, str]] = {}
+        for shard in self._shards:
+            lo, hi = self.shard_bounds(shard)
+            s, e = max(start, lo), min(end, hi)
+            if s < e:
+                out[shard] = (s, e)
+        return out

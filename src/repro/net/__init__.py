@@ -1,0 +1,24 @@
+"""Messaging layer: messages, actors, transports, protocol parsers.
+
+* :class:`~repro.net.message.Message` — typed envelope
+* :class:`~repro.net.actor.Actor` — the paper's event-driven
+  programming model (Register/On/Emit, request-response continuations)
+* :class:`~repro.net.simnet.SimCluster` — simulated transport with
+  per-host CPUs and the network model
+* :mod:`repro.net.protocol` / :mod:`repro.net.resp` — wire codecs for
+  the real TCP front-end (:mod:`repro.net.tcp`)
+"""
+
+from repro.net.actor import Actor, NodeContext, Reply
+from repro.net.message import HEADER_BYTES, Message
+from repro.net.simnet import ClientPort, SimCluster
+
+__all__ = [
+    "Message",
+    "HEADER_BYTES",
+    "Actor",
+    "NodeContext",
+    "Reply",
+    "SimCluster",
+    "ClientPort",
+]

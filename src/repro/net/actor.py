@@ -1,0 +1,217 @@
+"""Event-driven actor framework — the paper's controlet programming model.
+
+BESPOKV asks controlet developers to express logic as handlers over
+*basic events* (network messages, timers) and *extended events*
+(developer-defined, raised with ``Emit``); see paper §III-B and the
+MS+SC template in Appendix B.  This module is the Python rendition of
+that abstraction:
+
+* :meth:`Actor.register` — bind a handler to a message type
+  (``Register``/``OnReqIn`` in the paper);
+* :meth:`Actor.on` / :meth:`Actor.emit` — extended events
+  (``On``/``Emit`` in the paper);
+* :meth:`Actor.call` — request/response with continuation callback and
+  timeout, the idiom every replication protocol here is written in;
+* :meth:`Actor.set_timer` — timers for heartbeats, leases, batching.
+
+Actors are transport-agnostic: the same controlet class runs on the
+simulated cluster (:mod:`repro.net.simnet`) and behind the real TCP
+front-end (:mod:`repro.net.tcp`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Protocol
+
+from repro.errors import BespoError, RequestTimeout
+from repro.net.message import Message
+
+__all__ = ["Actor", "NodeContext", "Reply"]
+
+
+class NodeContext(Protocol):
+    """Runtime services a transport provides to an attached actor."""
+
+    node_id: str
+
+    def transmit(self, msg: Message) -> None: ...
+
+    def set_timer(self, delay: float, fn: Callable[[], None]) -> Any: ...
+
+    def now(self) -> float: ...
+
+
+#: A handler for a response: receives (response_message, error-or-None).
+Reply = Callable[[Optional[Message], Optional[BespoError]], None]
+
+
+class _Pending:
+    __slots__ = ("callback", "timer")
+
+    def __init__(self, callback: Reply, timer: Any):
+        self.callback = callback
+        self.timer = timer
+
+
+class Actor:
+    """Base class for every node-resident component.
+
+    Subclasses register handlers in :meth:`on_start` (or ``__init__``)
+    and never touch the transport directly.
+    """
+
+    #: datalet kind for CPU cost accounting ("" = generic control logic).
+    kind: str = ""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self._ctx: Optional[NodeContext] = None
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self._events: Dict[str, Callable[..., None]] = {}
+        self._pending: Dict[int, _Pending] = {}
+        self.alive = True
+
+    # ------------------------------------------------------------------
+    # lifecycle (called by the transport)
+    # ------------------------------------------------------------------
+    def attach(self, ctx: NodeContext) -> None:
+        self._ctx = ctx
+
+    def on_start(self) -> None:
+        """Hook: the node joined the cluster and may send messages."""
+
+    def on_stop(self) -> None:
+        """Hook: the node is being shut down or killed."""
+
+    # ------------------------------------------------------------------
+    # the paper's event API
+    # ------------------------------------------------------------------
+    def register(self, msg_type: str, fn: Callable[[Message], None]) -> None:
+        """Bind a handler for a *basic event* (an incoming message type)."""
+        self._handlers[msg_type] = fn
+
+    def on(self, event: str, fn: Callable[..., None]) -> None:
+        """Define an *extended event* handler."""
+        self._events[event] = fn
+
+    def emit(self, event: str, *args: Any, **kw: Any) -> None:
+        """Raise an extended event; dispatches synchronously."""
+        try:
+            fn = self._events[event]
+        except KeyError:
+            raise BespoError(f"{self.node_id}: no handler for event {event!r}") from None
+        fn(*args, **kw)
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: str, type: str, payload: Dict[str, Any] | None = None) -> Message:
+        """Fire-and-forget message."""
+        msg = Message(type=type, payload=payload or {}, src=self.node_id, dst=dst)
+        self._transmit(msg)
+        return msg
+
+    def call(
+        self,
+        dst: str,
+        type: str,
+        payload: Dict[str, Any] | None = None,
+        callback: Optional[Reply] = None,
+        timeout: Optional[float] = None,
+    ) -> Message:
+        """Request/response: invoke ``callback(response, error)`` later.
+
+        On timeout the callback receives ``(None, RequestTimeout)``; a
+        dropped message (dead peer) surfaces the same way, which is how
+        every failover path in this codebase notices trouble.
+        """
+        msg = Message(type=type, payload=payload or {}, src=self.node_id, dst=dst)
+        if callback is not None:
+            timer = None
+            if timeout is not None:
+                timer = self.set_timer(timeout, lambda: self._expire(msg.msg_id, dst, type))
+            self._pending[msg.msg_id] = _Pending(callback, timer)
+        self._transmit(msg)
+        return msg
+
+    def respond(self, req: Message, type: str, payload: Dict[str, Any] | None = None) -> None:
+        """Send a response correlated with request ``req``."""
+        self._transmit(req.response(type, payload))
+
+    def forward(self, req: Message, dst: str) -> None:
+        """Re-address a request to another node, preserving correlation.
+
+        The eventual response goes directly back to the original
+        requester (used by P2P-style routing, §IV-E).
+        """
+        fwd = Message(
+            type=req.type, payload=dict(req.payload), src=req.src, dst=dst,
+            msg_id=req.msg_id, reply_to=req.reply_to,
+        )
+        self._transmit(fwd)
+
+    def _expire(self, msg_id: int, dst: str, type: str) -> None:
+        pending = self._pending.pop(msg_id, None)
+        if pending is not None:
+            pending.callback(None, RequestTimeout(f"{type} to {dst} timed out"))
+
+    def _transmit(self, msg: Message) -> None:
+        if self._ctx is None:
+            raise BespoError(f"actor {self.node_id} not attached to a transport")
+        self._ctx.transmit(msg)
+
+    # ------------------------------------------------------------------
+    # dispatch (called by the transport)
+    # ------------------------------------------------------------------
+    def deliver(self, msg: Message) -> None:
+        """Route one incoming message to the right continuation/handler."""
+        if not self.alive:
+            return
+        if msg.reply_to:
+            pending = self._pending.pop(msg.reply_to, None)
+            if pending is not None:
+                if pending.timer is not None:
+                    pending.timer.cancel()
+                pending.callback(msg, None)
+                return
+            # Late response after timeout: drop silently.
+            return
+        handler = self._handlers.get(msg.type)
+        if handler is None:
+            self.on_unhandled(msg)
+            return
+        handler(msg)
+
+    def on_unhandled(self, msg: Message) -> None:
+        """Hook for unknown message types; default replies with an error."""
+        if msg.src:
+            self.respond(msg, "error", {"error": f"unhandled message type {msg.type!r}"})
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    def set_timer(self, delay: float, fn: Callable[[], None]) -> Any:
+        """Run ``fn`` after ``delay`` seconds unless the node dies first."""
+        if self._ctx is None:
+            raise BespoError(f"actor {self.node_id} not attached to a transport")
+
+        def guarded() -> None:
+            if self.alive:
+                fn()
+
+        return self._ctx.set_timer(delay, guarded)
+
+    def now(self) -> float:
+        if self._ctx is None:
+            raise BespoError(f"actor {self.node_id} not attached to a transport")
+        return self._ctx.now()
+
+    # ------------------------------------------------------------------
+    # CPU accounting (overridden by datalets)
+    # ------------------------------------------------------------------
+    def service_demand(self, msg: Message, costs: Any) -> float:
+        """Extra CPU seconds consumed processing ``msg`` (beyond the
+        transport's per-message cost).  The simulated transport charges
+        this to the node's CPU before invoking the handler.  ``costs`` is
+        the cluster's :class:`~repro.sim.costs.CostModel`."""
+        return 0.0

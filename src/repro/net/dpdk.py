@@ -1,0 +1,39 @@
+"""DPDK kernel-bypass model (paper §II "Low latency", Appendix E).
+
+The paper adds DPDK support to BESPOKV and reports up to 65% lower
+latency, ~3x throughput, and more stable performance than the kernel
+socket path (Fig 17).  Two effects are modeled:
+
+1. **Per-message CPU**: a poll-mode driver skips the kernel network
+   stack — hosts created with ``dpdk=True`` are charged
+   :attr:`~repro.sim.costs.CostModel.dpdk_msg_cost` instead of
+   ``socket_msg_cost`` per message (6x cheaper by default).
+2. **Wire latency & jitter**: no syscall/interrupt/copy path means a
+   lower base one-way latency and far less variance.
+
+Use :func:`dpdk_net_params` / :data:`SOCKET_NET_PARAMS` as the
+``net_params`` of a deployment spec and set ``dpdk=True`` to flip both
+knobs, as ``benchmarks/test_fig17_dpdk.py`` does.
+"""
+
+from __future__ import annotations
+
+from repro.sim import NetworkParams
+
+__all__ = ["SOCKET_NET_PARAMS", "dpdk_net_params"]
+
+#: the default kernel-socket fabric (10 GbE local testbed flavor).
+SOCKET_NET_PARAMS = NetworkParams(
+    one_way_latency=100e-6,
+    bandwidth=1.25e9,  # 10 Gbps
+    jitter_frac=0.25,
+)
+
+
+def dpdk_net_params() -> NetworkParams:
+    """Kernel-bypass fabric: ~65% lower base latency, tight jitter."""
+    return NetworkParams(
+        one_way_latency=35e-6,
+        bandwidth=1.25e9,
+        jitter_frac=0.05,
+    )

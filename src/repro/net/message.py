@@ -1,0 +1,74 @@
+"""Message type exchanged between actors (clients, controlets, datalets,
+coordinator, DLM, shared log).
+
+A message is a small typed envelope around a dict payload.  The wire
+size is *estimated* (header + key/value lengths) because the simulator
+only needs sizes for bandwidth/latency modeling; the real TCP layer
+(:mod:`repro.net.tcp`) uses actual encoded bytes instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Message", "HEADER_BYTES"]
+
+#: modeled fixed per-message overhead (framing, type tag, ids).
+HEADER_BYTES = 64
+
+_msg_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """Typed envelope routed by a transport.
+
+    ``reply_to`` carries the ``msg_id`` of the request a response
+    answers; transports use it to resume the caller's continuation.
+    """
+
+    type: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    src: str = ""
+    dst: str = ""
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    reply_to: int = 0
+
+    def size_bytes(self) -> int:
+        """Estimated wire size for network modeling."""
+        n = HEADER_BYTES
+        for k, v in self.payload.items():
+            n += len(k)
+            if isinstance(v, str):
+                n += len(v)
+            elif isinstance(v, bytes):
+                n += len(v)
+            elif isinstance(v, (list, tuple)):
+                n += sum(len(x) if isinstance(x, (str, bytes)) else 8 for x in v)
+            elif isinstance(v, dict):
+                n += sum(
+                    len(kk) + (len(vv) if isinstance(vv, (str, bytes)) else 8)
+                    for kk, vv in v.items()
+                )
+            else:
+                n += 8
+        return n
+
+    def response(self, type: str, payload: Dict[str, Any] | None = None) -> "Message":
+        """Build a response envelope addressed back to the sender."""
+        return Message(
+            type=type,
+            payload=payload or {},
+            src=self.dst,
+            dst=self.src,
+            reply_to=self.msg_id,
+        )
+
+    def __repr__(self) -> str:  # compact, log-friendly
+        return (
+            f"Message({self.type}, {self.src}->{self.dst}, id={self.msg_id}"
+            + (f", re={self.reply_to}" if self.reply_to else "")
+            + f", {self.payload!r})"
+        )

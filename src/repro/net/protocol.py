@@ -1,0 +1,69 @@
+"""Length-prefixed binary codec — the "BESPOKV-defined protocol".
+
+The paper's preferred option for new datalets is a framed protocol
+built with Protocol Buffers (§III-A); this is the equivalent framing:
+a 4-byte big-endian length followed by a compact JSON body.  It shares
+the incremental-feed interface with :class:`~repro.net.resp.RespParser`
+so the TCP server can host either protocol behind one loop.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict
+
+from repro.errors import ProtocolError
+
+__all__ = ["BinaryCodec", "INCOMPLETE"]
+
+_LEN = struct.Struct(">I")
+MAX_FRAME = 64 * 1024 * 1024
+
+
+class _Incomplete:
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<frame-incomplete>"
+
+
+INCOMPLETE = _Incomplete()
+
+
+class BinaryCodec:
+    """Frame encoder + incremental decoder."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @staticmethod
+    def encode(message: Dict[str, Any]) -> bytes:
+        body = json.dumps(message, separators=(",", ":")).encode()
+        if len(body) > MAX_FRAME:
+            raise ProtocolError(f"frame too large: {len(body)} bytes")
+        return _LEN.pack(len(body)) + body
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def next_frame(self):
+        """One decoded dict, or :data:`INCOMPLETE` if more bytes are
+        needed."""
+        if len(self._buf) < _LEN.size:
+            return INCOMPLETE
+        (length,) = _LEN.unpack(bytes(self._buf[: _LEN.size]))
+        if length > MAX_FRAME:
+            raise ProtocolError(f"frame too large: {length} bytes")
+        if len(self._buf) < _LEN.size + length:
+            return INCOMPLETE
+        body = bytes(self._buf[_LEN.size : _LEN.size + length])
+        del self._buf[: _LEN.size + length]
+        try:
+            frame = json.loads(body)
+        except json.JSONDecodeError as e:
+            raise ProtocolError(f"bad frame body: {e}") from None
+        if not isinstance(frame, dict):
+            raise ProtocolError(f"frame must be an object, got {type(frame).__name__}")
+        return frame

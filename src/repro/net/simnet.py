@@ -1,0 +1,232 @@
+"""Simulated cluster transport: actors + network model + per-host CPUs.
+
+This is where protocol code meets the discrete-event kernel.  Every
+actor (controlet, datalet, coordinator, DLM, shared-log node) is placed
+on a *host*; colocated actors (the paper's 1:1 controlet-datalet pair on
+one VM) share that host's CPU :class:`~repro.sim.resources.Server` and
+talk over loopback.  Message delivery charges the receiving host:
+
+    network delay  →  [CPU: per-message stack cost + actor.service_demand]  →  handler
+
+so saturation throughput per node and queueing delay under load are
+emergent properties of the cost model, not scripted numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import BespoError
+from repro.net.actor import Actor
+from repro.net.message import Message
+from repro.sim import (
+    DEFAULT_COSTS,
+    CostModel,
+    Network,
+    NetworkParams,
+    RngRegistry,
+    Server,
+    SimFuture,
+    Simulator,
+)
+
+__all__ = ["SimCluster", "ClientPort"]
+
+#: vCPUs per host, matching the paper's n1-standard-4 instances.
+DEFAULT_HOST_CPUS = 4
+
+
+class _Host:
+    __slots__ = ("name", "cpu", "dpdk", "free", "actors")
+
+    def __init__(self, name: str, cpu: Server, dpdk: bool, free: bool):
+        self.name = name
+        self.cpu = cpu
+        self.dpdk = dpdk
+        self.free = free
+        self.actors: list[str] = []
+
+
+class _NodeCtx:
+    """Per-actor runtime services bound to one cluster."""
+
+    __slots__ = ("node_id", "_cluster")
+
+    def __init__(self, node_id: str, cluster: "SimCluster"):
+        self.node_id = node_id
+        self._cluster = cluster
+
+    def transmit(self, msg: Message) -> None:
+        self._cluster.route(msg)
+
+    def set_timer(self, delay: float, fn: Callable[[], None]) -> Any:
+        return self._cluster.sim.call_later(delay, fn)
+
+    def now(self) -> float:
+        return self._cluster.sim.now
+
+
+class ClientPort(Actor):
+    """Load-generator endpoint: issues requests, awaits responses.
+
+    Runs on a *free* host (no CPU charge) because the paper saturates
+    servers from a separately provisioned, oversized client cluster.
+    """
+
+    def __init__(self, node_id: str):
+        super().__init__(node_id)
+
+    def request(
+        self,
+        dst: str,
+        type: str,
+        payload: Dict[str, Any] | None = None,
+        timeout: Optional[float] = None,
+    ) -> SimFuture:
+        """Send a request; the returned future resolves with the response
+        :class:`Message` or raises :class:`RequestTimeout`."""
+        if self._ctx is None:
+            raise BespoError(f"port {self.node_id} not attached")
+        fut: SimFuture = self._ctx._cluster.sim.create_future()  # type: ignore[attr-defined]
+
+        def done(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None:
+                fut.set_exception(err)
+            else:
+                fut.set_result(resp)
+
+        self.call(dst, type, payload, callback=done, timeout=timeout)
+        return fut
+
+
+class SimCluster:
+    """Container wiring actors, hosts, the network and the clock."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        costs: CostModel = DEFAULT_COSTS,
+        net_params: Optional[NetworkParams] = None,
+        seed: int = 0,
+    ):
+        self.sim = sim or Simulator()
+        self.costs = costs
+        self.rng = RngRegistry(seed)
+        self.network = Network(self.sim, net_params or NetworkParams(), self.rng)
+        self._hosts: Dict[str, _Host] = {}
+        self._actors: Dict[str, Actor] = {}
+        self._actor_host: Dict[str, str] = {}
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # topology construction
+    # ------------------------------------------------------------------
+    def add_host(
+        self,
+        name: str,
+        cpus: int = DEFAULT_HOST_CPUS,
+        dpdk: bool = False,
+        free: bool = False,
+    ) -> str:
+        """Create a host (a VM in the paper's deployments)."""
+        if name in self._hosts:
+            raise BespoError(f"duplicate host {name!r}")
+        self._hosts[name] = _Host(name, Server(self.sim, cpus, f"cpu:{name}"), dpdk, free)
+        return name
+
+    def add_actor(self, actor: Actor, host: Optional[str] = None) -> Actor:
+        """Place ``actor`` on ``host`` (auto-created if missing).
+
+        May be called mid-simulation — that is exactly how the failover
+        manager launches standby controlet-datalet pairs.
+        """
+        if actor.node_id in self._actors:
+            raise BespoError(f"duplicate actor id {actor.node_id!r}")
+        host = host or actor.node_id
+        if host not in self._hosts:
+            self.add_host(host)
+        self._hosts[host].actors.append(actor.node_id)
+        self._actors[actor.node_id] = actor
+        self._actor_host[actor.node_id] = host
+        actor.attach(_NodeCtx(actor.node_id, self))
+        if self._started:
+            self.sim.call_soon(actor.on_start)
+        return actor
+
+    def add_port(self, name: str) -> ClientPort:
+        """Create a load-generator endpoint on its own free host."""
+        port = ClientPort(name)
+        if name not in self._hosts:
+            self.add_host(name, cpus=1, free=True)
+        self.add_actor(port, host=name)
+        return port
+
+    def start(self) -> None:
+        """Invoke ``on_start`` on every actor (in placement order)."""
+        self._started = True
+        for actor in list(self._actors.values()):
+            self.sim.call_soon(actor.on_start)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def actor(self, node_id: str) -> Actor:
+        return self._actors[node_id]
+
+    def host_of(self, node_id: str) -> str:
+        return self._actor_host[node_id]
+
+    def host_cpu(self, host: str) -> Server:
+        return self._hosts[host].cpu
+
+    @property
+    def actors(self) -> Dict[str, Actor]:
+        return dict(self._actors)
+
+    # ------------------------------------------------------------------
+    # message routing
+    # ------------------------------------------------------------------
+    def route(self, msg: Message) -> None:
+        """Deliver ``msg`` honoring network delay and destination CPU."""
+        dst_actor = self._actors.get(msg.dst)
+        if dst_actor is None:
+            # Unknown destination behaves like a dead peer: silently
+            # dropped; the sender's timeout fires.
+            return
+        src_host = self._actor_host.get(msg.src, msg.src)
+        dst_host = self._actor_host[msg.dst]
+        nbytes = msg.size_bytes()
+
+        def on_arrival() -> None:
+            host = self._hosts[dst_host]
+            if host.free:
+                dst_actor.deliver(msg)
+                return
+            demand = self.costs.msg_cost(dpdk=host.dpdk) + dst_actor.service_demand(msg, self.costs)
+            host.cpu.submit(demand).add_done_callback(lambda _f: dst_actor.deliver(msg))
+
+        self.network.send(src_host, dst_host, nbytes, on_arrival)
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def kill_actor(self, node_id: str) -> None:
+        """Crash one actor: no more sends, receives or timer callbacks."""
+        actor = self._actors.get(node_id)
+        if actor is None or not actor.alive:
+            return
+        actor.alive = False
+        actor.on_stop()
+
+    def kill_host(self, host: str) -> None:
+        """Crash a whole VM: every colocated actor dies and the network
+        drops its traffic (paper's node-failure experiments)."""
+        h = self._hosts.get(host)
+        if h is None:
+            raise BespoError(f"unknown host {host!r}")
+        self.network.kill(host)
+        for node_id in h.actors:
+            self.kill_actor(node_id)
+
+    def is_host_alive(self, host: str) -> bool:
+        return not self.network.is_dead(host)

@@ -1,0 +1,179 @@
+"""CORFU-style shared log: sequencer + segmented storage + cursors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.errors import BespoError
+from repro.net.actor import Actor
+from repro.net.message import Message
+
+__all__ = ["LogEntry", "SharedLog", "SharedLogActor"]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One totally-ordered record."""
+
+    pos: int
+    writer: str
+    op: str
+    key: str
+    value: Optional[str]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"pos": self.pos, "writer": self.writer, "op": self.op,
+                "key": self.key, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "LogEntry":
+        return cls(int(d["pos"]), str(d["writer"]), str(d["op"]),
+                   str(d["key"]), d["value"])
+
+
+class SharedLog:
+    """Synchronous core: append-ordered segments with trimming."""
+
+    def __init__(self, segment_size: int = 4096):
+        if segment_size < 1:
+            raise BespoError(f"segment_size must be >= 1, got {segment_size}")
+        self._segment_size = segment_size
+        self._segments: List[List[LogEntry]] = [[]]
+        self._base = 0  # global position of the first retained entry
+        self._next = 0  # next position the sequencer will hand out
+
+    @property
+    def tail(self) -> int:
+        """Next position to be written (= current length incl. trimmed)."""
+        return self._next
+
+    @property
+    def base(self) -> int:
+        return self._base
+
+    def append(self, writer: str, op: str, key: str, value: Optional[str]) -> LogEntry:
+        entry = LogEntry(self._next, writer, op, key, value)
+        self._next += 1
+        if len(self._segments[-1]) >= self._segment_size:
+            self._segments.append([])
+        self._segments[-1].append(entry)
+        return entry
+
+    def read(self, pos: int) -> LogEntry:
+        if pos < self._base:
+            raise BespoError(f"position {pos} trimmed (base={self._base})")
+        if pos >= self._next:
+            raise BespoError(f"position {pos} beyond tail {self._next}")
+        offset = pos - self._base
+        for seg in self._segments:
+            if offset < len(seg):
+                return seg[offset]
+            offset -= len(seg)
+        raise BespoError(f"position {pos} missing (corrupt segment chain)")
+
+    def fetch_from(self, pos: int, max_entries: int = 128) -> List[LogEntry]:
+        """Entries at positions >= ``pos`` (bounded), for polling readers."""
+        start = max(pos, self._base)
+        out: List[LogEntry] = []
+        p = start
+        while p < self._next and len(out) < max_entries:
+            out.append(self.read(p))
+            p += 1
+        return out
+
+    def trim(self, pos: int) -> int:
+        """Discard entries below ``pos``; returns how many were dropped.
+
+        The paper: "The duration to keep the requests in Shared Log is
+        configurable" — controlets trim once all replicas ack a prefix.
+        """
+        pos = min(pos, self._next)
+        dropped = 0
+        while self._base < pos:
+            seg = self._segments[0]
+            take = min(len(seg), pos - self._base)
+            del seg[:take]
+            self._base += take
+            dropped += take
+            if not seg and len(self._segments) > 1:
+                self._segments.pop(0)
+        return dropped
+
+    def __len__(self) -> int:
+        return self._next - self._base
+
+
+class SharedLogActor(Actor):
+    """Message front-end.
+
+    Protocol:
+
+    * ``log_append`` {op, key, val} → ``appended`` {pos}
+    * ``log_fetch`` {pos, max} → ``entries`` {entries, tail}
+    * ``log_trim`` {pos} → ``ok`` {dropped}
+
+    **Auto-trim** ("the duration to keep the requests in Shared Log is
+    configurable", App C-C): a reader's ``log_fetch`` at position *p*
+    acknowledges everything below *p*; once the retained window exceeds
+    ``high_watermark`` entries, the log trims to the minimum cursor
+    across all readers seen so far.  Readers that start at the tail
+    (transition/recovery joiners) never hold the window open.
+    """
+
+    def __init__(
+        self,
+        node_id: str = "sharedlog",
+        segment_size: int = 4096,
+        high_watermark: Optional[int] = 65536,
+    ):
+        super().__init__(node_id)
+        self.log = SharedLog(segment_size)
+        self.high_watermark = high_watermark
+        self._cursors: Dict[str, int] = {}
+        self.auto_trims = 0
+        self.register("log_append", self._on_append)
+        self.register("log_fetch", self._on_fetch)
+        self.register("log_trim", self._on_trim)
+
+    def service_demand(self, msg: Message, costs) -> float:
+        if msg.type == "log_append":
+            return costs.scaled("sharedlog_append_cost")
+        return costs.scaled("sharedlog_fetch_cost")
+
+    def _on_append(self, msg: Message) -> None:
+        entry = self.log.append(
+            writer=msg.src,
+            op=msg.payload["op"],
+            key=msg.payload["key"],
+            value=msg.payload.get("val"),
+        )
+        self.respond(msg, "appended", {"pos": entry.pos})
+
+    def _on_fetch(self, msg: Message) -> None:
+        pos = msg.payload["pos"]
+        entries = self.log.fetch_from(pos, msg.payload.get("max", 128))
+        self.respond(
+            msg,
+            "entries",
+            {"entries": [e.to_dict() for e in entries], "tail": self.log.tail},
+        )
+        # everything below the fetch position is acknowledged by this reader
+        self._cursors[msg.src] = max(
+            self._cursors.get(msg.src, 0), min(pos, self.log.tail)
+        )
+        self._maybe_auto_trim()
+
+    def _maybe_auto_trim(self) -> None:
+        if self.high_watermark is None or len(self.log) <= self.high_watermark:
+            return
+        if not self._cursors:
+            return
+        safe = min(self._cursors.values())
+        if safe > self.log.base:
+            self.log.trim(safe)
+            self.auto_trims += 1
+
+    def _on_trim(self, msg: Message) -> None:
+        dropped = self.log.trim(msg.payload["pos"])
+        self.respond(msg, "ok", {"dropped": dropped})

@@ -1,0 +1,339 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is the substrate every scale-out experiment in this repo runs
+on.  It provides:
+
+* a virtual clock (:attr:`Simulator.now`) that advances only when events
+  fire — simulating a 48-node cluster for 30 virtual seconds takes
+  milliseconds of wall time and is bit-for-bit reproducible for a fixed
+  seed;
+* a priority event queue with stable FIFO ordering for simultaneous
+  events (ties broken by insertion sequence, never by callback identity,
+  which would be nondeterministic);
+* lightweight *processes*: plain Python generators that ``yield`` either
+  a float (sleep for that many virtual seconds) or a :class:`SimFuture`
+  (park until the future resolves).
+
+Design notes
+------------
+Protocol code (controlets, datalets, coordinator) is written in the
+paper's event-handler style and therefore runs as plain callbacks; the
+generator-process facility exists mainly for closed-loop load clients
+and test drivers, which read much more naturally as sequential code.
+
+The kernel deliberately has **no global state**: every experiment builds
+its own :class:`Simulator`, so pytest can run hundreds of simulations in
+one process without cross-talk.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Simulator", "SimFuture", "TimerHandle", "Process"]
+
+
+class _Event:
+    """Heap entry.  Hand-rolled (not a dataclass) because ``__lt__`` is
+    the hottest function in saturated simulations."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+
+class TimerHandle:
+    """Cancellable handle returned by :meth:`Simulator.call_later`."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing.  Idempotent."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def when(self) -> float:
+        return self._event.time
+
+
+class SimFuture:
+    """A single-assignment cell that processes can wait on.
+
+    Mirrors the small subset of ``asyncio.Future`` the codebase needs:
+    ``set_result``/``set_exception`` fire registered callbacks exactly
+    once; late ``add_done_callback`` registrations fire immediately.
+    """
+
+    __slots__ = ("_sim", "_done", "_result", "_exception", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self._sim = sim
+        self._done = False
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["SimFuture"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError("SimFuture.result() called before completion")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        if not self._done:
+            raise SimulationError("SimFuture.exception() called before completion")
+        return self._exception
+
+    def set_result(self, value: Any = None) -> None:
+        self._finish(result=value)
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._finish(exception=exc)
+
+    def _finish(self, result: Any = None, exception: Optional[BaseException] = None) -> None:
+        if self._done:
+            raise SimulationError("SimFuture completed twice")
+        self._done = True
+        self._result = result
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        # Callbacks run inline: every protocol chain in this codebase is
+        # broken up by network/timer events (call_later), so recursion
+        # depth stays shallow, and skipping a heap round-trip per
+        # completion roughly halves saturated-simulation wall time.
+        for cb in callbacks:
+            cb(self)
+
+    def add_done_callback(self, cb: Callable[["SimFuture"], None]) -> None:
+        if self._done:
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+
+#: A simulation process: a generator that yields sleeps (float) or futures.
+Process = Generator[Any, Any, Any]
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    Typical driver::
+
+        sim = Simulator()
+        sim.spawn(client_loop(...))          # generator process
+        sim.call_later(20.0, inject_failure)
+        sim.run_until(40.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self._stopped = False
+        #: number of events executed — useful for kernel regression tests
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # clock & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> TimerHandle:
+        """Schedule ``fn(*args)`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        ev = _Event(self._now + delay, next(self._seq), (lambda: fn(*args)) if args else fn)
+        heapq.heappush(self._heap, ev)
+        return TimerHandle(ev)
+
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> TimerHandle:
+        """Schedule ``fn(*args)`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimulationError(f"call_at in the past: {when} < {self._now}")
+        return self.call_later(when - self._now, fn, *args)
+
+    def call_soon(self, fn: Callable[..., None], *args: Any) -> TimerHandle:
+        """Schedule ``fn(*args)`` at the current time (after pending events)."""
+        return self.call_later(0.0, fn, *args)
+
+    # ------------------------------------------------------------------
+    # futures & processes
+    # ------------------------------------------------------------------
+    def create_future(self) -> SimFuture:
+        return SimFuture(self)
+
+    def spawn(self, gen: Process) -> SimFuture:
+        """Run a generator as a process; returns a future for its result.
+
+        The generator may yield:
+
+        * ``float``/``int`` — sleep that many virtual seconds;
+        * :class:`SimFuture` — park until it resolves; the future's result
+          is sent back into the generator (exceptions are thrown in).
+        """
+        done = self.create_future()
+        self.call_soon(self._step, gen, None, None, done)
+        return done
+
+    def _step(
+        self,
+        gen: Process,
+        value: Any,
+        exc: Optional[BaseException],
+        done: SimFuture,
+    ) -> None:
+        try:
+            if exc is not None:
+                yielded = gen.throw(exc)
+            else:
+                yielded = gen.send(value)
+        except StopIteration as stop:
+            done.set_result(stop.value)
+            return
+        except BaseException as e:  # propagate process crash to awaiter
+            done.set_exception(e)
+            return
+
+        if isinstance(yielded, SimFuture):
+            def resume(fut: SimFuture, _gen=gen, _done=done) -> None:
+                err = fut.exception()
+                if err is not None:
+                    self._step(_gen, None, err, _done)
+                else:
+                    self._step(_gen, fut._result, None, _done)
+
+            if yielded.done:
+                # Yielding an already-resolved future must not resume
+                # inline: a process looping over completed futures would
+                # otherwise recurse one stack frame per iteration.
+                self.call_soon(resume, yielded)
+            else:
+                yielded.add_done_callback(resume)
+        elif isinstance(yielded, (int, float)):
+            self.call_later(float(yielded), self._step, gen, None, None, done)
+        else:
+            self._step(
+                gen, None, SimulationError(f"process yielded {type(yielded).__name__}"), done
+            )
+
+    def gather(self, futures: Iterable[SimFuture]) -> SimFuture:
+        """Future that resolves with a list of results once all inputs do."""
+        futures = list(futures)
+        out = self.create_future()
+        if not futures:
+            out.set_result([])
+            return out
+        remaining = {"n": len(futures)}
+        results: list[Any] = [None] * len(futures)
+
+        def on_done(idx: int, fut: SimFuture) -> None:
+            if out.done:
+                return
+            err = fut.exception()
+            if err is not None:
+                out.set_exception(err)
+                return
+            results[idx] = fut._result
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                out.set_result(results)
+
+        for i, f in enumerate(futures):
+            f.add_done_callback(lambda fut, i=i: on_done(i, fut))
+        return out
+
+    def sleep(self, delay: float) -> SimFuture:
+        """Future that resolves after ``delay`` seconds (for process code)."""
+        fut = self.create_future()
+        self.call_later(delay, fut.set_result, None)
+        return fut
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Make the current :meth:`run`/:meth:`run_until` return."""
+        self._stopped = True
+
+    def run_until(self, deadline: float) -> None:
+        """Execute events until the clock would pass ``deadline``.
+
+        The clock is left exactly at ``deadline`` so that back-to-back
+        ``run_until`` calls tile the timeline without gaps.
+        """
+        self._stopped = False
+        while self._heap and not self._stopped:
+            ev = self._heap[0]
+            if ev.time > deadline:
+                break
+            heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.fn()
+            self.events_processed += 1
+        if not self._stopped:
+            self._now = max(self._now, deadline)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run to quiescence, or to ``until`` if given."""
+        if until is not None:
+            self.run_until(until)
+            return
+        self._stopped = False
+        while self._heap and not self._stopped:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.fn()
+            self.events_processed += 1
+
+    def run_future(self, fut: SimFuture, timeout: Optional[float] = None) -> Any:
+        """Drive the simulation until ``fut`` resolves and return its result.
+
+        Convenience for tests: ``sim.run_future(sim.spawn(proc()))``.
+        """
+        deadline = None if timeout is None else self._now + timeout
+        while not fut.done:
+            if not self._heap:
+                raise SimulationError("simulation quiesced before future resolved")
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if deadline is not None and ev.time > deadline:
+                heapq.heappush(self._heap, ev)
+                raise SimulationError(f"future unresolved after {timeout}s of sim time")
+            self._now = ev.time
+            ev.fn()
+            self.events_processed += 1
+        return fut.result()

@@ -1,0 +1,129 @@
+"""Network model for the simulated cluster.
+
+Message delivery time between two nodes is::
+
+    one_way_latency + nbytes / bandwidth + jitter
+
+with jitter drawn from a named RNG stream so runs are reproducible.
+The model also supports *failing* nodes (all traffic to/from a dead node
+is silently dropped, exactly what a crashed process looks like to the
+rest of the cluster) and *partitions* (pairwise drop sets), which the
+failover experiments (Fig 16) and tests use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set, Tuple
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Network", "NetworkParams"]
+
+
+class NetworkParams:
+    """Tunable constants for one network fabric.
+
+    Defaults approximate the paper's GCE setup (1 Gbps, ~100 us one-way
+    in-zone latency).  The DPDK experiment swaps in a low-latency
+    parameter set (see :mod:`repro.net.dpdk`).
+    """
+
+    def __init__(
+        self,
+        one_way_latency: float = 100e-6,
+        bandwidth: float = 125e6,  # 1 Gbps in bytes/sec
+        jitter_frac: float = 0.1,
+        loopback_latency: float = 5e-6,
+        loss_rate: float = 0.0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.one_way_latency = one_way_latency
+        self.bandwidth = bandwidth
+        self.jitter_frac = jitter_frac
+        self.loopback_latency = loopback_latency
+        #: fraction of non-loopback messages silently dropped — chaos
+        #: injection for robustness tests (timeouts, retries and
+        #: anti-entropy must absorb it).
+        self.loss_rate = loss_rate
+
+
+class Network:
+    """Delivers payloads between named nodes with modeled delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        params: Optional[NetworkParams] = None,
+        rng: Optional[RngRegistry] = None,
+    ):
+        self.sim = sim
+        self.params = params or NetworkParams()
+        self._rng = (rng or RngRegistry(0)).stream("network.jitter")
+        self._dead: Set[str] = set()
+        self._cut: Set[Tuple[str, str]] = set()
+        # stats
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # -- failure control -------------------------------------------------
+    def kill(self, node: str) -> None:
+        """Drop all future traffic to and from ``node``."""
+        self._dead.add(node)
+
+    def revive(self, node: str) -> None:
+        self._dead.discard(node)
+
+    def is_dead(self, node: str) -> bool:
+        return node in self._dead
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the (bidirectional) link between ``a`` and ``b``."""
+        self._cut.add((a, b))
+        self._cut.add((b, a))
+
+    def heal(self, a: str, b: str) -> None:
+        self._cut.discard((a, b))
+        self._cut.discard((b, a))
+
+    # -- delivery --------------------------------------------------------
+    def delay(self, src: str, dst: str, nbytes: int) -> float:
+        """Sample the delivery delay for one message."""
+        p = self.params
+        if src == dst:
+            base = p.loopback_latency
+        else:
+            base = p.one_way_latency + nbytes / p.bandwidth
+        jitter = base * p.jitter_frac * self._rng.random()
+        return base + jitter
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        nbytes: int,
+        deliver: Callable[[], None],
+    ) -> bool:
+        """Schedule ``deliver()`` after the modeled delay.
+
+        Returns False (and drops the message) if either endpoint is dead
+        or the link is partitioned — the caller is *not* told, matching
+        UDP/crashed-TCP-peer semantics; request timeouts are the
+        responsibility of the sender.
+        """
+        self.messages_sent += 1
+        if src in self._dead or dst in self._dead or (src, dst) in self._cut:
+            self.messages_dropped += 1
+            return False
+        if (
+            self.params.loss_rate > 0.0
+            and src != dst
+            and self._rng.random() < self.params.loss_rate
+        ):
+            self.messages_dropped += 1
+            return False
+        self.bytes_sent += nbytes
+        self.sim.call_later(self.delay(src, dst, nbytes), deliver)
+        return True

@@ -1,0 +1,119 @@
+"""Queueing resources for the simulation kernel.
+
+:class:`Server` models a node's CPU (or any rate-limited stage) as an
+``c``-server FIFO queue: jobs arrive with a service demand in seconds,
+wait for a free slot, occupy it for the demand, then complete.  Queueing
+delay under load is what bends the latency/throughput curves in
+Fig 12-style experiments — it is emergent, not scripted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.kernel import SimFuture, Simulator
+
+__all__ = ["Server", "Pipe"]
+
+
+class Server:
+    """FIFO queue with ``capacity`` parallel service slots.
+
+    Statistics (:attr:`busy_time`, :attr:`completions`, :attr:`max_queue`)
+    are tracked so harness probes can report utilization.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = "server"):
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_service = 0
+        self._queue: Deque[Tuple[float, SimFuture]] = deque()
+        # stats
+        self.busy_time = 0.0
+        self.completions = 0
+        self.max_queue = 0
+
+    @property
+    def queue_len(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_service(self) -> int:
+        return self._in_service
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of total slot-seconds spent busy over ``elapsed``."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.capacity)
+
+    def submit(self, demand: float) -> SimFuture:
+        """Enqueue a job needing ``demand`` seconds of service.
+
+        Returns a future resolved when service completes.  Zero-demand
+        jobs still traverse the queue, preserving FIFO order.
+        """
+        if demand < 0:
+            raise SimulationError(f"negative service demand: {demand}")
+        fut = self.sim.create_future()
+        if self._in_service < self.capacity:
+            self._start(demand, fut)
+        else:
+            self._queue.append((demand, fut))
+            self.max_queue = max(self.max_queue, len(self._queue))
+        return fut
+
+    def _start(self, demand: float, fut: SimFuture) -> None:
+        self._in_service += 1
+        self.busy_time += demand
+        self.sim.call_later(demand, self._finish, fut)
+
+    def _finish(self, fut: SimFuture) -> None:
+        self._in_service -= 1
+        self.completions += 1
+        if self._queue and self._in_service < self.capacity:
+            demand, nxt = self._queue.popleft()
+            self._start(demand, nxt)
+        fut.set_result(None)
+
+    def drain_stats(self) -> dict:
+        """Snapshot and reset counters (used between measurement windows)."""
+        stats = {
+            "busy_time": self.busy_time,
+            "completions": self.completions,
+            "max_queue": self.max_queue,
+        }
+        self.busy_time = 0.0
+        self.completions = 0
+        self.max_queue = 0
+        return stats
+
+
+class Pipe:
+    """A serial link with fixed bandwidth (bytes/sec).
+
+    Models NIC serialization delay: transfers queue behind each other.
+    Used by the network model for bulk recovery traffic where bandwidth,
+    not latency, dominates (Fig 16 recovery windows).
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float, name: str = "pipe"):
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.name = name
+        self._server = Server(sim, capacity=1, name=name)
+        self.bytes_sent = 0
+
+    def transfer(self, nbytes: int) -> SimFuture:
+        """Occupy the link for ``nbytes / bandwidth`` seconds."""
+        if nbytes < 0:
+            raise SimulationError(f"negative transfer size: {nbytes}")
+        self.bytes_sent += nbytes
+        return self._server.submit(nbytes / self.bandwidth)

@@ -1,0 +1,47 @@
+"""Workload generators: YCSB mixes, key popularity, HPC traces, DL ingest."""
+
+from repro.workloads.dl import DLIngestWorkload
+from repro.workloads.hpc import (
+    ANALYTICS_MIX,
+    HPCPhaseTrace,
+    IO_FORWARDING_MIX,
+    JOB_LAUNCH_MIX,
+    MONITORING_MIX,
+    MonitoringTrace,
+    hpc_workload,
+)
+from repro.workloads.keys import KeySpace, UniformKeys, ZipfKeys
+from repro.workloads.ycsb import (
+    LatestWorkload,
+    OpMix,
+    Workload,
+    YCSB_A,
+    YCSB_B,
+    YCSB_D,
+    YCSB_E,
+    YCSB_F,
+    make_workload,
+)
+
+__all__ = [
+    "KeySpace",
+    "UniformKeys",
+    "ZipfKeys",
+    "OpMix",
+    "Workload",
+    "LatestWorkload",
+    "YCSB_A",
+    "YCSB_B",
+    "YCSB_D",
+    "YCSB_E",
+    "YCSB_F",
+    "make_workload",
+    "JOB_LAUNCH_MIX",
+    "IO_FORWARDING_MIX",
+    "MONITORING_MIX",
+    "ANALYTICS_MIX",
+    "hpc_workload",
+    "HPCPhaseTrace",
+    "MonitoringTrace",
+    "DLIngestWorkload",
+]

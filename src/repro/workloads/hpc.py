@@ -1,0 +1,144 @@
+"""HPC service workloads (paper §II, §VI, §VIII-A).
+
+The paper derives two traces from typical HPC services:
+
+* **job launch** — monitoring the messages between server and client
+  during an MPI job launch; control messages from the distributed
+  servers are Gets, results from compute nodes are Puts (≈50:50);
+* **I/O forwarding** — a SeaweedFS metadata log: create 10 000 files,
+  then 50/50 reads/writes per file; its Get:Put ratio comes out 62:38
+  ("12% more reads than job launch").
+
+Both traces carry the "time serialization property": operations arrive
+in phases (launch barrier, compute, result collection), which the
+generator reproduces with a phase schedule instead of an i.i.d. mix.
+
+The §VI-A Lustre monitoring use case adds two more streams:
+
+* **monitoring** — write-dominated time-series appends from MDS/OSS/
+  OST/MDT probes;
+* **analytics** — "completely read-intensive with uniform distribution".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.workloads.keys import KeySpace, UniformKeys
+from repro.workloads.ycsb import OpMix, Workload
+
+__all__ = [
+    "JOB_LAUNCH_MIX",
+    "IO_FORWARDING_MIX",
+    "MONITORING_MIX",
+    "ANALYTICS_MIX",
+    "hpc_workload",
+    "HPCPhaseTrace",
+    "MonitoringTrace",
+]
+
+JOB_LAUNCH_MIX = OpMix(get=0.50, put=0.50)
+IO_FORWARDING_MIX = OpMix(get=0.62, put=0.38)
+MONITORING_MIX = OpMix(get=0.05, put=0.95)
+ANALYTICS_MIX = OpMix(get=1.0)
+
+
+def hpc_workload(
+    name: str, keys: int = 10_000, seed: int = 0, value_size: int = 32
+) -> Workload:
+    """Steady-state closed-loop version of an HPC trace (for the
+    scalability sweeps, where only the mix matters)."""
+    mixes = {
+        "job_launch": JOB_LAUNCH_MIX,
+        "io_forwarding": IO_FORWARDING_MIX,
+        "monitoring": MONITORING_MIX,
+        "analytics": ANALYTICS_MIX,
+    }
+    if name not in mixes:
+        raise ConfigError(f"unknown HPC workload {name!r}; choose from {sorted(mixes)}")
+    space = KeySpace(keys, prefix=f"{name[:3]}_")
+    rng = random.Random(seed)
+    return Workload(mixes[name], UniformKeys(space, rng), value_size=value_size, rng=rng)
+
+
+class HPCPhaseTrace:
+    """Phase-structured trace reproducing time serialization.
+
+    A job launch cycles through: *dispatch* (servers publish control
+    state — Gets by compute agents), *compute* (sparse liveness
+    traffic), *collect* (result Puts back to the servers).
+    """
+
+    PHASES: List[Tuple[str, OpMix]] = [
+        ("dispatch", OpMix(get=0.9, put=0.1)),
+        ("compute", OpMix(get=0.5, put=0.5)),
+        ("collect", OpMix(get=0.1, put=0.9)),
+    ]
+
+    def __init__(
+        self,
+        jobs: int = 10,
+        ops_per_phase: int = 300,
+        keys: int = 5_000,
+        seed: int = 0,
+    ):
+        self.jobs = jobs
+        self.ops_per_phase = ops_per_phase
+        self.space = KeySpace(keys, prefix="job_")
+        self.rng = random.Random(seed)
+
+    def ops(self) -> Iterator[Tuple[str, ...]]:
+        pop = UniformKeys(self.space, self.rng)
+        for _ in range(self.jobs):
+            for _, mix in self.PHASES:
+                w = Workload(mix, pop, rng=self.rng)
+                for _ in range(self.ops_per_phase):
+                    yield w.next_op()
+
+    def ratio(self) -> Tuple[float, float]:
+        """Aggregate Get:Put ratio across all phases (≈50:50)."""
+        gets = puts = 0
+        for op in self.ops():
+            if op[0] == "get":
+                gets += 1
+            elif op[0] == "put":
+                puts += 1
+        total = gets + puts
+        return gets / total, puts / total
+
+
+class MonitoringTrace:
+    """Lustre monitoring stream: per-component time-series Puts.
+
+    Keys look like ``oss3.read_bytes.000042`` — component, metric,
+    monotonically increasing sample index — so the write path is
+    append-mostly, exactly the pattern that favors the LSM datalet in
+    Fig 6.
+    """
+
+    COMPONENTS = ["mds0", "oss1", "oss2", "oss3", "ost4", "ost5", "mdt6"]
+    METRICS = ["read_bytes", "write_bytes", "iops", "open_count", "stripe_count"]
+
+    def __init__(self, samples: int = 1000, seed: int = 0):
+        self.samples = samples
+        self.rng = random.Random(seed)
+        self._written: List[str] = []
+
+    def ops(self) -> Iterator[Tuple[str, ...]]:
+        for i in range(self.samples):
+            comp = self.rng.choice(self.COMPONENTS)
+            metric = self.rng.choice(self.METRICS)
+            key = f"{comp}.{metric}.{i:06d}"
+            self._written.append(key)
+            yield ("put", key, str(self.rng.random()))
+
+    def analytics_ops(self, reads: int, seed: Optional[int] = None) -> Iterator[Tuple[str, ...]]:
+        """The downstream load-balancer model reading samples back,
+        uniform over everything written so far."""
+        if not self._written:
+            raise ConfigError("no monitoring samples written yet")
+        rng = random.Random(self.rng.random() if seed is None else seed)
+        for _ in range(reads):
+            yield ("get", rng.choice(self._written))

@@ -1,0 +1,181 @@
+"""YCSB-style workload generators (paper §VIII-A).
+
+The paper uses three mixes:
+
+* update-intensive — 50% Get / 50% Put (YCSB-A);
+* read-mostly      — 95% Get /  5% Put (YCSB-B);
+* scan-intensive   — 95% Scan / 5% Put (YCSB-E).
+
+Tuples default to 16 B keys and 32 B values as in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.workloads.keys import KeySpace, UniformKeys, ZipfKeys
+
+__all__ = ["OpMix", "Workload", "LatestWorkload",
+           "YCSB_A", "YCSB_B", "YCSB_D", "YCSB_E", "YCSB_F", "make_workload"]
+
+#: an op is ("get", key) | ("put", key, val) | ("del", key)
+#: | ("scan", start_key, count)
+Op = Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Operation ratios; must sum to 1.
+
+    ``rmw`` is YCSB-F's read-modify-write: the driver reads the key,
+    transforms the value, and writes it back (two store round trips).
+    """
+
+    get: float = 0.0
+    put: float = 0.0
+    scan: float = 0.0
+    delete: float = 0.0
+    rmw: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.get + self.put + self.scan + self.delete + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"op mix must sum to 1, got {total}")
+        if min(self.get, self.put, self.scan, self.delete, self.rmw) < 0:
+            raise ConfigError("op ratios must be non-negative")
+
+
+YCSB_A = OpMix(get=0.50, put=0.50)
+YCSB_B = OpMix(get=0.95, put=0.05)
+YCSB_E = OpMix(scan=0.95, put=0.05)
+YCSB_F = OpMix(get=0.50, rmw=0.50)
+
+
+class Workload:
+    """Closed-loop op stream over a keyspace."""
+
+    def __init__(
+        self,
+        mix: OpMix,
+        popularity: Union[UniformKeys, ZipfKeys],
+        value_size: int = 32,
+        scan_length: int = 50,
+        rng: Optional[random.Random] = None,
+    ):
+        self.mix = mix
+        self.popularity = popularity
+        self.space = popularity.space
+        self.value_size = value_size
+        self.scan_length = scan_length
+        self.rng = rng or random.Random(1)
+        self._value_pool = [
+            "".join(self.rng.choices("abcdefghijklmnopqrstuvwxyz0123456789", k=value_size))
+            for _ in range(64)
+        ]
+        self.counts = {"get": 0, "put": 0, "scan": 0, "del": 0}
+
+    def value(self) -> str:
+        return self._value_pool[self.rng.randrange(len(self._value_pool))]
+
+    def next_op(self) -> Op:
+        r = self.rng.random()
+        key = self.popularity.next_key()
+        m = self.mix
+        if r < m.get:
+            self.counts["get"] += 1
+            return ("get", key)
+        if r < m.get + m.put:
+            self.counts["put"] += 1
+            return ("put", key, self.value())
+        if r < m.get + m.put + m.scan:
+            self.counts["scan"] += 1
+            return ("scan", key, self.scan_length)
+        if r < m.get + m.put + m.scan + m.rmw:
+            self.counts["rmw"] = self.counts.get("rmw", 0) + 1
+            return ("rmw", key, self.value())
+        self.counts["del"] += 1
+        return ("del", key)
+
+    def preload_ops(self):
+        """One put per key — the load phase before measurement."""
+        for i in range(self.space.n):
+            yield ("put", self.space.key(i), self.value())
+
+
+#: YCSB-D ratios (95% read / 5% insert); the *latest* distribution is
+#: what :class:`LatestWorkload` adds on top.
+YCSB_D = OpMix(get=0.95, put=0.05)
+
+
+class LatestWorkload(Workload):
+    """YCSB-D: read-latest.  Inserts append fresh keys; reads follow a
+    Zipfian over *recency ranks* so freshly inserted records are the
+    hottest — the "status updates" access pattern."""
+
+    def __init__(
+        self,
+        keys: int = 10_000,
+        preloaded: int = 1_000,
+        theta: float = 0.99,
+        value_size: int = 32,
+        seed: int = 0,
+        recency_window: int = 1_000,
+    ):
+        if preloaded < 1 or preloaded > keys:
+            raise ConfigError("preloaded must be in [1, keys]")
+        space = KeySpace(keys)
+        rng = random.Random(seed)
+        super().__init__(YCSB_D, UniformKeys(space, rng), value_size=value_size, rng=rng)
+        self.inserted = preloaded
+        # Zipf CDF over recency ranks 1..W
+        import numpy as np
+
+        window = min(recency_window, keys)
+        weights = 1.0 / np.power(np.arange(1, window + 1, dtype=np.float64), theta)
+        self._recency_cdf = np.cumsum(weights)
+        self._recency_cdf /= self._recency_cdf[-1]
+
+    def _latest_key(self) -> str:
+        import numpy as np
+
+        rank = int(np.searchsorted(self._recency_cdf, self.rng.random(), side="right"))
+        index = max(0, self.inserted - 1 - rank)
+        return self.space.key(index)
+
+    def next_op(self) -> Op:
+        if self.rng.random() < self.mix.put and self.inserted < self.space.n:
+            key = self.space.key(self.inserted)
+            self.inserted += 1
+            self.counts["put"] += 1
+            return ("put", key, self.value())
+        self.counts["get"] += 1
+        return ("get", self._latest_key())
+
+    def preload_ops(self):
+        for i in range(self.inserted):
+            yield ("put", self.space.key(i), self.value())
+
+
+def make_workload(
+    mix: OpMix,
+    keys: int = 10_000,
+    distribution: str = "zipfian",
+    theta: float = 0.99,
+    value_size: int = 32,
+    scan_length: int = 50,
+    seed: int = 0,
+    spread_alpha: bool = False,
+) -> Workload:
+    """Convenience factory mirroring the paper's workload table."""
+    space = KeySpace(keys, spread_alpha=spread_alpha)
+    rng = random.Random(seed)
+    if distribution == "zipfian":
+        pop: Union[UniformKeys, ZipfKeys] = ZipfKeys(space, theta=theta, rng=rng)
+    elif distribution == "uniform":
+        pop = UniformKeys(space, rng=rng)
+    else:
+        raise ConfigError(f"unknown distribution {distribution!r}")
+    return Workload(mix, pop, value_size=value_size, scan_length=scan_length, rng=rng)

@@ -1,0 +1,234 @@
+"""Tests for the actor framework and the simulated cluster transport."""
+
+import pytest
+
+from repro.datalet import DataletActor, HashTableEngine
+from repro.errors import BespoError, RequestTimeout
+from repro.net import Actor, Message, SimCluster
+
+
+class Echo(Actor):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.register("ping", lambda m: self.respond(m, "pong", {"n": m.payload["n"]}))
+
+
+def make_cluster(**kw):
+    c = SimCluster(**kw)
+    return c
+
+
+def test_message_response_correlation():
+    m = Message("get", {"key": "a"}, src="c1", dst="d1")
+    r = m.response("value", {"val": "x"})
+    assert r.reply_to == m.msg_id
+    assert (r.src, r.dst) == ("d1", "c1")
+
+
+def test_message_size_accounts_for_payload():
+    small = Message("put", {"key": "k", "val": "v"})
+    big = Message("put", {"key": "k", "val": "v" * 1000})
+    assert big.size_bytes() - small.size_bytes() == 999
+
+
+def test_message_size_nested_types():
+    m = Message("x", {"items": [("a", "bb")], "data": {"k": "vvv"}, "n": 7})
+    assert m.size_bytes() > 64
+
+
+def test_request_response_roundtrip():
+    c = make_cluster()
+    c.add_actor(Echo("e1"))
+    port = c.add_port("client")
+    c.start()
+    fut = port.request("e1", "ping", {"n": 5})
+    resp = c.sim.run_future(fut)
+    assert resp.type == "pong" and resp.payload["n"] == 5
+    assert c.sim.now > 0  # network latency elapsed
+
+
+def test_unknown_destination_times_out():
+    c = make_cluster()
+    port = c.add_port("client")
+    c.start()
+    fut = port.request("ghost", "ping", {}, timeout=0.5)
+    with pytest.raises(RequestTimeout):
+        c.sim.run_future(fut)
+
+
+def test_unhandled_message_type_returns_error():
+    c = make_cluster()
+    c.add_actor(Echo("e1"))
+    port = c.add_port("client")
+    c.start()
+    resp = c.sim.run_future(port.request("e1", "bogus", {}))
+    assert resp.type == "error"
+
+
+def test_dead_actor_ignores_messages():
+    c = make_cluster()
+    c.add_actor(Echo("e1"))
+    port = c.add_port("client")
+    c.start()
+    c.kill_host("e1")
+    fut = port.request("e1", "ping", {"n": 1}, timeout=0.5)
+    with pytest.raises(RequestTimeout):
+        c.sim.run_future(fut)
+
+
+def test_kill_host_stops_timers():
+    class Ticker(Actor):
+        def __init__(self):
+            super().__init__("t1")
+            self.ticks = 0
+
+        def on_start(self):
+            self.set_timer(1.0, self._tick)
+
+        def _tick(self):
+            self.ticks += 1
+            self.set_timer(1.0, self._tick)
+
+    c = make_cluster()
+    t = Ticker()
+    c.add_actor(t)
+    c.start()
+    c.sim.run_until(3.5)
+    assert t.ticks == 3
+    c.kill_host("t1")
+    c.sim.run_until(10.0)
+    assert t.ticks == 3
+
+
+def test_late_response_after_timeout_dropped():
+    class Slow(Actor):
+        def __init__(self):
+            super().__init__("s1")
+            self.register("ping", self._on_ping)
+
+        def _on_ping(self, m):
+            self.set_timer(2.0, lambda: self.respond(m, "pong"))
+
+    c = make_cluster()
+    c.add_actor(Slow())
+    port = c.add_port("client")
+    c.start()
+    fut = port.request("s1", "ping", {}, timeout=0.5)
+    with pytest.raises(RequestTimeout):
+        c.sim.run_future(fut)
+    c.sim.run_until(5.0)  # late pong arrives and must be ignored silently
+
+
+def test_emit_requires_handler():
+    a = Echo("e")
+    with pytest.raises(BespoError):
+        a.emit("nothing")
+
+
+def test_extended_events_dispatch():
+    a = Echo("e")
+    seen = []
+    a.on("custom", lambda x: seen.append(x))
+    a.emit("custom", 42)
+    assert seen == [42]
+
+
+def test_send_requires_attachment():
+    a = Echo("e")
+    with pytest.raises(BespoError):
+        a.send("x", "ping")
+
+
+def test_duplicate_actor_id_rejected():
+    c = make_cluster()
+    c.add_actor(Echo("e1"))
+    with pytest.raises(BespoError):
+        c.add_actor(Echo("e1"))
+
+
+def test_duplicate_host_rejected():
+    c = make_cluster()
+    c.add_host("h1")
+    with pytest.raises(BespoError):
+        c.add_host("h1")
+
+
+def test_colocated_actors_share_host_cpu():
+    c = make_cluster()
+    c.add_host("h1")
+    c.add_actor(Echo("e1"), host="h1")
+    c.add_actor(Echo("e2"), host="h1")
+    assert c.host_of("e1") == c.host_of("e2") == "h1"
+    assert c.host_cpu("h1") is c.host_cpu("h1")
+
+
+def test_actor_added_after_start_gets_on_start():
+    started = []
+
+    class Probe(Actor):
+        def on_start(self):
+            started.append(self.node_id)
+
+    c = make_cluster()
+    c.start()
+    c.add_actor(Probe("late"))
+    c.sim.run_until(0.1)
+    assert started == ["late"]
+
+
+def test_forward_preserves_correlation():
+    class Router(Actor):
+        def __init__(self):
+            super().__init__("r1")
+            self.register("ping", lambda m: self.forward(m, "e1"))
+
+    c = make_cluster()
+    c.add_actor(Router())
+    c.add_actor(Echo("e1"))
+    port = c.add_port("client")
+    c.start()
+    resp = c.sim.run_future(port.request("r1", "ping", {"n": 9}))
+    assert resp.type == "pong" and resp.payload["n"] == 9
+
+
+def test_datalet_actor_end_to_end():
+    c = make_cluster()
+    c.add_actor(DataletActor("d1", HashTableEngine()))
+    port = c.add_port("client")
+    c.start()
+
+    def run(type_, payload):
+        return c.sim.run_future(port.request("d1", type_, payload))
+
+    assert run("put", {"key": "a", "val": "1"}).type == "ok"
+    assert run("get", {"key": "a"}).payload["val"] == "1"
+    assert run("del", {"key": "a"}).type == "ok"
+    assert run("get", {"key": "a"}).payload["error"] == "not_found"
+    assert run("scan", {"start": "a", "end": "z"}).payload["error"]
+
+
+def test_datalet_snapshot_restore_over_network():
+    c = make_cluster()
+    c.add_actor(DataletActor("d1", HashTableEngine()))
+    c.add_actor(DataletActor("d2", HashTableEngine()))
+    port = c.add_port("client")
+    c.start()
+    for i in range(10):
+        c.sim.run_future(port.request("d1", "put", {"key": f"k{i}", "val": str(i)}))
+    snap = c.sim.run_future(port.request("d1", "snapshot", {})).payload["data"]
+    c.sim.run_future(port.request("d2", "restore", {"data": snap}))
+    assert c.sim.run_future(port.request("d2", "get", {"key": "k7"})).payload["val"] == "7"
+
+
+def test_cpu_contention_creates_queueing():
+    """Two hosts, one gets 10x the requests: its responses finish later."""
+    c = make_cluster()
+    c.add_actor(DataletActor("d1", HashTableEngine()))
+    port = c.add_port("client")
+    c.start()
+    futs = [port.request("d1", "put", {"key": f"k{i}", "val": "v"}) for i in range(200)]
+    done = c.sim.gather(futs)
+    c.sim.run_future(done)
+    cpu = c.host_cpu("d1")
+    assert cpu.completions == 200
+    assert cpu.max_queue > 0  # burst had to queue

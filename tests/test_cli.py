@@ -1,0 +1,68 @@
+"""Tests for the bespokv CLI."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+
+
+def test_demo_runs(capsys):
+    assert main(["demo", "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "deployed 2 shards" in out
+    assert "failover complete" in out
+    assert "final -> strong" in out
+
+
+def test_bench_runs(capsys):
+    rc = main([
+        "bench", "--topology", "aa", "--consistency", "eventual",
+        "--shards", "2", "--keys", "300", "--duration", "0.5",
+        "--warmup", "0.2", "--clients", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "AA+EC" in out and "QPS" in out
+
+
+def test_bench_from_config_file(tmp_path, capsys):
+    cfg = tmp_path / "c1.json"
+    cfg.write_text('{"topology": "ms", "consistency_model": "strong", "num_replicas": "2"}')
+    rc = main(["bench", "--config", str(cfg), "--shards", "1", "--keys", "200",
+               "--duration", "0.4", "--warmup", "0.1", "--clients", "3"])
+    assert rc == 0
+    assert "MS+SC" in capsys.readouterr().out
+
+
+def test_serve_roundtrip(capsys):
+    """Serve an engine briefly and hit it with the TCP client."""
+    from repro.net.tcp import TcpKVClient
+
+    result = {}
+
+    def run_server():
+        result["rc"] = main(["serve", "--engine", "mt", "--port", "0",
+                             "--serve-seconds", "1.5"])
+
+    t = threading.Thread(target=run_server)
+    t.start()
+    time.sleep(0.4)  # let it bind and print
+    out = capsys.readouterr().out
+    port = int(out.split("listening on ")[1].split("\n")[0].split(":")[1])
+    with TcpKVClient("127.0.0.1", port) as kv:
+        kv.put("cli", "works")
+        assert kv.get("cli") == "works"
+    t.join(timeout=5)
+    assert result["rc"] == 0
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,83 @@
+"""Tests for cluster metadata types."""
+
+import pytest
+
+from repro.core.types import ClusterMap, Consistency, Replica, ShardInfo, Topology
+from repro.errors import ConfigError
+
+
+def shard3(topology=Topology.MS, consistency=Consistency.STRONG):
+    return ShardInfo(
+        shard_id="s0",
+        topology=topology,
+        consistency=consistency,
+        replicas=[
+            Replica("c1", "d1", "h1", chain_pos=0),
+            Replica("c2", "d2", "h2", chain_pos=1),
+            Replica("c3", "d3", "h3", chain_pos=2),
+        ],
+    )
+
+
+def test_head_tail_and_order():
+    s = shard3()
+    assert s.head.controlet == "c1"
+    assert s.tail.controlet == "c3"
+    assert s.controlets() == ["c1", "c2", "c3"]
+
+
+def test_successor_chain():
+    s = shard3()
+    assert s.successor("c1").controlet == "c2"
+    assert s.successor("c2").controlet == "c3"
+    assert s.successor("c3") is None
+    with pytest.raises(ConfigError):
+        s.successor("nope")
+
+
+def test_replica_of_and_remove():
+    s = shard3()
+    r = s.replica_of("c2")
+    assert r.datalet == "d2"
+    s.remove_replica("c2")
+    assert s.controlets() == ["c1", "c3"]
+    with pytest.raises(ConfigError):
+        s.replica_of("c2")
+
+
+def test_string_coercion_of_enums():
+    s = ShardInfo("s0", "aa", "eventual", [Replica("c", "d", "h")])
+    assert s.topology is Topology.AA
+    assert s.consistency is Consistency.EVENTUAL
+
+
+def test_empty_shard_head_raises():
+    s = ShardInfo("s0", Topology.MS, Consistency.STRONG, [])
+    with pytest.raises(ConfigError):
+        _ = s.head
+    with pytest.raises(ConfigError):
+        _ = s.tail
+
+
+def test_shard_roundtrip_dict():
+    s = shard3(Topology.AA, Consistency.EVENTUAL)
+    s2 = ShardInfo.from_dict(s.to_dict())
+    assert s2.to_dict() == s.to_dict()
+    assert s2.head.controlet == "c1"
+
+
+def test_cluster_map_roundtrip_and_epoch():
+    cm = ClusterMap()
+    cm.shards["s0"] = shard3()
+    cm.bump()
+    cm.bump()
+    d = cm.to_dict()
+    cm2 = ClusterMap.from_dict(d)
+    assert cm2.epoch == 2
+    assert cm2.shard("s0").tail.controlet == "c3"
+    assert cm2.shard_ids() == ["s0"]
+
+
+def test_cluster_map_unknown_shard():
+    with pytest.raises(ConfigError):
+        ClusterMap().shard("nope")

@@ -1,0 +1,145 @@
+"""Tests for control-plane configuration and the artifact file formats."""
+
+import json
+
+import pytest
+
+from repro.core.config import (
+    ControlConfig,
+    load_deployment_config,
+    parse_datalet_hosts,
+)
+from repro.core.types import Consistency, Topology
+from repro.errors import ConfigError
+
+
+# ---------------------------------------------------------------------------
+# ControlConfig
+# ---------------------------------------------------------------------------
+def test_control_config_defaults_valid():
+    cfg = ControlConfig()
+    assert cfg.heartbeat_interval > 0
+    assert cfg.failure_timeout > cfg.heartbeat_interval
+
+
+@pytest.mark.parametrize(
+    "field",
+    ["heartbeat_interval", "failure_timeout", "replication_timeout",
+     "ec_batch_interval", "log_fetch_interval", "lock_lease"],
+)
+def test_control_config_rejects_nonpositive(field):
+    with pytest.raises(ConfigError):
+        ControlConfig(**{field: 0.0})
+
+
+def test_control_config_rejects_bad_batch():
+    with pytest.raises(ConfigError):
+        ControlConfig(ec_batch_max=0)
+    with pytest.raises(ConfigError):
+        ControlConfig(log_fetch_max=0)
+
+
+def test_control_config_frozen():
+    cfg = ControlConfig()
+    with pytest.raises(AttributeError):
+        cfg.heartbeat_interval = 9
+
+
+# ---------------------------------------------------------------------------
+# deployment JSON (artifact appendix format)
+# ---------------------------------------------------------------------------
+ARTIFACT_JSON = {
+    "zk": "192.168.0.173:2181",
+    "mq": "192.168.0.173:9092",
+    "consistency_model": "strong",
+    "consistency_tech": "cr",
+    "topology": "ms",
+    "num_replicas": "2",
+}
+
+
+def test_load_artifact_example():
+    cfg = load_deployment_config(dict(ARTIFACT_JSON))
+    assert cfg.topology is Topology.MS
+    assert cfg.consistency is Consistency.STRONG
+    assert cfg.consistency_tech == "cr"
+    # num_replicas excludes the master; total = 3
+    assert cfg.num_replicas == 3
+    assert cfg.coordinator == "192.168.0.173:2181"
+    assert cfg.extras["mq"] == "192.168.0.173:9092"
+
+
+def test_load_from_json_string():
+    cfg = load_deployment_config(json.dumps({"topology": "aa"}))
+    assert cfg.topology is Topology.AA
+    assert cfg.consistency is Consistency.EVENTUAL  # default
+
+
+def test_load_from_file(tmp_path):
+    p = tmp_path / "c1.json"
+    p.write_text(json.dumps(ARTIFACT_JSON))
+    assert load_deployment_config(p).topology is Topology.MS
+
+
+def test_load_rejects_bad_topology():
+    with pytest.raises(ConfigError):
+        load_deployment_config({"topology": "ring"})
+    with pytest.raises(ConfigError):
+        load_deployment_config({})
+
+
+def test_load_rejects_bad_consistency():
+    with pytest.raises(ConfigError):
+        load_deployment_config({"topology": "ms", "consistency_model": "linearizable"})
+
+
+def test_load_rejects_bad_replicas():
+    with pytest.raises(ConfigError):
+        load_deployment_config({"topology": "ms", "num_replicas": "two"})
+    with pytest.raises(ConfigError):
+        load_deployment_config({"topology": "ms", "num_replicas": "-1"})
+
+
+def test_load_rejects_bad_json():
+    with pytest.raises(ConfigError):
+        load_deployment_config("{not json")
+
+
+def test_load_datalet_kinds():
+    cfg = load_deployment_config({"topology": "ms", "datalet_kinds": ["lsm", "mt"]})
+    assert cfg.datalet_kinds == ["lsm", "mt"]
+    with pytest.raises(ConfigError):
+        load_deployment_config({"topology": "ms", "datalet_kinds": []})
+
+
+# ---------------------------------------------------------------------------
+# datalet host file (artifact format)
+# ---------------------------------------------------------------------------
+HOSTFILE = """\
+# 0: master; 1: slave
+192.168.0.171:11111:0
+192.168.0.171:11112:1
+192.168.0.171:11113:1
+"""
+
+
+def test_parse_hostfile():
+    hosts = parse_datalet_hosts(HOSTFILE)
+    assert hosts == [
+        ("192.168.0.171", 11111, "master"),
+        ("192.168.0.171", 11112, "slave"),
+        ("192.168.0.171", 11113, "slave"),
+    ]
+
+
+def test_parse_hostfile_blank_and_comments():
+    assert parse_datalet_hosts("\n  # just a comment\n\n") == []
+
+
+def test_parse_hostfile_errors():
+    with pytest.raises(ConfigError):
+        parse_datalet_hosts("10.0.0.1:1234")  # missing role
+    with pytest.raises(ConfigError):
+        parse_datalet_hosts("10.0.0.1:abc:0")  # bad port
+    with pytest.raises(ConfigError):
+        parse_datalet_hosts("10.0.0.1:1234:2")  # bad role

@@ -1,0 +1,106 @@
+"""Tests for coordinator primary/standby resilience (§VII)."""
+
+import pytest
+
+from repro.core.types import Consistency, Topology
+from repro.harness import Deployment, DeploymentSpec
+
+
+def build(**kw):
+    dep = Deployment(
+        DeploymentSpec(
+            shards=2, replicas=3,
+            topology=Topology.MS, consistency=Consistency.EVENTUAL,
+            coordinator_standby=True, **kw,
+        )
+    )
+    dep.start()
+    client = dep.client("c0")
+    dep.sim.run_future(client.connect())
+    return dep, client
+
+
+def test_standby_mirrors_cluster_map():
+    dep, client = build()
+    dep.sim.run_until(3.0)
+    assert dep.standby.map.shard_ids() == dep.map.shard_ids()
+    assert dep.standby.map.epoch == dep.map.epoch
+    assert not dep.standby.promoted
+
+
+def test_standby_serves_metadata_reads():
+    dep, client = build()
+    dep.sim.run_until(2.0)
+    port = dep.cluster.add_port("probe")
+    resp = dep.sim.run_future(
+        port.request("coordinator.standby", "get_cluster_map", {}))
+    assert resp.type == "cluster_map"
+
+
+def test_standby_refuses_transitions_while_following():
+    dep, client = build()
+    dep.sim.run_until(2.0)
+    port = dep.cluster.add_port("probe")
+    resp = dep.sim.run_future(
+        port.request("coordinator.standby", "request_transition",
+                     {"topology": "aa", "consistency": "eventual"}))
+    assert resp.type == "error" and "standby" in resp.payload["error"]
+
+
+def test_primary_death_promotes_standby():
+    dep, client = build()
+    dep.sim.run_until(2.0)
+    dep.cluster.kill_host("coordinator")
+    dep.sim.run_until(dep.sim.now + 8.0)
+    assert dep.standby.promoted
+    assert dep.active_coordinator() == "coordinator.standby"
+
+
+def test_client_fails_over_to_standby():
+    dep, client = build()
+    dep.sim.run_until(2.0)
+    dep.cluster.kill_host("coordinator")
+    dep.sim.run_until(dep.sim.now + 8.0)
+    # a refresh must succeed via the standby
+    epoch = dep.sim.run_future(client.connect())
+    assert epoch == dep.standby.map.epoch
+    assert client.coordinators[0] == "coordinator.standby"
+    # and normal ops keep working
+    dep.sim.run_future(client.put("k", "v"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    assert dep.sim.run_future(client.get("k")) == "v"
+
+
+def test_promoted_standby_repairs_replica_failures():
+    """The full §VII story: primary dies, standby promotes, a replica
+    dies, the standby orchestrates repair + replacement recovery."""
+    dep, client = build()
+    for i in range(10):
+        dep.sim.run_future(client.put(f"k{i}", str(i)))
+    dep.sim.run_until(dep.sim.now + 2.0)
+    dep.cluster.kill_host("coordinator")
+    dep.sim.run_until(dep.sim.now + 8.0)
+    assert dep.standby.promoted
+
+    victim_host = dep.standby.map.shard("s0").tail.host
+    dep.cluster.kill_host(victim_host)
+    dep.sim.run_until(dep.sim.now + 15.0)
+    shard = dep.standby.map.shard("s0")
+    assert dep.standby.failovers >= 1
+    assert len(shard.replicas) == 3  # replacement joined under the standby
+    # data survived and is served
+    dep.sim.run_future(client.connect())
+    assert dep.sim.run_future(client.get("k3")) == "3"
+
+
+def test_no_promotion_while_primary_alive():
+    dep, client = build()
+    dep.sim.run_until(20.0)
+    assert not dep.standby.promoted
+    assert dep.active_coordinator() == "coordinator"
+
+
+def test_standby_disabled_by_default():
+    dep = Deployment(DeploymentSpec(shards=1, replicas=2))
+    assert dep.standby is None
+    assert dep.coordinator_names() == ["coordinator"]

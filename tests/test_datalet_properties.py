@@ -1,0 +1,135 @@
+"""Property-based tests: every engine behaves like a dict (plus ordered
+scans for ordered engines), under arbitrary operation sequences."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.datalet import (
+    BTreeEngine,
+    HashTableEngine,
+    LogEngine,
+    LSMEngine,
+    SSDBEngine,
+)
+from repro.errors import KeyNotFound
+
+keys = st.text(alphabet="abcdefgh", min_size=1, max_size=4)
+vals = st.text(alphabet="xyz0123", max_size=6)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, vals),
+        st.tuples(st.just("del"), keys, st.just("")),
+        st.tuples(st.just("get"), keys, st.just("")),
+    ),
+    max_size=120,
+)
+
+ENGINE_FACTORIES = [
+    ("ht", HashTableEngine),
+    ("mt", lambda: BTreeEngine(order=4)),  # tiny order -> exercise splits
+    ("lsm", lambda: LSMEngine(memtable_limit=8, max_sstables=3)),
+    ("log", lambda: LogEngine(gc_threshold=0.3, min_gc_records=16)),
+    ("ssdb", lambda: SSDBEngine(memtable_limit=8)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ENGINE_FACTORIES, ids=[n for n, _ in ENGINE_FACTORIES])
+@settings(max_examples=60, deadline=None)
+@given(sequence=ops)
+def test_engine_matches_model_dict(name, factory, sequence):
+    engine = factory()
+    model = {}
+    for op, k, v in sequence:
+        if op == "put":
+            engine.put(k, v)
+            model[k] = v
+        elif op == "del":
+            if k in model:
+                engine.delete(k)
+                del model[k]
+            else:
+                with pytest.raises(KeyNotFound):
+                    engine.delete(k)
+        else:  # get
+            if k in model:
+                assert engine.get(k) == model[k]
+            else:
+                with pytest.raises(KeyNotFound):
+                    engine.get(k)
+    assert len(engine) == len(model)
+    assert dict(engine.items()) == model
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequence=ops, bounds=st.tuples(keys, keys))
+def test_btree_scan_matches_sorted_model(sequence, bounds):
+    engine = BTreeEngine(order=4)
+    model = {}
+    for op, k, v in sequence:
+        if op == "put":
+            engine.put(k, v)
+            model[k] = v
+        elif op == "del" and k in model:
+            engine.delete(k)
+            del model[k]
+    lo, hi = min(bounds), max(bounds)
+    expect = sorted((k, v) for k, v in model.items() if lo <= k < hi)
+    assert engine.scan(lo, hi) == expect
+    engine.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(sequence=ops, bounds=st.tuples(keys, keys))
+def test_lsm_scan_matches_sorted_model(sequence, bounds):
+    engine = LSMEngine(memtable_limit=8, max_sstables=3)
+    model = {}
+    for op, k, v in sequence:
+        if op == "put":
+            engine.put(k, v)
+            model[k] = v
+        elif op == "del" and k in model:
+            engine.delete(k)
+            del model[k]
+    lo, hi = min(bounds), max(bounds)
+    expect = sorted((k, v) for k, v in model.items() if lo <= k < hi)
+    assert engine.scan(lo, hi) == expect
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequence=ops)
+def test_snapshot_restore_equivalence(sequence):
+    """restore(snapshot()) produces an engine with identical contents,
+    across engine families (snapshot from LSM into a B+-tree)."""
+    src = LSMEngine(memtable_limit=8)
+    model = {}
+    for op, k, v in sequence:
+        if op == "put":
+            src.put(k, v)
+            model[k] = v
+        elif op == "del" and k in model:
+            src.delete(k)
+            del model[k]
+    dst = BTreeEngine(order=4)
+    dst.restore(src.snapshot())
+    assert dict(dst.items()) == model
+    dst.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(sequence=ops)
+def test_log_compaction_invisible(sequence):
+    """Compaction at any point never changes observable contents."""
+    engine = LogEngine(min_gc_records=10**9)
+    model = {}
+    for op, k, v in sequence:
+        if op == "put":
+            engine.put(k, v)
+            model[k] = v
+        elif op == "del" and k in model:
+            engine.delete(k)
+            del model[k]
+    engine.compact()
+    assert dict(engine.items()) == model
+    assert engine.garbage_ratio() == 0.0

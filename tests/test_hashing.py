@@ -1,0 +1,134 @@
+"""Tests for consistent hashing and range partitioning."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hashing import HashRing, RangePartitioner, stable_hash
+
+
+def test_stable_hash_is_stable():
+    assert stable_hash("key1") == stable_hash("key1")
+    assert stable_hash("key1") != stable_hash("key2")
+
+
+def test_ring_lookup_deterministic():
+    ring = HashRing(["a", "b", "c"])
+    assert all(ring.lookup(f"k{i}") == ring.lookup(f"k{i}") for i in range(100))
+
+
+def test_ring_covers_all_members():
+    ring = HashRing([f"s{i}" for i in range(8)])
+    owners = {ring.lookup(f"key{i}") for i in range(5000)}
+    assert owners == set(ring.members)
+
+
+def test_ring_balance_reasonable():
+    ring = HashRing([f"s{i}" for i in range(8)], vnodes=128)
+    counts = {m: 0 for m in ring.members}
+    for i in range(20000):
+        counts[ring.lookup(f"key{i}")] += 1
+    mean = 20000 / 8
+    for c in counts.values():
+        assert 0.5 * mean < c < 1.7 * mean
+
+
+def test_ring_minimal_disruption_on_removal():
+    ring = HashRing(["a", "b", "c", "d"])
+    before = {f"k{i}": ring.lookup(f"k{i}") for i in range(2000)}
+    ring.remove("d")
+    moved = sum(
+        1 for k, owner in before.items() if owner != "d" and ring.lookup(k) != owner
+    )
+    assert moved == 0  # only keys owned by the removed member move
+
+
+def test_ring_add_remove_membership():
+    ring = HashRing()
+    ring.add("a")
+    assert ring.members == ["a"]
+    with pytest.raises(ConfigError):
+        ring.add("a")
+    ring.remove("a")
+    with pytest.raises(ConfigError):
+        ring.remove("a")
+    with pytest.raises(ConfigError):
+        ring.lookup("k")
+
+
+def test_ring_lookup_n_distinct_preference_list():
+    ring = HashRing(["a", "b", "c", "d"])
+    prefs = ring.lookup_n("somekey", 3)
+    assert len(prefs) == 3 and len(set(prefs)) == 3
+    assert prefs[0] == ring.lookup("somekey")
+
+
+def test_ring_lookup_n_too_many():
+    ring = HashRing(["a"])
+    with pytest.raises(ConfigError):
+        ring.lookup_n("k", 2)
+
+
+def test_ring_invalid_vnodes():
+    with pytest.raises(ConfigError):
+        HashRing(vnodes=0)
+
+
+# ---------------------------------------------------------------------------
+# range partitioner
+# ---------------------------------------------------------------------------
+def test_range_lookup_boundaries():
+    p = RangePartitioner(["s0", "s1", "s2"], ["g", "n"])
+    assert p.lookup("a") == "s0"
+    assert p.lookup("f") == "s0"
+    assert p.lookup("g") == "s1"  # boundary key goes right
+    assert p.lookup("m") == "s1"
+    assert p.lookup("n") == "s2"
+    assert p.lookup("z") == "s2"
+
+
+def test_range_shard_bounds():
+    p = RangePartitioner(["s0", "s1", "s2"], ["g", "n"])
+    assert p.shard_bounds("s0") == ("", "g")
+    assert p.shard_bounds("s1") == ("g", "n")
+    lo, hi = p.shard_bounds("s2")
+    assert lo == "n" and hi > "z"
+
+
+def test_range_covering_clips_subranges():
+    p = RangePartitioner(["s0", "s1", "s2"], ["g", "n"])
+    cov = p.covering("e", "p")
+    assert cov == {"s0": ("e", "g"), "s1": ("g", "n"), "s2": ("n", "p")}
+
+
+def test_range_covering_single_shard():
+    p = RangePartitioner(["s0", "s1"], ["m"])
+    assert p.covering("a", "b") == {"s0": ("a", "b")}
+
+
+def test_range_covering_empty_interval():
+    p = RangePartitioner(["s0", "s1"], ["m"])
+    assert p.covering("z", "a") == {}
+
+
+def test_range_invalid_config():
+    with pytest.raises(ConfigError):
+        RangePartitioner([], [])
+    with pytest.raises(ConfigError):
+        RangePartitioner(["a", "b"], [])
+    with pytest.raises(ConfigError):
+        RangePartitioner(["a", "b", "c"], ["n", "g"])  # unsorted
+    with pytest.raises(ConfigError):
+        RangePartitioner(["a", "b", "c"], ["g", "g"])  # duplicate
+    with pytest.raises(ConfigError):
+        RangePartitioner(["a", "b"], ["m"]).shard_bounds("zz")
+
+
+def test_uniform_alpha_splits():
+    p = RangePartitioner.uniform_alpha(["s0", "s1", "s2", "s3"])
+    owners = {p.lookup(c) for c in "abcdefghijklmnopqrstuvwxyz"}
+    assert owners == {"s0", "s1", "s2", "s3"}
+
+
+def test_uniform_alpha_too_many_shards():
+    with pytest.raises(ConfigError):
+        RangePartitioner.uniform_alpha([f"s{i}" for i in range(30)])

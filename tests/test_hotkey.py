@@ -1,0 +1,152 @@
+"""Tests for hot-key shadow replication (App C-C) and shared-log
+auto-trim."""
+
+import pytest
+
+from repro.client import HotKeyReplicatingClient
+from repro.core.types import Consistency, Topology
+from repro.errors import KeyNotFound
+from repro.harness import Deployment, DeploymentSpec
+from repro.net import SimCluster
+from repro.sharedlog import SharedLogActor
+
+
+def build(threshold=10):
+    dep = Deployment(DeploymentSpec(shards=4, replicas=3, topology=Topology.MS,
+                                    consistency=Consistency.EVENTUAL))
+    dep.start()
+    client = HotKeyReplicatingClient(dep.client("c0"), threshold=threshold,
+                                     n_shadows=3)
+    dep.sim.run_future(client.connect())
+    return dep, client
+
+
+def test_cold_key_behaves_normally():
+    dep, client = build()
+    dep.sim.run_future(client.put("k", "v"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    assert dep.sim.run_future(client.get("k")) == "v"
+    assert not client.is_hot("k")
+    assert client.promotions == 0
+
+
+def test_promotion_after_threshold_reads():
+    dep, client = build(threshold=10)
+    dep.sim.run_future(client.put("hot", "v"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    for _ in range(12):
+        assert dep.sim.run_future(client.get("hot")) == "v"
+    assert client.is_hot("hot")
+    assert client.promotions == 1
+    # shadows were materialized in the store
+    dep.sim.run_until(dep.sim.now + 1.0)
+    for i in range(3):
+        assert dep.sim.run_future(
+            client.inner.get(client.shadow_key("hot", i))) == "v"
+
+
+def test_shadows_rehash_to_other_shards():
+    dep, client = build()
+    key = "hot"
+    shards = {client.inner.shard_for(key).shard_id} | {
+        client.inner.shard_for(client.shadow_key(key, i)).shard_id for i in range(3)
+    }
+    assert len(shards) > 1  # load actually spreads
+
+
+def test_hot_reads_use_shadows():
+    dep, client = build(threshold=5)
+    dep.sim.run_future(client.put("hot", "v"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    for _ in range(40):
+        assert dep.sim.run_future(client.get("hot")) == "v"
+    assert client.shadow_reads > 5
+
+
+def test_write_through_keeps_shadows_fresh():
+    dep, client = build(threshold=5)
+    dep.sim.run_future(client.put("hot", "v1"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    for _ in range(8):
+        dep.sim.run_future(client.get("hot"))
+    dep.sim.run_future(client.put("hot", "v2"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    for _ in range(20):
+        assert dep.sim.run_future(client.get("hot")) == "v2"
+
+
+def test_delete_demotes_and_cleans_shadows():
+    dep, client = build(threshold=5)
+    dep.sim.run_future(client.put("hot", "v"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    for _ in range(8):
+        dep.sim.run_future(client.get("hot"))
+    dep.sim.run_future(client.delete("hot"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    assert not client.is_hot("hot")
+    with pytest.raises(KeyNotFound):
+        dep.sim.run_future(client.get("hot"))
+    with pytest.raises(KeyNotFound):
+        dep.sim.run_future(client.inner.get(client.shadow_key("hot", 0)))
+
+
+def test_counter_capacity_bounded():
+    dep, client = build(threshold=10**9)  # never promote
+    client.counter_capacity = 50
+    for i in range(500):
+        try:
+            dep.sim.run_future(client.get(f"k{i}"))
+        except KeyNotFound:
+            pass
+    assert len(client._counts) <= 101  # decay keeps it bounded
+
+
+# ---------------------------------------------------------------------------
+# shared-log auto-trim
+# ---------------------------------------------------------------------------
+def test_sharedlog_auto_trim_on_reader_cursors():
+    cluster = SimCluster()
+    actor = SharedLogActor("log", high_watermark=10)
+    cluster.add_actor(actor)
+    w = cluster.add_port("writer")
+    r1, r2 = cluster.add_port("r1"), cluster.add_port("r2")
+    cluster.start()
+    run = lambda p, t, pl: cluster.sim.run_future(p.request("log", t, pl))
+    # both readers register their cursors before the log fills, exactly
+    # like AA+EC replicas polling from position 0 at startup
+    run(r1, "log_fetch", {"pos": 0, "max": 1})
+    run(r2, "log_fetch", {"pos": 0, "max": 1})
+    for i in range(30):
+        run(w, "log_append", {"op": "put", "key": f"k{i}", "val": "v"})
+    # readers catch up to different positions
+    run(r1, "log_fetch", {"pos": 20, "max": 100})
+    run(r2, "log_fetch", {"pos": 15, "max": 100})
+    # window (30) exceeds watermark (10): trimmed to min cursor (15)
+    assert actor.auto_trims >= 1
+    assert actor.log.base == 15
+
+
+def test_sharedlog_no_trim_below_watermark():
+    cluster = SimCluster()
+    actor = SharedLogActor("log", high_watermark=1000)
+    cluster.add_actor(actor)
+    w = cluster.add_port("writer")
+    cluster.start()
+    for i in range(20):
+        cluster.sim.run_future(
+            w.request("log", "log_append", {"op": "put", "key": f"k{i}", "val": "v"}))
+    cluster.sim.run_future(w.request("log", "log_fetch", {"pos": 20, "max": 1}))
+    assert actor.auto_trims == 0 and actor.log.base == 0
+
+
+def test_sharedlog_auto_trim_disabled():
+    cluster = SimCluster()
+    actor = SharedLogActor("log", high_watermark=None)
+    cluster.add_actor(actor)
+    w = cluster.add_port("writer")
+    cluster.start()
+    for i in range(50):
+        cluster.sim.run_future(
+            w.request("log", "log_append", {"op": "put", "key": f"k{i}", "val": "v"}))
+    cluster.sim.run_future(w.request("log", "log_fetch", {"pos": 50, "max": 1}))
+    assert actor.log.base == 0

@@ -1,0 +1,270 @@
+"""Integration tests: client -> controlets -> datalets for all four
+topology/consistency combinations (paper §IV)."""
+
+import pytest
+
+from repro.core.types import Consistency, Topology
+from repro.errors import KeyNotFound
+from repro.harness import Deployment, DeploymentSpec
+
+COMBOS = [
+    (Topology.MS, Consistency.STRONG),
+    (Topology.MS, Consistency.EVENTUAL),
+    (Topology.AA, Consistency.STRONG),
+    (Topology.AA, Consistency.EVENTUAL),
+]
+
+COMBO_IDS = ["MS+SC", "MS+EC", "AA+SC", "AA+EC"]
+
+
+def build(topology, consistency, shards=2, replicas=3, **kw):
+    spec = DeploymentSpec(
+        shards=shards, replicas=replicas, topology=topology, consistency=consistency, **kw
+    )
+    dep = Deployment(spec)
+    dep.start()
+    client = dep.client("client0")
+    dep.sim.run_future(client.connect())
+    return dep, client
+
+
+@pytest.mark.parametrize("topology,consistency", COMBOS, ids=COMBO_IDS)
+def test_put_get_roundtrip(topology, consistency):
+    dep, client = build(topology, consistency)
+    dep.sim.run_future(client.put("alpha", "1"))
+    # EC makes no read-your-writes promise against an arbitrary replica:
+    # let async propagation settle before reading.
+    if consistency is Consistency.EVENTUAL:
+        dep.sim.run_until(dep.sim.now + 1.0)
+    assert dep.sim.run_future(client.get("alpha")) == "1"
+
+
+@pytest.mark.parametrize("topology,consistency", COMBOS, ids=COMBO_IDS)
+def test_overwrite_visible(topology, consistency):
+    dep, client = build(topology, consistency)
+    dep.sim.run_future(client.put("k", "v1"))
+    dep.sim.run_future(client.put("k", "v2"))
+    # EC: allow propagation to settle so any-replica reads see v2
+    dep.sim.run_until(dep.sim.now + 1.0)
+    for _ in range(6):  # random replica choice: sample several reads
+        assert dep.sim.run_future(client.get("k")) == "v2"
+
+
+@pytest.mark.parametrize("topology,consistency", COMBOS, ids=COMBO_IDS)
+def test_delete_then_missing(topology, consistency):
+    dep, client = build(topology, consistency)
+    dep.sim.run_future(client.put("k", "v"))
+    dep.sim.run_future(client.delete("k"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    with pytest.raises(KeyNotFound):
+        dep.sim.run_future(client.get("k"))
+
+
+@pytest.mark.parametrize("topology,consistency", COMBOS, ids=COMBO_IDS)
+def test_get_missing_key(topology, consistency):
+    dep, client = build(topology, consistency)
+    with pytest.raises(KeyNotFound):
+        dep.sim.run_future(client.get("never-written"))
+
+
+@pytest.mark.parametrize("topology,consistency", COMBOS, ids=COMBO_IDS)
+def test_many_keys_across_shards(topology, consistency):
+    dep, client = build(topology, consistency, shards=4)
+    n = 60
+    futs = [client.put(f"key{i}", f"val{i}") for i in range(n)]
+    dep.sim.run_future(dep.sim.gather(futs))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    for i in range(0, n, 7):
+        assert dep.sim.run_future(client.get(f"key{i}")) == f"val{i}"
+    # all four shards got some data
+    shard_hits = {client.shard_for(f"key{i}").shard_id for i in range(n)}
+    assert len(shard_hits) == 4
+
+
+@pytest.mark.parametrize("topology,consistency", COMBOS, ids=COMBO_IDS)
+def test_replication_reaches_every_datalet(topology, consistency):
+    """After quiescence every replica datalet holds the written data."""
+    dep, client = build(topology, consistency, shards=1)
+    futs = [client.put(f"k{i}", str(i)) for i in range(20)]
+    dep.sim.run_future(dep.sim.gather(futs))
+    dep.sim.run_until(dep.sim.now + 2.0)
+    for replica in dep.shard(0).ordered():
+        engine = dep.cluster.actor(replica.datalet).engine
+        assert len(engine) == 20, f"replica {replica.datalet} incomplete"
+        assert engine.get("k7") == "7"
+
+
+def test_ms_sc_chain_write_order():
+    """Strong reads from the tail observe only fully replicated data:
+    the moment a put is acked, the tail datalet already has it."""
+    dep, client = build(Topology.MS, Consistency.STRONG, shards=1)
+    dep.sim.run_future(client.put("k", "v"))
+    tail = dep.shard(0).tail
+    assert dep.cluster.actor(tail.datalet).engine.get("k") == "v"
+
+
+def test_ms_ec_master_acks_before_slaves():
+    """Eventual mode: the ack can precede slave application."""
+    dep, client = build(Topology.MS, Consistency.EVENTUAL, shards=1)
+    dep.sim.run_future(client.put("k", "v"))
+    head = dep.shard(0).head
+    assert dep.cluster.actor(head.datalet).engine.get("k") == "v"
+    # slaves catch up strictly later (flush interval + network)
+    dep.sim.run_until(dep.sim.now + 1.0)
+    for r in dep.shard(0).ordered():
+        assert dep.cluster.actor(r.datalet).engine.get("k") == "v"
+
+
+def test_aa_ec_concurrent_writers_converge():
+    """Two clients hammer the same key via different actives; after the
+    shared-log replay quiesces, every datalet agrees on one value (the
+    log's total order)."""
+    dep, c1 = build(Topology.AA, Consistency.EVENTUAL, shards=1)
+    c2 = dep.client("client1")
+    dep.sim.run_future(c2.connect())
+    futs = []
+    for i in range(15):
+        futs.append(c1.put("hot", f"a{i}"))
+        futs.append(c2.put("hot", f"b{i}"))
+    dep.sim.run_future(dep.sim.gather(futs))
+    dep.sim.run_until(dep.sim.now + 3.0)
+    values = {
+        dep.cluster.actor(r.datalet).engine.get("hot") for r in dep.shard(0).ordered()
+    }
+    assert len(values) == 1, f"replicas diverged: {values}"
+
+
+def test_aa_sc_serializes_hot_key():
+    """With locking, concurrent writes to one key all land and every
+    replica ends at the same value immediately after the last ack."""
+    dep, c1 = build(Topology.AA, Consistency.STRONG, shards=1)
+    c2 = dep.client("client1")
+    dep.sim.run_future(c2.connect())
+    futs = [c1.put("hot", f"x{i}") for i in range(10)]
+    futs += [c2.put("hot", f"y{i}") for i in range(10)]
+    dep.sim.run_future(dep.sim.gather(futs))
+    values = {
+        dep.cluster.actor(r.datalet).engine.get("hot") for r in dep.shard(0).ordered()
+    }
+    assert len(values) == 1
+
+
+def test_per_request_consistency_relaxed_get():
+    """§IV-C: an 'eventual' GET against an MS+SC store may hit any
+    replica — exercised by checking it succeeds and returns the value."""
+    dep, client = build(Topology.MS, Consistency.STRONG, shards=1)
+    dep.sim.run_future(client.put("k", "v"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    for _ in range(5):
+        assert dep.sim.run_future(client.get("k", consistency="eventual")) == "v"
+
+
+def test_redirect_heals_stale_routing():
+    """A request sent to the wrong replica is redirected, not dropped."""
+    dep, client = build(Topology.MS, Consistency.STRONG, shards=1)
+    dep.sim.run_future(client.put("k", "v"))
+    # aim a GET directly at the head (wrong: strong reads go to tail)
+    head = dep.shard(0).head.controlet
+    resp = dep.sim.run_future(client.port.request(head, "get", {"key": "k"}))
+    assert resp.type == "error" and resp.payload["error"] == "redirect"
+    assert resp.payload["to"] == dep.shard(0).tail.controlet
+
+
+def test_table_api_roundtrip():
+    dep, client = build(Topology.MS, Consistency.EVENTUAL, shards=2)
+    sim = dep.sim
+    sim.run_future(client.create_table("users"))
+    sim.run_future(client.table_put("u1", "alice", "users"))
+    assert sim.run_future(client.table_get("u1", "users")) == "alice"
+    sim.run_future(client.table_del("u1", "users"))
+    with pytest.raises(KeyNotFound):
+        sim.run_future(client.table_get("u1", "users"))
+
+
+def test_table_missing_rejected():
+    from repro.errors import TableNotFound
+
+    dep, client = build(Topology.MS, Consistency.EVENTUAL)
+    with pytest.raises(TableNotFound):
+        dep.sim.run_future(client.table_put("k", "v", "ghost"))
+
+
+def test_scan_range_partitioned_mt():
+    """Range query service (§IV-B): tMT datalets + range partitioner."""
+    dep = Deployment(
+        DeploymentSpec(
+            shards=3,
+            replicas=3,
+            topology=Topology.MS,
+            consistency=Consistency.EVENTUAL,
+            datalet_kinds=("mt",),
+            partitioner="range",
+        )
+    )
+    dep.start()
+    client = dep.client("c")
+    dep.sim.run_future(client.connect())
+    import random
+
+    rng = random.Random(7)
+    keys = [f"{c}{i:02d}" for c in "aghpz" for i in range(10)]
+    rng.shuffle(keys)
+    futs = [client.put(k, k.upper()) for k in keys]
+    dep.sim.run_future(dep.sim.gather(futs))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    result = dep.sim.run_future(client.scan("g00", "p05"))
+    expect = sorted((k, k.upper()) for k in keys if "g00" <= k < "p05")
+    assert result == expect
+    # cross-shard: the range spans more than one shard
+    assert len({client.shard_for(k).shard_id for k, _ in expect}) > 1
+
+
+def test_scan_limit_applied_after_merge():
+    dep = Deployment(
+        DeploymentSpec(
+            shards=2,
+            replicas=2,
+            topology=Topology.MS,
+            consistency=Consistency.EVENTUAL,
+            datalet_kinds=("mt",),
+            partitioner="range",
+        )
+    )
+    dep.start()
+    client = dep.client("c")
+    dep.sim.run_future(client.connect())
+    futs = [client.put(f"k{i:03d}", str(i)) for i in range(40)]
+    dep.sim.run_future(dep.sim.gather(futs))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    out = dep.sim.run_future(client.scan("k000", "k999", limit=10))
+    assert [k for k, _ in out] == [f"k{i:03d}" for i in range(10)]
+
+
+def test_polyglot_persistence_prefer_kind():
+    """§IV-D: replicas on different engines; reads can pin a kind."""
+    dep = Deployment(
+        DeploymentSpec(
+            shards=1,
+            replicas=3,
+            topology=Topology.MS,
+            consistency=Consistency.EVENTUAL,
+            datalet_kinds=("lsm", "mt", "log"),
+        )
+    )
+    dep.start()
+    client = dep.client("c")
+    dep.sim.run_future(client.connect())
+    dep.sim.run_future(client.put("k", "v"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    kinds = {r.datalet_kind for r in dep.shard(0).ordered()}
+    assert kinds == {"lsm", "mt", "log"}
+    for kind in kinds:
+        assert dep.sim.run_future(client.get("k", prefer_kind=kind)) == "v"
+
+
+def test_heartbeats_flow_to_coordinator():
+    dep, client = build(Topology.MS, Consistency.EVENTUAL, shards=1)
+    dep.sim.run_until(5.0)
+    seen = dep.coordinator._last_seen
+    for r in dep.shard(0).ordered():
+        assert seen[r.controlet] > 0.0

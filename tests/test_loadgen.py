@@ -1,0 +1,111 @@
+"""Tests for the load-generation harness."""
+
+import pytest
+
+from repro.core.types import Consistency, Topology
+from repro.harness import Deployment, DeploymentSpec
+from repro.harness.loadgen import LoadGenerator, RunResult, preload
+from repro.workloads import YCSB_A, YCSB_B, make_workload
+
+
+def make_dep(**kw):
+    spec = DeploymentSpec(
+        shards=2, replicas=3,
+        topology=kw.pop("topology", Topology.MS),
+        consistency=kw.pop("consistency", Consistency.EVENTUAL),
+        **kw,
+    )
+    dep = Deployment(spec)
+    dep.start()
+    return dep
+
+
+def test_preload_routes_like_the_client():
+    dep = make_dep()
+    items = {f"k{i}": str(i) for i in range(100)}
+    preload(dep, items)
+    client = dep.client("c")
+    dep.sim.run_future(client.connect())
+    # every key is immediately readable through normal routing
+    for k in ("k0", "k42", "k99"):
+        assert dep.sim.run_future(client.get(k)) == items[k]
+
+
+def test_preload_populates_every_replica():
+    dep = make_dep()
+    preload(dep, {"solo": "v"})
+    holders = [
+        r.datalet
+        for sid in dep.map.shard_ids()
+        for r in dep.map.shard(sid).ordered()
+        if dep.cluster.actor(r.datalet).engine.contains("solo")
+    ]
+    assert len(holders) == 3  # one shard's full replica set
+
+
+def test_loadgen_produces_consistent_result():
+    dep = make_dep()
+    wl0 = make_workload(YCSB_B, keys=500, seed=9)
+    preload(dep, {wl0.space.key(i): "v" for i in range(500)})
+    lg = LoadGenerator(
+        dep, lambda i: make_workload(YCSB_B, keys=500, seed=i),
+        clients=4, sessions_per_client=4, warmup=0.2, duration=1.0,
+    )
+    res = lg.run()
+    assert isinstance(res, RunResult)
+    assert res.ops > 100
+    assert res.errors == 0
+    assert res.qps == pytest.approx(res.ops / 1.0)
+    assert 0 < res.p50_ms <= res.p95_ms <= res.p99_ms
+    assert res.op_counts["get"] > res.op_counts["put"]  # 95% GET
+
+
+def test_loadgen_timeline_buckets_cover_run():
+    dep = make_dep()
+    wl0 = make_workload(YCSB_A, keys=200, seed=9)
+    preload(dep, {wl0.space.key(i): "v" for i in range(200)})
+    lg = LoadGenerator(
+        dep, lambda i: make_workload(YCSB_A, keys=200, seed=i),
+        clients=2, sessions_per_client=4, warmup=0.5, duration=1.5,
+        timeline_interval=0.5,
+    )
+    res = lg.run()
+    times = [t for t, _ in res.timeline]
+    assert times[0] == 0.0 and times[-1] >= 1.5
+    assert all(q > 0 for t, q in res.timeline if 0.5 <= t < 1.9)
+
+
+def test_loadgen_write_only_workload():
+    from repro.workloads import OpMix
+
+    dep = make_dep()
+    lg = LoadGenerator(
+        dep, lambda i: make_workload(OpMix(put=1.0), keys=300, seed=i),
+        clients=2, sessions_per_client=2, warmup=0.2, duration=0.8,
+    )
+    res = lg.run()
+    assert res.errors == 0
+    assert res.op_counts["put"] > 0 and res.op_counts["get"] == 0
+
+
+def test_loadgen_deterministic_given_seed():
+    def run_once():
+        dep = make_dep(seed=5)
+        wl0 = make_workload(YCSB_B, keys=300, seed=9)
+        preload(dep, {wl0.space.key(i): "v" for i in range(300)})
+        lg = LoadGenerator(
+            dep, lambda i: make_workload(YCSB_B, keys=300, seed=i),
+            clients=2, sessions_per_client=3, warmup=0.2, duration=0.8,
+        )
+        return lg.run()
+
+    a, b = run_once(), run_once()
+    assert a.ops == b.ops
+    assert a.mean_latency_ms == pytest.approx(b.mean_latency_ms)
+
+
+def test_runresult_str_formatting():
+    res = RunResult(ops=1000, errors=2, duration=1.0, qps=1000.0,
+                    mean_latency_ms=1.5, p50_ms=1.0, p95_ms=3.0, p99_ms=5.0)
+    text = str(res)
+    assert "1,000 QPS" in text and "errs=2" in text

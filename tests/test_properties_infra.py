@@ -1,0 +1,209 @@
+"""Property-based tests for infrastructure invariants: RESP codec,
+binary codec, consistent hashing, lock table, shared log, Chord."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core.hybrid import P2PNode, chord_distance
+from repro.dlm import LockTable
+from repro.hashing import HashRing
+from repro.net import resp
+from repro.net.protocol import BinaryCodec
+from repro.sharedlog import SharedLog
+
+# ---------------------------------------------------------------------------
+# RESP: encode → (fragmented) decode is the identity
+# ---------------------------------------------------------------------------
+texts = st.text(alphabet=st.characters(blacklist_characters="\r\n",
+                                       blacklist_categories=("Cs",)), max_size=30)
+commands = st.lists(texts, min_size=1, max_size=6)
+
+
+@settings(max_examples=80, deadline=None)
+@given(args=commands, chop=st.integers(min_value=1, max_value=7))
+def test_resp_roundtrip_under_fragmentation(args, chop):
+    data = resp.encode_command(*args)
+    parser = resp.RespParser()
+    decoded = resp.INCOMPLETE
+    for i in range(0, len(data), chop):
+        parser.feed(data[i : i + chop])
+        value = parser.next_value()
+        if value is not resp.INCOMPLETE:
+            decoded = value
+            break
+    assert decoded == [a.encode() for a in args]
+    assert parser.next_value() is resp.INCOMPLETE  # nothing left over
+
+
+@settings(max_examples=60, deadline=None)
+@given(batch=st.lists(commands, min_size=1, max_size=5))
+def test_resp_pipelining_preserves_order(batch):
+    parser = resp.RespParser()
+    parser.feed(b"".join(resp.encode_command(*args) for args in batch))
+    for args in batch:
+        assert parser.next_value() == [a.encode() for a in args]
+    assert parser.next_value() is resp.INCOMPLETE
+
+
+# ---------------------------------------------------------------------------
+# binary codec
+# ---------------------------------------------------------------------------
+json_values = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(-10**6, 10**6), texts),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(texts, children, max_size=4),
+    max_leaves=10,
+)
+frames = st.dictionaries(texts, json_values, max_size=6)
+
+
+@settings(max_examples=80, deadline=None)
+@given(batch=st.lists(frames, min_size=1, max_size=5),
+       chop=st.integers(min_value=1, max_value=9))
+def test_binary_codec_roundtrip_fragmented(batch, chop):
+    wire = b"".join(BinaryCodec.encode(f) for f in batch)
+    codec = BinaryCodec()
+    out = []
+    for i in range(0, len(wire), chop):
+        codec.feed(wire[i : i + chop])
+        while True:
+            frame = codec.next_frame()
+            if frame is None or frame.__class__.__name__ == "_Incomplete":
+                break
+            out.append(frame)
+    assert out == batch
+
+
+# ---------------------------------------------------------------------------
+# consistent hashing invariants
+# ---------------------------------------------------------------------------
+members_strategy = st.lists(
+    st.text(alphabet="abcdefgh123", min_size=1, max_size=6),
+    min_size=1, max_size=12, unique=True,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(members=members_strategy, key=texts)
+def test_ring_lookup_always_a_member(members, key):
+    ring = HashRing(members)
+    assert ring.lookup(key) in members
+
+
+@settings(max_examples=60, deadline=None)
+@given(members=members_strategy, key=texts)
+def test_ring_removal_only_moves_removed_members_keys(members, key):
+    if len(members) < 2:
+        return
+    ring = HashRing(members)
+    owner = ring.lookup(key)
+    victim = next(m for m in members if m != owner)
+    ring.remove(victim)
+    assert ring.lookup(key) == owner  # unaffected key stays put
+
+
+@settings(max_examples=40, deadline=None)
+@given(members=members_strategy, key=texts, n=st.integers(1, 5))
+def test_ring_preference_list_distinct_and_prefixed(members, key, n):
+    if n > len(members):
+        return
+    ring = HashRing(members)
+    prefs = ring.lookup_n(key, n)
+    assert len(prefs) == n == len(set(prefs))
+    assert prefs[0] == ring.lookup(key)
+
+
+# ---------------------------------------------------------------------------
+# lock table: safety invariant under arbitrary acquire/release traces
+# ---------------------------------------------------------------------------
+lock_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["acquire", "release"]),
+        st.sampled_from(["k1", "k2"]),
+        st.sampled_from(["o1", "o2", "o3", "o4"]),
+        st.sampled_from(["r", "w"]),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=lock_ops)
+def test_locktable_never_mixes_writer_and_readers(ops):
+    table = LockTable()
+    for action, key, owner, mode in ops:
+        if action == "acquire":
+            table.acquire(key, owner, mode, lambda: None)
+        else:
+            table.release(key, owner)
+        writer, readers = table.holders(key)
+        # safety: a writer excludes everyone else
+        if writer is not None:
+            assert not readers
+        assert writer is None or isinstance(writer, str)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 20))
+def test_locktable_fifo_progress(n):
+    """Releasing in sequence grants every queued writer exactly once."""
+    table = LockTable()
+    grants = []
+    for i in range(n):
+        table.acquire("k", f"o{i}", "w", lambda i=i: grants.append(i))
+    for i in range(n):
+        table.release("k", f"o{i}")
+    assert grants == list(range(n))
+
+
+# ---------------------------------------------------------------------------
+# shared log invariants
+# ---------------------------------------------------------------------------
+log_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("append"), st.integers(0, 100)),
+        st.tuples(st.just("trim"), st.integers(0, 50)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(ops=log_ops, segment=st.integers(1, 7))
+def test_sharedlog_positions_dense_and_monotone(ops, segment):
+    log = SharedLog(segment_size=segment)
+    appended = 0
+    for op, arg in ops:
+        if op == "append":
+            entry = log.append("w", "put", f"k{arg}", "v")
+            assert entry.pos == appended
+            appended += 1
+        else:
+            log.trim(arg)
+    # retained window is contiguous [base, tail)
+    entries = log.fetch_from(0, max_entries=10**6)
+    assert [e.pos for e in entries] == list(range(log.base, log.tail))
+    assert len(log) == log.tail - log.base
+
+
+# ---------------------------------------------------------------------------
+# Chord routing invariants
+# ---------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(2, 24), key=texts)
+def test_chord_ownership_agreement_and_distance(n, key):
+    members = [f"peer{i}" for i in range(n)]
+    nodes = [P2PNode(m, members) for m in members]
+    owners = {node.owner_of(key) for node in nodes}
+    assert len(owners) == 1
+    assert owners.pop() in members
+
+
+def test_chord_distance_properties():
+    ring = 1 << 64
+    assert chord_distance(0, 0) == 0
+    for a, b in [(1, 100), (100, 1), (ring - 1, 0)]:
+        d = chord_distance(a, b)
+        assert 0 <= d < ring
+        assert (a + d) % ring == b

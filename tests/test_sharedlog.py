@@ -1,0 +1,111 @@
+"""Tests for the CORFU-style shared log."""
+
+import pytest
+
+from repro.errors import BespoError
+from repro.net import SimCluster
+from repro.sharedlog import LogEntry, SharedLog, SharedLogActor
+
+
+def test_append_assigns_sequential_positions():
+    log = SharedLog()
+    entries = [log.append("w1", "put", f"k{i}", str(i)) for i in range(5)]
+    assert [e.pos for e in entries] == [0, 1, 2, 3, 4]
+    assert log.tail == 5
+
+
+def test_read_back():
+    log = SharedLog()
+    log.append("w1", "put", "a", "1")
+    e = log.read(0)
+    assert (e.writer, e.op, e.key, e.value) == ("w1", "put", "a", "1")
+
+
+def test_read_out_of_range():
+    log = SharedLog()
+    log.append("w", "put", "k", "v")
+    with pytest.raises(BespoError):
+        log.read(5)
+
+
+def test_segment_rollover():
+    log = SharedLog(segment_size=4)
+    for i in range(10):
+        log.append("w", "put", f"k{i}", str(i))
+    assert len(log._segments) >= 3
+    for i in range(10):
+        assert log.read(i).key == f"k{i}"
+
+
+def test_fetch_from_cursor_and_bound():
+    log = SharedLog()
+    for i in range(10):
+        log.append("w", "put", f"k{i}", str(i))
+    got = log.fetch_from(3, max_entries=4)
+    assert [e.pos for e in got] == [3, 4, 5, 6]
+    assert log.fetch_from(10) == []
+
+
+def test_trim_discards_prefix():
+    log = SharedLog(segment_size=3)
+    for i in range(10):
+        log.append("w", "put", f"k{i}", str(i))
+    dropped = log.trim(7)
+    assert dropped == 7
+    assert log.base == 7
+    assert len(log) == 3
+    with pytest.raises(BespoError):
+        log.read(6)
+    assert log.read(8).key == "k8"
+    # fetch below base silently starts at base
+    assert [e.pos for e in log.fetch_from(0)] == [7, 8, 9]
+
+
+def test_trim_beyond_tail_clamped():
+    log = SharedLog()
+    log.append("w", "put", "k", "v")
+    assert log.trim(100) == 1
+    assert len(log) == 0
+
+
+def test_invalid_segment_size():
+    with pytest.raises(BespoError):
+        SharedLog(segment_size=0)
+
+
+def test_entry_roundtrip_dict():
+    e = LogEntry(3, "w", "del", "k", None)
+    assert LogEntry.from_dict(e.to_dict()) == e
+
+
+# ---------------------------------------------------------------------------
+# actor over the network
+# ---------------------------------------------------------------------------
+def test_actor_append_fetch_trim():
+    c = SimCluster()
+    c.add_actor(SharedLogActor("log"))
+    port = c.add_port("writer")
+    c.start()
+
+    run = lambda t, p: c.sim.run_future(port.request("log", t, p))
+    assert run("log_append", {"op": "put", "key": "a", "val": "1"}).payload["pos"] == 0
+    assert run("log_append", {"op": "put", "key": "b", "val": "2"}).payload["pos"] == 1
+    resp = run("log_fetch", {"pos": 0})
+    assert resp.payload["tail"] == 2
+    entries = [LogEntry.from_dict(d) for d in resp.payload["entries"]]
+    assert [e.key for e in entries] == ["a", "b"]
+    assert run("log_trim", {"pos": 1}).payload["dropped"] == 1
+
+
+def test_actor_concurrent_writers_get_total_order():
+    c = SimCluster()
+    c.add_actor(SharedLogActor("log"))
+    w1, w2 = c.add_port("w1"), c.add_port("w2")
+    c.start()
+    futs = []
+    for i in range(10):
+        futs.append(w1.request("log", "log_append", {"op": "put", "key": f"a{i}", "val": "x"}))
+        futs.append(w2.request("log", "log_append", {"op": "put", "key": f"b{i}", "val": "y"}))
+    results = c.sim.run_future(c.sim.gather(futs))
+    positions = sorted(r.payload["pos"] for r in results)
+    assert positions == list(range(20))  # dense, no duplicates

@@ -1,0 +1,127 @@
+"""Unit tests for queueing resources (Server, Pipe)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Pipe, Server, Simulator
+
+
+def test_single_server_serializes_jobs():
+    sim = Simulator()
+    srv = Server(sim, capacity=1)
+    done = []
+    for i in range(3):
+        srv.submit(1.0).add_done_callback(lambda f, i=i: done.append((i, sim.now)))
+    sim.run()
+    assert done == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+
+def test_multi_server_parallelism():
+    sim = Simulator()
+    srv = Server(sim, capacity=2)
+    done = []
+    for i in range(4):
+        srv.submit(1.0).add_done_callback(lambda f, i=i: done.append((i, sim.now)))
+    sim.run()
+    # two at a time: finish at 1,1,2,2
+    assert [t for _, t in done] == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_fifo_order_preserved():
+    sim = Simulator()
+    srv = Server(sim, capacity=1)
+    order = []
+    for i in range(5):
+        srv.submit(0.5).add_done_callback(lambda f, i=i: order.append(i))
+    sim.run()
+    assert order == list(range(5))
+
+
+def test_zero_demand_job_completes():
+    sim = Simulator()
+    srv = Server(sim, capacity=1)
+    fut = srv.submit(0.0)
+    sim.run()
+    assert fut.done
+
+
+def test_negative_demand_rejected():
+    sim = Simulator()
+    srv = Server(sim)
+    with pytest.raises(SimulationError):
+        srv.submit(-0.1)
+
+
+def test_invalid_capacity_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Server(sim, capacity=0)
+
+
+def test_utilization_tracking():
+    sim = Simulator()
+    srv = Server(sim, capacity=2)
+    srv.submit(1.0)
+    srv.submit(1.0)
+    sim.run()
+    # 2 slot-seconds busy over 1 second elapsed with capacity 2 => 100%
+    assert srv.utilization(elapsed=1.0) == pytest.approx(1.0)
+    assert srv.completions == 2
+
+
+def test_utilization_zero_elapsed():
+    sim = Simulator()
+    srv = Server(sim)
+    assert srv.utilization(0.0) == 0.0
+
+
+def test_queue_length_and_max_queue():
+    sim = Simulator()
+    srv = Server(sim, capacity=1)
+    for _ in range(4):
+        srv.submit(1.0)
+    assert srv.queue_len == 3
+    assert srv.in_service == 1
+    assert srv.max_queue == 3
+    sim.run()
+    assert srv.queue_len == 0
+
+
+def test_drain_stats_resets():
+    sim = Simulator()
+    srv = Server(sim)
+    srv.submit(2.0)
+    sim.run()
+    stats = srv.drain_stats()
+    assert stats["completions"] == 1
+    assert stats["busy_time"] == pytest.approx(2.0)
+    assert srv.completions == 0 and srv.busy_time == 0.0
+
+
+def test_pipe_transfer_time_is_size_over_bandwidth():
+    sim = Simulator()
+    pipe = Pipe(sim, bandwidth=100.0)
+    times = []
+    pipe.transfer(200).add_done_callback(lambda f: times.append(sim.now))
+    sim.run()
+    assert times == [pytest.approx(2.0)]
+
+
+def test_pipe_serializes_transfers():
+    sim = Simulator()
+    pipe = Pipe(sim, bandwidth=100.0)
+    times = []
+    pipe.transfer(100).add_done_callback(lambda f: times.append(sim.now))
+    pipe.transfer(100).add_done_callback(lambda f: times.append(sim.now))
+    sim.run()
+    assert times == [pytest.approx(1.0), pytest.approx(2.0)]
+    assert pipe.bytes_sent == 200
+
+
+def test_pipe_invalid_params():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Pipe(sim, bandwidth=0)
+    pipe = Pipe(sim, bandwidth=1.0)
+    with pytest.raises(SimulationError):
+        pipe.transfer(-1)

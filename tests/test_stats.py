@@ -1,0 +1,59 @@
+"""Tests for the observability helpers."""
+
+from repro.core.types import Consistency, Topology
+from repro.harness import Deployment, DeploymentSpec
+from repro.harness.stats import collect_stats, utilization_report
+
+
+def build():
+    dep = Deployment(DeploymentSpec(shards=2, replicas=3, topology=Topology.MS,
+                                    consistency=Consistency.EVENTUAL))
+    dep.start()
+    client = dep.client("c0")
+    dep.sim.run_future(client.connect())
+    return dep, client
+
+
+def test_collect_stats_counts_ops():
+    dep, client = build()
+    for i in range(20):
+        dep.sim.run_future(client.put(f"k{i}", str(i)))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    for i in range(20):
+        dep.sim.run_future(client.get(f"k{i}"))
+    stats = collect_stats(dep)
+    assert set(stats) == {"s0", "s1"}
+    total_puts = sum(
+        s.get("puts", 0)
+        for shard in stats.values()
+        for cid, s in shard.items()
+        if cid.startswith("c")
+    )
+    assert total_puts == 20
+    # datalet live_keys across masters equals total inserted
+    masters = [dep.map.shard(sid).head for sid in dep.map.shard_ids()]
+    live = sum(stats[sid][m.datalet]["live_keys"]
+               for sid, m in zip(dep.map.shard_ids(), masters))
+    assert live == 20
+
+
+def test_collect_stats_includes_engine_internals():
+    dep, client = build()
+    dep.sim.run_future(client.put("k", "v"))
+    stats = collect_stats(dep)
+    shard = stats[client.shard_for("k").shard_id]
+    datalet_stats = shard[client.shard_for("k").head.datalet]
+    assert "live_keys" in datalet_stats
+    assert "ops_put" in datalet_stats
+
+
+def test_utilization_report_reflects_load():
+    dep, client = build()
+    futs = [client.put(f"k{i}", "v" * 16) for i in range(200)]
+    dep.sim.run_future(dep.sim.gather(futs))
+    report = utilization_report(dep)
+    # masters did real work; client hosts are excluded (free)
+    heads = {dep.map.shard(sid).head.host for sid in dep.map.shard_ids()}
+    assert all(report[h] > 0.0 for h in heads)
+    assert all(0.0 <= u <= 1.0 + 1e-9 for u in report.values())
+    assert not any(name.startswith("c0") and name == "c0" for name in report)

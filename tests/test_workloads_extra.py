@@ -1,0 +1,93 @@
+"""Tests for YCSB-D (latest) and YCSB-F (read-modify-write)."""
+
+import pytest
+
+from repro.core.types import Consistency, Topology
+from repro.errors import ConfigError
+from repro.harness import Deployment, DeploymentSpec
+from repro.harness.loadgen import LoadGenerator, preload
+from repro.workloads import LatestWorkload, OpMix, Workload, YCSB_D, YCSB_F, make_workload
+
+
+def test_ycsb_f_mix_ratios():
+    wl = make_workload(YCSB_F, keys=500, seed=3)
+    for _ in range(4000):
+        wl.next_op()
+    assert 0.45 < wl.counts["rmw"] / 4000 < 0.55
+    assert 0.45 < wl.counts["get"] / 4000 < 0.55
+
+
+def test_rmw_op_shape():
+    wl = make_workload(OpMix(rmw=1.0), keys=10, seed=1)
+    op = wl.next_op()
+    assert op[0] == "rmw" and len(op) == 3
+
+
+def test_latest_inserts_grow_keyspace():
+    wl = LatestWorkload(keys=1000, preloaded=100, seed=2)
+    inserts = [op for op in (wl.next_op() for _ in range(2000)) if op[0] == "put"]
+    assert len(inserts) > 50
+    # inserted keys are strictly fresh, in order
+    indices = [int(op[1][len("user"):]) for op in inserts]
+    assert indices == sorted(indices)
+    assert indices[0] == 100
+
+
+def test_latest_reads_skew_to_recent():
+    wl = LatestWorkload(keys=10_000, preloaded=5_000, seed=4)
+    reads = [op[1] for op in (wl.next_op() for _ in range(3000)) if op[0] == "get"]
+    indices = [int(k[len("user"):]) for k in reads]
+    # recency is measured against the final insertion point, so reads
+    # sampled earlier in the run look slightly "older" than they were
+    recent = sum(1 for i in indices if i >= wl.inserted - 100)
+    assert recent / len(indices) > 0.3  # heavy recency skew
+    assert max(indices) < wl.inserted
+
+
+def test_latest_preload_matches_preloaded_count():
+    wl = LatestWorkload(keys=100, preloaded=30)
+    assert len(list(wl.preload_ops())) == 30
+
+
+def test_latest_validation():
+    with pytest.raises(ConfigError):
+        LatestWorkload(keys=10, preloaded=0)
+    with pytest.raises(ConfigError):
+        LatestWorkload(keys=10, preloaded=11)
+
+
+def test_opmix_rmw_validation():
+    with pytest.raises(ConfigError):
+        OpMix(get=0.6, rmw=0.6)
+
+
+def test_loadgen_runs_ycsb_f_end_to_end():
+    dep = Deployment(DeploymentSpec(shards=2, replicas=3, topology=Topology.MS,
+                                    consistency=Consistency.EVENTUAL))
+    dep.start()
+    wl0 = make_workload(YCSB_F, keys=300, seed=9)
+    preload(dep, {wl0.space.key(i): "v" for i in range(300)})
+    lg = LoadGenerator(
+        dep, lambda i: make_workload(YCSB_F, keys=300, seed=i),
+        clients=3, sessions_per_client=4, warmup=0.2, duration=1.0,
+    )
+    res = lg.run()
+    assert res.errors == 0
+    assert res.op_counts["rmw"] > 0
+
+
+def test_loadgen_runs_ycsb_d_end_to_end():
+    dep = Deployment(DeploymentSpec(shards=2, replicas=3, topology=Topology.AA,
+                                    consistency=Consistency.EVENTUAL))
+    dep.start()
+    wl0 = LatestWorkload(keys=2000, preloaded=500, seed=9)
+    preload(dep, {op[1]: op[2] for op in wl0.preload_ops()})
+    lg = LoadGenerator(
+        dep, lambda i: LatestWorkload(keys=2000, preloaded=500, seed=100 + i),
+        clients=3, sessions_per_client=4, warmup=0.2, duration=1.0,
+    )
+    res = lg.run()
+    # reads racing fresh inserts may miss (separate sessions insert
+    # different keys) — KeyNotFound is tolerated, hard errors are not
+    assert res.errors == 0
+    assert res.op_counts["put"] > 0 and res.op_counts["get"] > 0

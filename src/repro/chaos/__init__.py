@@ -1,0 +1,40 @@
+"""Deterministic chaos engine (robustness harness).
+
+Three parts, mirroring the classic chaos-engineering loop but run
+entirely on the simulated clock so every run is replayable from a seed:
+
+* :mod:`repro.chaos.schedule` — declarative, seeded fault schedules
+  (crash/restart, symmetric and asymmetric partitions, latency spikes,
+  slow nodes, message duplication and reordering);
+* :mod:`repro.chaos.controller` — replays a schedule against a live
+  :class:`~repro.harness.deploy.Deployment` at exact simulated times;
+* :mod:`repro.chaos.history` / :mod:`repro.chaos.oracle` — a client
+  history recorder plus a consistency oracle: per-key linearizability
+  for the STRONG combos, validity + replica convergence (with session
+  staleness warnings) for the EVENTUAL ones;
+* :mod:`repro.chaos.runner` — the seeded randomized soak across all
+  four topology x consistency combinations.
+"""
+
+from repro.chaos.controller import ChaosController
+from repro.chaos.history import HistoryRecorder, OpRecord
+from repro.chaos.oracle import OracleReport, check_eventual, check_linearizable
+from repro.chaos.schedule import FaultEvent, FaultSchedule, fault_menu, random_schedule
+from repro.chaos.runner import ComboResult, SoakReport, run_combo, run_soak
+
+__all__ = [
+    "ChaosController",
+    "ComboResult",
+    "FaultEvent",
+    "FaultSchedule",
+    "HistoryRecorder",
+    "OpRecord",
+    "OracleReport",
+    "SoakReport",
+    "check_eventual",
+    "check_linearizable",
+    "fault_menu",
+    "random_schedule",
+    "run_combo",
+    "run_soak",
+]

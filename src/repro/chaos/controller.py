@@ -1,0 +1,106 @@
+"""ChaosController: replay a fault schedule against a live deployment.
+
+The controller arms one simulator timer per :class:`FaultEvent` and
+applies each fault at its exact simulated time, recording an *applied
+timeline* whose digest is part of the run's determinism fingerprint.
+``heal_all`` restores every reversible fault at once (partitions,
+degradations, duplicate/reorder windows) so the post-chaos quiesce
+phase starts from a clean fabric — crashed hosts are *not* auto-revived
+here; random schedules always pair a crash with its restart, and an
+unrestarted crash is a legitimate terminal fault the failover machinery
+must absorb.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Tuple
+
+from repro.chaos.schedule import FaultEvent, FaultSchedule
+from repro.net.simnet import SimCluster
+
+__all__ = ["ChaosController"]
+
+
+class ChaosController:
+    """Arms and applies one schedule on one cluster."""
+
+    def __init__(self, deployment, schedule: FaultSchedule):
+        # accept either a harness Deployment or a bare SimCluster
+        self.cluster: SimCluster = getattr(deployment, "cluster", deployment)
+        self.sim = self.cluster.sim
+        self.schedule = schedule
+        #: (sim_time, event) pairs in application order.
+        self.applied: List[Tuple[float, FaultEvent]] = []
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    # arming & applying
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Schedule every event relative to *now* on the sim clock."""
+        if self._armed:
+            return
+        self._armed = True
+        t0 = self.sim.now
+        for ev in self.schedule.events:
+            self.sim.call_at(t0 + ev.at, self._apply, ev)
+
+    def _apply(self, ev: FaultEvent) -> None:
+        net = self.cluster.network
+        if ev.kind == "crash":
+            self.cluster.kill_host(ev.target)
+        elif ev.kind == "restart":
+            self.cluster.restart_host(ev.target)
+        elif ev.kind == "partition":
+            if ev.oneway:
+                net.cut_oneway(ev.target, ev.peer)
+            else:
+                net.partition(ev.target, ev.peer)
+        elif ev.kind == "heal":
+            if ev.oneway:
+                net.heal_oneway(ev.target, ev.peer)
+            else:
+                net.heal(ev.target, ev.peer)
+        elif ev.kind == "latency_spike":
+            net.set_link_factor(ev.target, ev.peer, ev.factor)
+        elif ev.kind == "slow_node":
+            self.cluster.set_host_slowdown(ev.target, ev.factor)
+            net.set_node_factor(ev.target, ev.factor)
+        elif ev.kind == "duplicate":
+            net.params.duplicate_rate = ev.rate
+            if ev.rate > 0.0:
+                # the fabric may now deliver twice; every receiver must
+                # dedup by msg_id (actors added later get this from
+                # add_actor, which checks the live rate)
+                for actor in self.cluster.actors.values():
+                    actor.dedup_incoming = True
+        elif ev.kind == "reorder":
+            net.params.reorder_rate = ev.rate
+        self.applied.append((self.sim.now, ev))
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def heal_all(self) -> None:
+        """Undo every reversible fault (partitions, latency factors,
+        slowdowns, duplicate/reorder windows) in one shot."""
+        net = self.cluster.network
+        net.heal_all()
+        net.clear_degradations()
+        net.params.duplicate_rate = 0.0
+        net.params.reorder_rate = 0.0
+        for host in self.cluster.hosts():
+            if self.cluster.is_host_alive(host):
+                self.cluster.set_host_slowdown(host, 1.0)
+
+    # ------------------------------------------------------------------
+    # determinism fingerprint
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Hash of the applied timeline (times + events, no message
+        ids — those are process-global counters, not run-deterministic)."""
+        h = hashlib.sha256()
+        for when, ev in self.applied:
+            h.update(f"{when:.9f}|{ev.describe()}\n".encode())
+        return h.hexdigest()

@@ -1,0 +1,111 @@
+"""Client history recorder.
+
+The :class:`~repro.client.kv.KVClient` calls ``invoke`` when an
+operation starts and ``complete`` when it resolves — including when it
+*fails*: a timed-out or retry-exhausted write may still have taken
+effect inside the cluster, and the consistency oracle must account for
+that indeterminacy (the failed op's effect may appear later, or never).
+
+Statuses:
+
+* ``ok``         — acknowledged; for gets, ``result`` holds the value.
+* ``not_found``  — a definite observation that the key was absent.
+* ``fail``       — timeout / retries exhausted / protocol error;
+  indeterminate for writes, uninformative for reads.
+* ``pending``    — still in flight when the run ended (treated like
+  ``fail``: indeterminate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["OpRecord", "HistoryRecorder"]
+
+
+@dataclass
+class OpRecord:
+    """One client operation, from invocation to response."""
+
+    op_id: int
+    client: str
+    op: str  # "put" | "get" | "del"
+    key: str
+    value: Optional[str]  # put argument (None for get/del)
+    invoke: float
+    response: Optional[float] = None
+    status: str = "pending"
+    result: Optional[str] = None  # get result value
+    error: Optional[str] = None
+    #: client attempts consumed (timeout/retired/redirect retries).  A
+    #: write that needed >1 attempt may have taken effect more than
+    #: once — the oracle models the extra executions as optional
+    #: duplicates, since the store has no exactly-once request layer.
+    attempts: int = 1
+
+    def describe(self) -> str:
+        resp = f"{self.response:.9f}" if self.response is not None else "-"
+        return (
+            f"{self.op_id}|{self.client}|{self.op}|{self.key}|{self.value}|"
+            f"{self.invoke:.9f}|{resp}|{self.status}|{self.result}|{self.attempts}"
+        )
+
+
+class HistoryRecorder:
+    """Collects every invocation/response with simulated timestamps."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.records: List[OpRecord] = []
+        self._next_id = 0
+
+    # -- KVClient hook surface ------------------------------------------
+    def invoke(self, client: str, op: str, key: str, value: Optional[str]) -> OpRecord:
+        rec = OpRecord(
+            op_id=self._next_id,
+            client=client,
+            op=op,
+            key=key,
+            value=value,
+            invoke=self.sim.now,
+        )
+        self._next_id += 1
+        self.records.append(rec)
+        return rec
+
+    def complete(
+        self,
+        rec: OpRecord,
+        status: str,
+        value: Optional[str] = None,
+        error: Optional[str] = None,
+        attempts: int = 1,
+    ) -> None:
+        rec.response = self.sim.now
+        rec.status = status
+        rec.result = value
+        rec.error = error
+        rec.attempts = max(1, attempts)
+
+    # -- queries ---------------------------------------------------------
+    def by_key(self) -> Dict[str, List[OpRecord]]:
+        out: Dict[str, List[OpRecord]] = {}
+        for rec in self.records:
+            out.setdefault(rec.key, []).append(rec)
+        return out
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for rec in self.records:
+            out[rec.status] = out.get(rec.status, 0) + 1
+        return out
+
+    def digest(self) -> str:
+        """Stable content hash of the full history (no message ids)."""
+        h = hashlib.sha256()
+        for rec in self.records:
+            h.update(rec.describe().encode())
+            h.update(b"\n")
+        return h.hexdigest()

@@ -1,0 +1,282 @@
+"""Consistency oracle over recorded client histories.
+
+Two checkers, matched to what each consistency mode actually promises:
+
+* :func:`check_linearizable` — per-key linearizability of the acked
+  history (Wing & Gong style search with memoization).  Failed or
+  still-pending writes are *optional* events: they may take effect at
+  any point after their invocation, or never — exactly the
+  indeterminacy a timed-out write leaves behind.  Used for the STRONG
+  combos, where chain replication / DLM locking promise it.
+
+* :func:`check_eventual` — for the EVENTUAL combos, which promise much
+  less: (1) **validity** — every read returns a value some client
+  actually wrote (or absence); (2) **convergence** — after faults heal
+  and propagation quiesces, all replicas of a shard hold identical
+  state.  Read-your-writes session violations are reported as
+  *warnings*, not violations: both EC designs ack after a single
+  replica and serve reads from any replica, so a session reading its
+  own stale value is legitimate staleness, not a bug (see
+  docs/ARCHITECTURE.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.history import OpRecord
+
+__all__ = ["OracleReport", "check_linearizable", "check_eventual"]
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one oracle pass."""
+
+    violations: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        lines = [f"oracle: {'PASS' if self.ok else 'FAIL'} {self.stats}"]
+        lines += [f"  VIOLATION: {v}" for v in self.violations]
+        lines += [f"  warning: {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# linearizability (STRONG)
+# ---------------------------------------------------------------------------
+@dataclass
+class _Entry:
+    """One searchable event for a single key."""
+
+    kind: str  # "w" (write) | "r" (read)
+    value: Optional[str]  # written value / observed value (None = absent)
+    inv: float
+    resp: float  # +inf for optional writes
+    optional: bool  # may be skipped (failed/indeterminate write)
+
+
+def _entries_for_key(ops: Sequence[OpRecord]) -> Optional[List[_Entry]]:
+    """Translate records to search entries; None = nothing to check."""
+    entries: List[_Entry] = []
+    inf = float("inf")
+    for rec in ops:
+        if rec.op in ("put", "del"):
+            written = rec.value if rec.op == "put" else None
+            if rec.status == "ok":
+                entries.append(_Entry("w", written, rec.invoke, rec.response, False))
+                ghosts = rec.attempts - 1
+            else:
+                # fail / pending / del-not_found: may have taken effect
+                # (possibly partially down the chain), or not — optional.
+                entries.append(_Entry("w", written, rec.invoke, inf, True))
+                ghosts = rec.attempts - 1
+            # Each extra client attempt is a possible *duplicate*
+            # execution of the same write: there is no exactly-once
+            # request layer, so a timed-out first attempt can land (and
+            # even resurface from a delayed in-flight apply) before or
+            # after the attempt that finally acked.  Model those as
+            # optional ghost writes (capped: they only add permissive
+            # interleavings for this op's own value).
+            for _ in range(min(ghosts, 3)):
+                entries.append(_Entry("w", written, rec.invoke, inf, True))
+        elif rec.op == "get":
+            if rec.status == "ok":
+                entries.append(_Entry("r", rec.result, rec.invoke, rec.response, False))
+            elif rec.status == "not_found":
+                entries.append(_Entry("r", None, rec.invoke, rec.response, False))
+            # failed reads observed nothing: drop
+    if not any(e.kind == "r" and not e.optional for e in entries) and all(
+        e.optional for e in entries
+    ):
+        return None
+    return entries
+
+
+def _check_key(
+    entries: List[_Entry], initial: Optional[str], max_states: int
+) -> Tuple[Optional[bool], int]:
+    """Search for a valid linearization.
+
+    Returns (verdict, states): verdict True/False, or None if the state
+    budget ran out (inconclusive).
+    """
+    n = len(entries)
+    mandatory_mask = 0
+    for i, e in enumerate(entries):
+        if not e.optional:
+            mandatory_mask |= 1 << i
+    seen = set()
+    states = 0
+
+    def dfs(done: int, value: Optional[str]) -> Optional[bool]:
+        nonlocal states
+        if done & mandatory_mask == mandatory_mask:
+            return True  # leftover optional writes simply never happened
+        key = (done, value)
+        if key in seen:
+            return False
+        seen.add(key)
+        states += 1
+        if states > max_states:
+            return None
+        # an op may linearize next only if no *pending mandatory* op
+        # already finished before it was invoked
+        min_resp = min(
+            entries[i].resp for i in range(n) if not done >> i & 1 and not entries[i].optional
+        )
+        exhausted = False
+        for i in range(n):
+            if done >> i & 1:
+                continue
+            e = entries[i]
+            if e.inv > min_resp:
+                continue
+            if e.kind == "r":
+                if e.value != value:
+                    continue
+                verdict = dfs(done | 1 << i, value)
+            else:
+                verdict = dfs(done | 1 << i, e.value)
+            if verdict:
+                return True
+            if verdict is None:
+                exhausted = True
+        return None if exhausted else False
+
+    verdict = dfs(0, initial)
+    if verdict is not True and states > max_states:
+        verdict = None  # memo may be polluted past the budget: only a
+        # found linearization is a sound verdict
+    return verdict, states
+
+
+def check_linearizable(
+    records: Sequence[OpRecord],
+    initial: Optional[str] = None,
+    max_states: int = 500_000,
+) -> OracleReport:
+    """Per-key linearizability of an acked history.
+
+    Keys are independent registers (the store has no multi-key
+    transactions), so the check decomposes per key — the standard
+    locality property of linearizability.
+    """
+    report = OracleReport()
+    by_key: Dict[str, List[OpRecord]] = {}
+    for rec in records:
+        by_key.setdefault(rec.key, []).append(rec)
+    checked = 0
+    for key in sorted(by_key):
+        entries = _entries_for_key(by_key[key])
+        if entries is None:
+            continue
+        checked += 1
+        verdict, states = _check_key(entries, initial, max_states)
+        if verdict is None:
+            report.warnings.append(
+                f"key {key!r}: search exceeded {max_states} states ({len(entries)} ops) — inconclusive"
+            )
+        elif not verdict:
+            acked = sum(1 for e in entries if not e.optional)
+            report.violations.append(
+                f"key {key!r}: no valid linearization "
+                f"({acked} acked ops, {len(entries) - acked} indeterminate)"
+            )
+    report.stats = {"keys_checked": checked, "ops": len(records)}
+    return report
+
+
+# ---------------------------------------------------------------------------
+# eventual consistency (EVENTUAL)
+# ---------------------------------------------------------------------------
+def check_eventual(
+    records: Sequence[OpRecord],
+    replica_dumps: Dict[str, Dict[str, Dict[str, str]]],
+) -> OracleReport:
+    """Validity + post-quiesce convergence, with session warnings.
+
+    ``replica_dumps`` maps shard id -> replica (datalet) id -> its full
+    key/value snapshot, taken after faults healed and propagation
+    quiesced.
+    """
+    report = OracleReport()
+    # -- validity: reads return only written values ---------------------
+    written: Dict[str, set] = {}
+    for rec in records:
+        if rec.op == "put":  # any status: an unacked put may have landed
+            written.setdefault(rec.key, set()).add(rec.value)
+    bad_reads = 0
+    for rec in records:
+        if rec.op == "get" and rec.status == "ok" and rec.result is not None:
+            if rec.result not in written.get(rec.key, ()):
+                bad_reads += 1
+                report.violations.append(
+                    f"key {rec.key!r}: read returned {rec.result!r}, never written"
+                )
+    # -- convergence: replicas of a shard hold identical state ----------
+    for shard_id in sorted(replica_dumps):
+        dumps = replica_dumps[shard_id]
+        if len(dumps) < 2:
+            continue
+        items = sorted(dumps.items())
+        _, reference = items[0]
+        for replica_id, dump in items[1:]:
+            if dump == reference:
+                continue
+            diff_keys = sorted(
+                k
+                for k in set(reference) | set(dump)
+                if reference.get(k) != dump.get(k)
+            )
+            report.violations.append(
+                f"shard {shard_id}: replica {replica_id} diverged from "
+                f"{items[0][0]} on {len(diff_keys)} keys "
+                f"(e.g. {diff_keys[:3]})"
+            )
+    # -- session read-your-writes (warnings: EC does not promise it) ----
+    stale_sessions = _session_stale_reads(records)
+    for w in stale_sessions:
+        report.warnings.append(w)
+    report.stats = {
+        "ops": len(records),
+        "invalid_reads": bad_reads,
+        "shards_compared": len(replica_dumps),
+        "stale_session_reads": len(stale_sessions),
+    }
+    return report
+
+
+def _session_stale_reads(records: Sequence[OpRecord]) -> List[str]:
+    """Read-your-writes staleness: a session read that returns one of
+    the session's *own earlier* values despite a later own acked write.
+    (Foreign or absent values are ambiguous under concurrent writers and
+    are not flagged.)"""
+    out: List[str] = []
+    # per (client, key): own acked puts in response order
+    own: Dict[Tuple[str, str], List[OpRecord]] = {}
+    for rec in records:
+        if rec.op == "put" and rec.status == "ok":
+            own.setdefault((rec.client, rec.key), []).append(rec)
+    for rec in records:
+        if rec.op != "get" or rec.status != "ok" or rec.result is None:
+            continue
+        puts = own.get((rec.client, rec.key), [])
+        before = [p for p in puts if p.response is not None and p.response <= rec.invoke]
+        if not before:
+            continue
+        latest = max(before, key=lambda p: p.response)
+        older_values = {p.value for p in before if p is not latest}
+        if rec.result != latest.value and rec.result in older_values:
+            out.append(
+                f"client {rec.client} key {rec.key!r}: read own stale "
+                f"{rec.result!r} after acking {latest.value!r}"
+            )
+    return out

@@ -1,0 +1,271 @@
+"""Seeded randomized soak runner.
+
+One :func:`run_combo` call is the full chaos loop for one
+topology/consistency combination:
+
+1. deploy a multi-shard cluster with a standby pool and enough
+   headroom for every scheduled crash;
+2. start client sessions (closed loops over a shared keyspace, every
+   written value globally unique: ``"{client}:{seq}"``);
+3. replay a :func:`~repro.chaos.schedule.random_schedule` drawn from
+   the run seed;
+4. heal everything, write per-shard marker keys (so EC anti-entropy has
+   a fresh tail to converge on), quiesce;
+5. final strong/EC read sweep + raw replica dumps;
+6. run the matching consistency oracle.
+
+Everything — schedule, fault application order, client jitter, network
+jitter — derives from ``(seed, spec)`` on the simulated clock, so two
+runs with the same seed produce identical histories, timelines and
+digests (the property ``tests/test_chaos_soak.py`` pins down).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.controller import ChaosController
+from repro.chaos.history import HistoryRecorder
+from repro.chaos.oracle import OracleReport, check_eventual, check_linearizable
+from repro.chaos.schedule import FaultSchedule, random_schedule
+from repro.core.types import Consistency, Topology
+from repro.errors import BespoError
+
+__all__ = ["ComboResult", "SoakReport", "run_combo", "run_soak", "ALL_COMBOS"]
+
+ALL_COMBOS: Tuple[Tuple[Topology, Consistency], ...] = (
+    (Topology.MS, Consistency.STRONG),
+    (Topology.MS, Consistency.EVENTUAL),
+    (Topology.AA, Consistency.STRONG),
+    (Topology.AA, Consistency.EVENTUAL),
+)
+
+
+@dataclass
+class ComboResult:
+    """Outcome of one chaotic run of one combo."""
+
+    topology: Topology
+    consistency: Consistency
+    seed: int
+    report: OracleReport
+    schedule: FaultSchedule
+    digest: str  # determinism fingerprint (schedule + timeline + history)
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: full recorded history (diagnosis; not part of the digest fields)
+    records: List = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    @property
+    def label(self) -> str:
+        sc = "SC" if self.consistency is Consistency.STRONG else "EC"
+        return f"{self.topology.value.upper()}+{sc}"
+
+    def describe(self) -> str:
+        head = (
+            f"{self.label} seed={self.seed}: "
+            f"{'PASS' if self.ok else 'FAIL'} {self.stats} digest={self.digest[:16]}"
+        )
+        return "\n".join([head] + [f"  {line}" for line in self.report.describe().splitlines()[1:]])
+
+
+@dataclass
+class SoakReport:
+    """Aggregate of a multi-seed, multi-combo soak."""
+
+    results: List[ComboResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def failures(self) -> List[ComboResult]:
+        return [r for r in self.results if not r.ok]
+
+    def describe(self) -> str:
+        lines = [r.describe() for r in self.results]
+        if self.ok:
+            lines.append(f"soak: PASS ({len(self.results)} runs)")
+        else:
+            repro = ", ".join(
+                f"{r.label} --seed {r.seed}" for r in self.failures()
+            )
+            lines.append(f"soak: FAIL — reproduce with: {repro}")
+        return "\n".join(lines)
+
+
+def run_combo(
+    topology: Topology,
+    consistency: Consistency,
+    seed: int,
+    duration: float = 15.0,
+    shards: int = 2,
+    replicas: int = 3,
+    clients: int = 3,
+    keys: int = 24,
+    chaos_start: float = 2.0,
+    quiesce: float = 10.0,
+    schedule: Optional[FaultSchedule] = None,
+    spec_overrides: Optional[dict] = None,
+) -> ComboResult:
+    """Run one seeded chaotic soak of one combo and judge the history."""
+    from repro.harness.deploy import Deployment, DeploymentSpec  # local: avoid cycle
+
+    topology = Topology(topology)
+    consistency = Consistency(consistency)
+    spec_kwargs = dict(
+        shards=shards,
+        replicas=replicas,
+        topology=topology,
+        consistency=consistency,
+        seed=seed,
+        standbys=replicas + 1,  # headroom for every scheduled crash
+    )
+    spec_kwargs.update(spec_overrides or {})
+    dep = Deployment(DeploymentSpec(**spec_kwargs))
+    sim = dep.sim
+    dep.start()
+
+    recorder = HistoryRecorder(sim)
+    sessions = [
+        dep.client(f"chaos{i}", recorder=recorder, max_retries=8)
+        for i in range(clients)
+    ]
+    for c in sessions:
+        sim.run_future(c.connect())
+    for c in sessions:
+        c.auto_refresh(1.0)
+
+    # data-plane replica hosts only: never the coordinator, DLM,
+    # shared logs or client ports
+    data_hosts = [
+        r.host for shard in dep.map.shards.values() for r in shard.ordered()
+    ]
+    if schedule is None:
+        schedule = random_schedule(
+            seed, data_hosts, duration, topology=topology, consistency=consistency
+        )
+
+    keyspace = [f"k{n}" for n in range(keys)]
+    load_end = chaos_start + duration
+
+    def session_loop(client, idx: int):
+        rng = dep.cluster.rng.stream(f"chaos.session{idx}")
+        seq = 0
+        while sim.now < load_end:
+            key = rng.choice(keyspace)
+            roll = rng.random()
+            seq += 1
+            try:
+                if roll < 0.55:
+                    yield client.put(key, f"{client.name}:{seq}")
+                elif roll < 0.95:
+                    yield client.get(key)
+                else:
+                    yield client.delete(key)
+            except BespoError:
+                pass  # recorded; the oracle judges it
+            yield sim.sleep(0.02 + 0.08 * rng.random())
+
+    for i, c in enumerate(sessions):
+        sim.spawn(session_loop(c, i))
+
+    # -- chaos window ----------------------------------------------------
+    sim.run_until(chaos_start)
+    controller = ChaosController(dep, schedule)
+    controller.arm()
+    sim.run_until(chaos_start + max(duration, schedule.horizon) + 0.5)
+    controller.heal_all()
+
+    # -- convergence nudges + quiesce ------------------------------------
+    # One marker write routed to every shard: gives each EC stream a
+    # fresh tail so gap detection has something recent to diff against.
+    writer = sessions[0]
+    covered = set()
+    marker = 0
+    while len(covered) < len(dep.map.shards) and marker < 1000:
+        key = f"marker{marker}"
+        marker += 1
+        sid = writer.shard_for(key).shard_id
+        if sid in covered:
+            continue
+        covered.add(sid)
+        try:
+            sim.run_future(writer.put(key, f"{writer.name}:marker{marker}"))
+        except BespoError:
+            pass
+    sim.run_until(sim.now + quiesce)
+
+    # -- final read sweep -------------------------------------------------
+    reader = sessions[0]
+    for key in keyspace:
+        try:
+            sim.run_future(reader.get(key))
+        except BespoError:
+            pass
+
+    # -- replica dumps (direct engine access: zero simulation impact) ----
+    replica_dumps: Dict[str, Dict[str, Dict[str, str]]] = {}
+    for shard in dep.map.shards.values():
+        dumps: Dict[str, Dict[str, str]] = {}
+        for r in shard.ordered():
+            if not dep.cluster.is_host_alive(r.host):
+                continue
+            actor = dep.cluster.actor(r.datalet)
+            dumps[r.datalet] = dict(actor.engine.snapshot())
+        replica_dumps[shard.shard_id] = dumps
+
+    # -- oracle ------------------------------------------------------------
+    if consistency is Consistency.STRONG:
+        report = check_linearizable(recorder.records)
+    else:
+        report = check_eventual(recorder.records, replica_dumps)
+
+    h = hashlib.sha256()
+    h.update(schedule.digest().encode())
+    h.update(controller.digest().encode())
+    h.update(recorder.digest().encode())
+    for shard_id in sorted(replica_dumps):
+        for datalet in sorted(replica_dumps[shard_id]):
+            for k in sorted(replica_dumps[shard_id][datalet]):
+                h.update(f"{shard_id}|{datalet}|{k}|{replica_dumps[shard_id][datalet][k]}\n".encode())
+
+    counts = recorder.counts()
+    stats = {
+        "ops": len(recorder.records),
+        "acked": counts.get("ok", 0) + counts.get("not_found", 0),
+        "failed": counts.get("fail", 0) + counts.get("pending", 0),
+        "faults": len(controller.applied),
+        "failovers": dep.coordinator.failovers,
+    }
+    return ComboResult(
+        topology=topology,
+        consistency=consistency,
+        seed=seed,
+        report=report,
+        schedule=schedule,
+        digest=h.hexdigest(),
+        stats=stats,
+        records=list(recorder.records),
+    )
+
+
+def run_soak(
+    seeds: Sequence[int],
+    duration: float = 15.0,
+    combos: Sequence[Tuple[Topology, Consistency]] = ALL_COMBOS,
+    **combo_kwargs,
+) -> SoakReport:
+    """All requested combos x all seeds; failures carry their seed."""
+    report = SoakReport()
+    for seed in seeds:
+        for topology, consistency in combos:
+            report.results.append(
+                run_combo(topology, consistency, seed, duration=duration, **combo_kwargs)
+            )
+    return report

@@ -1,0 +1,221 @@
+"""Declarative fault schedules.
+
+A schedule is a seeded, sorted list of :class:`FaultEvent` — each one a
+timed fault (or its paired recovery) that the
+:class:`~repro.chaos.controller.ChaosController` replays on the
+simulated clock.  Because both the schedule generation and the
+simulation are seeded, an entire chaotic run is reproducible
+bit-for-bit from ``(seed, spec)``.
+
+Fault kinds
+-----------
+
+``crash``/``restart``
+    Kill / revive a whole host (controlet + datalet).  Random schedules
+    always pair them, with downtime comfortably above the coordinator's
+    ``failure_timeout`` so the node is swept and replaced before it
+    thaws — a thawed zombie must re-confirm membership (it never wins).
+``partition``/``heal``
+    Cut / restore traffic between two hosts.  ``oneway=True`` drops
+    only ``target -> peer`` (an asymmetric partition: the classic
+    "I can hear you but you can't hear me").
+``latency_spike``
+    Multiply the base latency of the directed ``target -> peer`` link
+    by ``factor``; ``factor=1`` restores it.
+``slow_node``
+    Degrade a host: CPU service slows by ``factor`` and every message
+    to/from it is delayed by ``factor``; ``factor=1`` restores.
+``duplicate``/``reorder``
+    Raise the fabric's duplicate / reorder probability to ``rate`` for
+    a window (``rate=0`` closes it).  Receivers dedup by message id.
+
+Per-combination fault menus
+---------------------------
+
+Not every fault is meaningful against every topology/consistency
+combination (see docs/ARCHITECTURE.md "Chaos & fault injection"):
+
+* ``duplicate``/``reorder`` are scheduled only for EVENTUAL combos —
+  the strong protocols (chain replication, DLM fan-out) serialize on
+  request/response pairs with no per-link sequencing to exercise.
+* ``partition`` is excluded for AA+SC: write-all/read-local with no
+  quorum is genuinely non-linearizable under a partial fan-out (the
+  paper's design inherits the CAP trade-off), so a partition there
+  would make the oracle flag correct code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.types import Consistency, Topology
+from repro.errors import ConfigError
+
+__all__ = ["FaultEvent", "FaultSchedule", "fault_menu", "random_schedule"]
+
+KINDS = (
+    "crash",
+    "restart",
+    "partition",
+    "heal",
+    "latency_spike",
+    "slow_node",
+    "duplicate",
+    "reorder",
+)
+
+#: minimum crash downtime: past the coordinator's default
+#: ``failure_timeout`` (3s) plus margin, so a crashed node is always
+#: swept and replaced before its restart (no stale-rejoin ambiguity).
+MIN_DOWNTIME = 5.0
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault (times are seconds from schedule start)."""
+
+    at: float
+    kind: str
+    target: Optional[str] = None
+    peer: Optional[str] = None
+    factor: float = 1.0
+    rate: float = 0.0
+    oneway: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ConfigError(f"fault time must be >= 0, got {self.at}")
+        if self.kind in ("partition", "heal", "latency_spike") and self.peer is None:
+            raise ConfigError(f"{self.kind} needs a peer host")
+        if self.kind in ("crash", "restart", "partition", "heal",
+                         "latency_spike", "slow_node") and self.target is None:
+            raise ConfigError(f"{self.kind} needs a target host")
+        if not 0.0 <= self.rate < 1.0:
+            raise ConfigError(f"rate must be in [0, 1), got {self.rate}")
+        if self.factor < 1.0:
+            raise ConfigError(f"factor must be >= 1, got {self.factor}")
+
+    def describe(self) -> str:
+        bits = [f"{self.at:.3f}", self.kind]
+        if self.target:
+            bits.append(self.target)
+        if self.peer:
+            bits.append(("->" if self.oneway else "<->") + self.peer)
+        if self.factor != 1.0:
+            bits.append(f"x{self.factor:g}")
+        if self.kind in ("duplicate", "reorder"):
+            bits.append(f"rate={self.rate:g}")
+        return " ".join(bits)
+
+
+@dataclass
+class FaultSchedule:
+    """A sorted sequence of fault events plus its provenance."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.events = sorted(self.events, key=lambda e: e.at)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last event (0 for an empty schedule)."""
+        return self.events[-1].at if self.events else 0.0
+
+    def digest(self) -> str:
+        """Stable content hash — two identical schedules (same seed,
+        same inputs) hash identically across processes."""
+        h = hashlib.sha256()
+        for ev in self.events:
+            h.update(
+                f"{ev.at:.9f}|{ev.kind}|{ev.target}|{ev.peer}|"
+                f"{ev.factor:.9f}|{ev.rate:.9f}|{ev.oneway}\n".encode()
+            )
+        return h.hexdigest()
+
+    def describe(self) -> str:
+        return "\n".join(ev.describe() for ev in self.events)
+
+
+def fault_menu(topology: Topology, consistency: Consistency) -> Tuple[str, ...]:
+    """The fault kinds a random schedule may draw for one combo."""
+    topology = Topology(topology)
+    consistency = Consistency(consistency)
+    menu = ["crash", "latency_spike", "slow_node"]
+    if not (topology is Topology.AA and consistency is Consistency.STRONG):
+        menu.append("partition")
+    if consistency is Consistency.EVENTUAL:
+        menu.extend(["duplicate", "reorder"])
+    return tuple(menu)
+
+
+def random_schedule(
+    seed: int,
+    hosts: Sequence[str],
+    duration: float,
+    topology: Topology = Topology.MS,
+    consistency: Consistency = Consistency.STRONG,
+    max_crashes: int = 2,
+    events_per_10s: float = 4.0,
+    spike_factor: float = 10.0,
+    slow_factor: float = 4.0,
+) -> FaultSchedule:
+    """Draw a reproducible random schedule for one combo.
+
+    ``hosts`` must be the **data-plane replica hosts only** — chaos
+    never targets the coordinator, DLM, shared-log or client hosts
+    (those model managed infrastructure; the paper's failure
+    experiments kill storage nodes).
+    """
+    if len(hosts) < 2:
+        raise ConfigError("need at least two hosts to schedule faults")
+    if duration <= 0:
+        raise ConfigError("duration must be positive")
+    rng = random.Random(seed)
+    hosts = sorted(hosts)
+    menu = fault_menu(topology, consistency)
+    events: List[FaultEvent] = []
+    crashes = 0
+    crashed_until = {h: 0.0 for h in hosts}
+    n = max(2, int(duration * events_per_10s / 10.0))
+    for _ in range(n):
+        kind = rng.choice(menu)
+        at = rng.uniform(0.0, duration)
+        if kind == "crash":
+            up = [h for h in hosts if crashed_until[h] <= at]
+            if crashes >= max_crashes or len(up) < 2:
+                continue  # keep a majority of the fleet breathing
+            target = rng.choice(up)
+            downtime = MIN_DOWNTIME + rng.uniform(0.0, 3.0)
+            crashed_until[target] = at + downtime
+            crashes += 1
+            events.append(FaultEvent(at=at, kind="crash", target=target))
+            events.append(FaultEvent(at=at + downtime, kind="restart", target=target))
+        elif kind == "partition":
+            a, b = rng.sample(hosts, 2)
+            oneway = rng.random() < 0.5
+            heal_after = rng.uniform(1.0, 3.0)
+            events.append(FaultEvent(at=at, kind="partition", target=a, peer=b, oneway=oneway))
+            events.append(FaultEvent(at=at + heal_after, kind="heal", target=a, peer=b, oneway=oneway))
+        elif kind == "latency_spike":
+            a, b = rng.sample(hosts, 2)
+            clear_after = rng.uniform(1.0, 3.0)
+            events.append(FaultEvent(at=at, kind="latency_spike", target=a, peer=b, factor=spike_factor))
+            events.append(FaultEvent(at=at + clear_after, kind="latency_spike", target=a, peer=b))
+        elif kind == "slow_node":
+            target = rng.choice(hosts)
+            clear_after = rng.uniform(2.0, 5.0)
+            events.append(FaultEvent(at=at, kind="slow_node", target=target, factor=slow_factor))
+            events.append(FaultEvent(at=at + clear_after, kind="slow_node", target=target))
+        else:  # duplicate / reorder window
+            rate = 0.05 + rng.random() * 0.15
+            close_after = rng.uniform(2.0, 5.0)
+            events.append(FaultEvent(at=at, kind=kind, rate=rate))
+            events.append(FaultEvent(at=at + close_after, kind=kind, rate=0.0))
+    return FaultSchedule(events=events, seed=seed)

@@ -63,6 +63,31 @@ def _build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="guided tour of the framework")
     demo.add_argument("--shards", type=int, default=3)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="seeded randomized fault soak + consistency oracle",
+        description="Deploy each topology/consistency combo, replay a "
+        "random fault schedule drawn from --seed (crashes, asymmetric "
+        "partitions, latency spikes, slow nodes, duplication/reorder), "
+        "and judge the recorded client history: linearizability for the "
+        "strong combos, validity + replica convergence for the eventual "
+        "ones.  Identical seeds produce identical runs bit-for-bit.",
+    )
+    chaos.add_argument("--seed", type=int, action="append", default=None,
+                       help="run seed; repeat for a multi-seed soak (default: 1)")
+    chaos.add_argument("--duration", type=float, default=15.0,
+                       help="chaos window length in simulated seconds")
+    chaos.add_argument("--combo", choices=("ms-sc", "ms-ec", "aa-sc", "aa-ec"),
+                       action="append", default=None,
+                       help="restrict to specific combos (default: all four)")
+    chaos.add_argument("--shards", type=int, default=2)
+    chaos.add_argument("--replicas", type=int, default=3)
+    chaos.add_argument("--clients", type=int, default=3)
+    chaos.add_argument("--quiesce", type=float, default=10.0,
+                       help="post-chaos settle time before the final read sweep")
+    chaos.add_argument("--show-schedule", action="store_true",
+                       help="print each run's fault schedule")
     return parser
 
 
@@ -175,9 +200,55 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# chaos
+# ---------------------------------------------------------------------------
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import run_soak
+    from repro.chaos.runner import ALL_COMBOS
+    from repro.errors import ConfigError
+
+    combo_by_flag = {
+        "ms-sc": (Topology.MS, Consistency.STRONG),
+        "ms-ec": (Topology.MS, Consistency.EVENTUAL),
+        "aa-sc": (Topology.AA, Consistency.STRONG),
+        "aa-ec": (Topology.AA, Consistency.EVENTUAL),
+    }
+    combos = (
+        [combo_by_flag[c] for c in args.combo] if args.combo else list(ALL_COMBOS)
+    )
+    seeds = args.seed or [1]
+    t0 = time.time()
+    try:
+        report = run_soak(
+            seeds,
+            duration=args.duration,
+            combos=combos,
+            shards=args.shards,
+            replicas=args.replicas,
+            clients=args.clients,
+            quiesce=args.quiesce,
+        )
+    except ConfigError as e:
+        print(f"chaos: {e}", file=sys.stderr)
+        return 2
+    if args.show_schedule:
+        for result in report.results:
+            print(f"--- {result.label} seed={result.seed} schedule ---")
+            print(result.schedule.describe())
+    print(report.describe())
+    print(f"({len(report.results)} runs in {time.time() - t0:.1f}s wall)")
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    handler = {"serve": _cmd_serve, "bench": _cmd_bench, "demo": _cmd_demo}[args.command]
+    handler = {
+        "serve": _cmd_serve,
+        "bench": _cmd_bench,
+        "demo": _cmd_demo,
+        "chaos": _cmd_chaos,
+    }[args.command]
     return handler(args)
 
 

@@ -21,7 +21,6 @@ sessions inside the simulation.
 
 from __future__ import annotations
 
-import random
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.types import ClusterMap, Consistency, ShardInfo, Topology
@@ -51,11 +50,14 @@ class KVClient:
         op_timeout: float = 0.5,
         max_retries: int = 6,
         retry_backoff: float = 0.2,
+        retry_backoff_cap: float = 2.0,
+        recorder: Optional[Any] = None,
     ):
         if partitioner not in ("hash", "range"):
             raise BespoError(f"unknown partitioner {partitioner!r}")
         self.cluster = cluster
         self.sim = cluster.sim
+        self.name = name
         self.port: ClientPort = cluster.add_port(name)
         #: coordinator preference list; on timeout the client fails over
         #: to the next entry (primary/standby resilience, §VII).
@@ -68,10 +70,18 @@ class KVClient:
         self.op_timeout = op_timeout
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
+        #: optional chaos history recorder (duck-typed; see
+        #: :class:`repro.chaos.history.HistoryRecorder`).  Records every
+        #: put/get/delete invocation and its outcome — including
+        #: timeouts and exhausted retries — for the consistency oracle.
+        self.recorder = recorder
         self.map: Optional[ClusterMap] = None
         self._ring: Optional[HashRing] = None
         self._range: Optional[RangePartitioner] = None
-        self._rng = random.Random(cluster.rng.stream(f"client.{name}").random())
+        # Named stream from the registry, not a derived ad-hoc Random:
+        # the client's jitter draws replay bit-for-bit for a given seed.
+        self._rng = cluster.rng.stream(f"client.{name}")
         self._tables: Dict[str, bool] = {}
         self.ops = 0
         self.retries = 0
@@ -211,11 +221,47 @@ class KVClient:
             pass
 
     def _backoff(self, attempt: int) -> float:
-        """Jittered linear backoff before re-resolving the topology."""
-        return self.retry_backoff * (attempt + 1) * (0.5 + self._rng.random())
+        """Jittered exponential backoff, capped: ``base * 2^attempt`` up
+        to ``retry_backoff_cap``, scaled by a [0.5, 1.5) jitter factor so
+        retry storms from concurrent sessions decorrelate."""
+        delay = min(self.retry_backoff * (2 ** attempt), self.retry_backoff_cap)
+        return delay * (0.5 + self._rng.random())
 
     def _run(self, gen) -> SimFuture:
         return self.sim.spawn(gen)
+
+    def _recorded(self, op: str, key: str, gen, value: Optional[str] = None):
+        """Wrap an op generator with history recording.  Failed and
+        timed-out ops are recorded too: an unacked write may still have
+        taken effect, and the oracle must treat it as indeterminate."""
+        if self.recorder is None:
+            result = yield from gen
+            return result
+        rec = self.recorder.invoke(self.name, op, key, value)
+        retries_before = self.retries
+        try:
+            result = yield from gen
+        except KeyNotFound:
+            # a definite observation (key absent), not a failure
+            self.recorder.complete(
+                rec, "not_found", attempts=1 + self.retries - retries_before
+            )
+            raise
+        except BespoError as e:
+            self.recorder.complete(
+                rec,
+                "fail",
+                error=f"{type(e).__name__}: {e}",
+                attempts=1 + self.retries - retries_before,
+            )
+            raise
+        self.recorder.complete(
+            rec,
+            "ok",
+            value=result if op == "get" else None,
+            attempts=1 + self.retries - retries_before,
+        )
+        return result
 
     # ------------------------------------------------------------------
     # public KV API (Table II)
@@ -224,7 +270,8 @@ class KVClient:
         """Write a pair; resolves to None."""
 
         def proc():
-            yield from self._op_proc("put", key, {"key": key, "val": val}, consistency)
+            gen = self._op_proc("put", key, {"key": key, "val": val}, consistency)
+            yield from self._recorded("put", key, gen, value=val)
 
         return self._run(proc())
 
@@ -245,8 +292,13 @@ class KVClient:
             payload: Dict[str, Any] = {"key": key}
             if consistency is not None:
                 payload["consistency"] = consistency
-            resp = yield from self._op_proc("get", key, payload, consistency, prefer_kind)
-            return resp.payload["val"]
+
+            def inner():
+                resp = yield from self._op_proc("get", key, payload, consistency, prefer_kind)
+                return resp.payload["val"]
+
+            value = yield from self._recorded("get", key, inner())
+            return value
 
         return self._run(proc())
 
@@ -254,7 +306,8 @@ class KVClient:
         """Delete a pair; resolves to None."""
 
         def proc():
-            yield from self._op_proc("del", key, {"key": key}, consistency)
+            gen = self._op_proc("del", key, {"key": key}, consistency)
+            yield from self._recorded("del", key, gen)
 
         return self._run(proc())
 

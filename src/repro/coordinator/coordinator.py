@@ -96,7 +96,11 @@ class CoordinatorActor(Actor):
         if sid not in self.map.shards:
             self.respond(msg, "error", {"error": f"unknown shard {sid!r}"})
             return
-        self.respond(msg, "shard_info", {"shard": self.map.shard(sid).to_dict()})
+        self.respond(
+            msg,
+            "shard_info",
+            {"shard": self.map.shard(sid).to_dict(), "epoch": self.map.epoch},
+        )
 
     # ------------------------------------------------------------------
     # liveness & failover
@@ -149,12 +153,37 @@ class CoordinatorActor(Actor):
         if self.spawner is not None and shard.replicas:
             # Recover from the current tail: under chain replication the
             # tail holds every committed write; under EC/AA any live
-            # replica is as good as another.
+            # replica is as good as another.  Capture the source BEFORE
+            # any join-first append below changes who the tail is.
             source = shard.tail.datalet
             new_replica = self.spawner(shard, source)
-            if new_replica is not None:
-                self._recovering[new_replica.controlet] = shard.shard_id
-                self._last_seen[new_replica.controlet] = self.now()
+            if new_replica is None:
+                # No standby host available: the shard keeps serving
+                # with fewer replicas, but flag the exposure so clients
+                # and operators can see it.
+                self.map.degraded.add(shard.shard_id)
+                self.map.bump()
+                self._broadcast_config(shard)
+                return
+            self._recovering[new_replica.controlet] = shard.shard_id
+            self._last_seen[new_replica.controlet] = self.now()
+            if (
+                shard.topology is Topology.AA
+                and shard.consistency is Consistency.STRONG
+            ):
+                # Join-first (AA strong): fan-out writers replicate to
+                # every member of the shard view, so the replacement
+                # must appear in the view *before* its state transfer
+                # starts — it buffers incoming writes while recovering.
+                # Use the registered pending replica object if the
+                # spawner recorded one, so identity stays consistent.
+                replica = self._pending_replicas.get(
+                    new_replica.controlet, new_replica
+                )
+                replica.chain_pos = len(shard.replicas)
+                shard.replicas.append(replica)
+                self.map.bump()
+                self._broadcast_config(shard)
 
     def _on_recovery_done(self, msg: Message) -> None:
         controlet = msg.payload["controlet"]
@@ -168,6 +197,11 @@ class CoordinatorActor(Actor):
         # the new pair as the new tail").
         replica = self._pending_replicas.pop(controlet, None)
         if replica is None:
+            return
+        self.map.degraded.discard(sid)
+        if any(r.controlet == controlet for r in shard.replicas):
+            # Join-first path (AA strong): already a member; recovery
+            # completion only clears the pending bookkeeping.
             return
         replica.chain_pos = len(shard.replicas)
         shard.replicas.append(replica)

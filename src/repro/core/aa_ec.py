@@ -40,13 +40,48 @@ class AAEventualControlet(Controlet):
         self._start_at_tail = start_cursor_at_tail
         self.applied_from_log = 0
         self._draining: Optional[Dict[str, object]] = None
+        self._fetch_armed = False
+        self.register("log_sync_pull", self._on_log_sync_pull)
 
     def on_start(self) -> None:
         super().on_start()
+        if self.recovery_source is not None and not self.recovered:
+            return  # log_sync_pull installs the cursor, then replay starts
         if self._start_at_tail:
             self._fetch_initial_tail()
         else:
-            self.set_timer(self.config.log_fetch_interval, self._fetch_tick)
+            self._arm_fetch()
+
+    # ------------------------------------------------------------------
+    # hole-free recovery (replacement active)
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        self.sync_recover("log_sync_pull")
+
+    def on_sync_state(self, state) -> None:
+        # Resume replay from the *source's* cursor (not the log tail):
+        # anything its snapshot misses sits at or after that position.
+        self.cursor = int(state.get("cursor", 0))
+        self._start_at_tail = False
+        self._arm_fetch()
+
+    def _on_log_sync_pull(self, msg: Message) -> None:
+        """We are the recovery source.  Hand out our replay cursor with
+        the snapshot, rewound by one fetch window: an apply_batch we
+        fired just before the snapshot request may still be in flight to
+        our datalet, and replaying from an earlier position is always
+        safe (log order is the authority) while skipping is not."""
+        cursor = max(0, self.cursor - self.config.log_fetch_max)
+
+        def with_snap(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type != "snapshot":
+                self.respond(msg, "error", {"error": f"snapshot failed: {err}"})
+                return
+            self.respond(msg, "sync_state", {
+                "data": resp.payload["data"], "cursor": cursor,
+            })
+
+        self.datalet_call("snapshot", {}, callback=with_snap)
 
     def _fetch_initial_tail(self) -> None:
         self.call(
@@ -61,9 +96,21 @@ class AAEventualControlet(Controlet):
         if resp is not None and resp.type == "entries":
             self.cursor = resp.payload["tail"]
             self._start_at_tail = False
-            self.set_timer(self.config.log_fetch_interval, self._fetch_tick)
+            self._arm_fetch()
         else:  # log unreachable; retry shortly
             self.set_timer(self.config.replication_timeout, self._fetch_initial_tail)
+
+    def _arm_fetch(self) -> None:
+        if self._fetch_armed:
+            return
+        self._fetch_armed = True
+        self.set_timer(self.config.log_fetch_interval, self._fetch_tick)
+
+    def on_shard_changed(self) -> None:
+        # A restarted node unfences through here: make sure the replay
+        # loop (which stops while retired) is running again.
+        if not self.retired and self.recovered and not self._start_at_tail:
+            self._arm_fetch()
 
     # ------------------------------------------------------------------
     # write path
@@ -113,6 +160,7 @@ class AAEventualControlet(Controlet):
     # log replay
     # ------------------------------------------------------------------
     def _fetch_tick(self) -> None:
+        self._fetch_armed = False
         if self.retired:
             return
 
@@ -128,7 +176,7 @@ class AAEventualControlet(Controlet):
                 if self.cursor < tail:
                     self._fetch_tick()
                     return
-            self.set_timer(self.config.log_fetch_interval, self._fetch_tick)
+            self._arm_fetch()
 
         self.call(
             self.sharedlog,

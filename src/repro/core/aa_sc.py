@@ -27,6 +27,96 @@ class AAStrongControlet(Controlet):
         super().__init__(*args, **kwargs)
         self.dlm = dlm
         self.lock_waits = 0
+        #: a recovering replacement every write we apply is relayed to
+        #: (we are its recovery source) until it confirms its catch-up
+        #: buffer is drained — closes the snapshot/join window for
+        #: writers whose shard view predates the join.
+        self._relay_to: Optional[str] = None
+        self.register("peer_apply", self._on_peer_apply)
+        self.register("aa_sync_pull", self._on_aa_sync_pull)
+        self.register("aa_sync_complete", self._on_aa_sync_complete)
+
+    # ------------------------------------------------------------------
+    # hole-free recovery (replacement active)
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        self.sync_recover("aa_sync_pull")
+
+    def _on_aa_sync_pull(self, msg: Message) -> None:
+        """We are the recovery source: start relaying every write we
+        apply to the replacement *before* snapshotting, so snapshot ∪
+        relayed writes covers everything committed here."""
+        self._relay_to = msg.payload["controlet"]
+
+        def with_snap(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type != "snapshot":
+                self._relay_to = None
+                self.respond(msg, "error", {"error": f"snapshot failed: {err}"})
+                return
+            self.respond(msg, "sync_state", {"data": resp.payload["data"]})
+
+        self.datalet_call("snapshot", {}, callback=with_snap)
+
+    def _on_aa_sync_complete(self, msg: Message) -> None:
+        if msg.payload.get("controlet") == self._relay_to:
+            self._relay_to = None
+
+    def on_catchup_drain(self, msgs) -> None:
+        super().on_catchup_drain(msgs)
+        src = self.source_controlet()
+        if src is not None:
+            self.send(src, "aa_sync_complete", {"controlet": self.node_id})
+
+    # ------------------------------------------------------------------
+    # replication (peer controlet applies one write to its datalet)
+    # ------------------------------------------------------------------
+    def _on_peer_apply(self, msg: Message) -> None:
+        if not self.recovered:
+            # Recovering replacement (visible in the shard view under
+            # join-first): buffer and ack.  Safe because the writer's
+            # DLM lock is released only after *all* replicas acked, so
+            # a later same-key write cannot overtake this one.
+            self.buffer_catchup(msg)
+            self.respond(msg, "ok")
+            return
+        op = msg.payload["op"]
+        payload = {"key": msg.payload["key"]}
+        if op == "put":
+            payload["val"] = msg.payload["val"]
+        relay_to = self._relay_to
+        state = {"n": 2 if relay_to else 1, "resp": None, "err": None}
+
+        def finish() -> None:
+            resp, err = state["resp"], state["err"]
+            if err is not None or resp is None:
+                self.respond(msg, "error", {"error": str(err) if err else "no response"})
+            else:
+                self.respond(msg, resp.type, dict(resp.payload))
+
+        def on_local(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            state["resp"], state["err"] = resp, err
+            state["n"] -= 1
+            if state["n"] == 0:
+                finish()
+
+        def on_relay(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None and self._relay_to == relay_to:
+                # the recovering replacement died; stop relaying (its
+                # next pull retry re-snapshots, so nothing is lost)
+                self._relay_to = None
+            state["n"] -= 1
+            if state["n"] == 0:
+                finish()
+
+        self.datalet_call(op, payload, callback=on_local)
+        if relay_to is not None:
+            self.call(
+                relay_to,
+                "peer_apply",
+                dict(msg.payload),
+                callback=on_relay,
+                timeout=self.config.replication_timeout,
+            )
 
     # ------------------------------------------------------------------
     # locking helpers
@@ -66,11 +156,16 @@ class AAStrongControlet(Controlet):
         key = msg.payload["key"]
 
         def body() -> None:
-            payload = {"key": key}
+            payload = {"op": op, "key": key}
             if op == "put":
                 payload["val"] = msg.payload["val"]
-            replicas = self.shard.ordered()
-            remaining = {"n": len(replicas)}
+            # Fan out through every replica's *controlet* (not its
+            # datalet) while holding the lock (paper Fig 15b steps
+            # 4-5): the controlet is the point where a recovery relay
+            # or a catch-up buffer can intercept the write, which a
+            # datalet-direct write would bypass.
+            targets = [r.controlet for r in self.shard.ordered()]
+            remaining = {"n": len(targets)}
             failed = {"err": None}
 
             def on_ack(resp: Optional[Message], err: Optional[BespoError]) -> None:
@@ -87,10 +182,14 @@ class AAStrongControlet(Controlet):
                     else:
                         self.respond(msg, "ok")
 
-            # Write every replica's datalet directly while holding the
-            # lock (paper Fig 15b steps 4-5).
-            for replica in replicas:
-                self.datalet_call(op, dict(payload), callback=on_ack, datalet=replica.datalet)
+            for target in targets:
+                self.call(
+                    target,
+                    "peer_apply",
+                    dict(payload),
+                    callback=on_ack,
+                    timeout=self.config.replication_timeout,
+                )
 
         self._with_lock(key, "w", body, msg)
 

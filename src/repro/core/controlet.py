@@ -64,10 +64,19 @@ class Controlet(Actor):
         #: datalets").
         self.recovery_source = recovery_source
         self.recovered = recovery_source is None
+        #: replication messages that arrived while we were still copying
+        #: state from the recovery source; drained (in arrival order)
+        #: once the snapshot is restored.  See :meth:`sync_recover`.
+        self._catchup: List[Message] = []
         #: set once a transition replaced this controlet; all client ops
         #: are rejected with a ``retired`` error that carries the new
         #: epoch hint so clients refresh their map.
         self.retired = False
+        #: highest cluster-map epoch whose shard view we installed; two
+        #: config_update broadcasts sent back-to-back can reorder in
+        #: flight, and adopting the older one would silently shrink our
+        #: replica view (fan-out writers would skip the newest member).
+        self._config_epoch = 0
         #: during a transition, client *writes* are forwarded here.
         self.forward_writes_to: Optional[str] = None
         self.stats: Dict[str, int] = {
@@ -94,8 +103,50 @@ class Controlet(Actor):
     # ------------------------------------------------------------------
     def on_start(self) -> None:
         self._heartbeat()
-        if self.recovery_source is not None:
+        if self.recovery_source is not None and not self.recovered:
             self._recover()
+
+    def on_restart(self) -> None:
+        """A crashed-and-revived controlet must *fence* itself: its role
+        may have been repaired away while it was down (e.g. an ex-tail
+        would serve stale strong reads).  Refuse client ops until the
+        coordinator confirms we are still a shard member."""
+        self.retired = True
+        self._confirm_membership()
+        self.on_start()
+
+    def _confirm_membership(self, attempt: int = 0) -> None:
+        coords = [self.coordinator] + list(self.backup_coordinators)
+        target = coords[attempt % len(coords)]
+
+        def on_info(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if resp is None or resp.type != "shard_info":
+                self.set_timer(
+                    self.config.heartbeat_interval,
+                    lambda: self._confirm_membership(attempt + 1),
+                )
+                return
+            shard = ShardInfo.from_dict(resp.payload["shard"])
+            if any(r.controlet == self.node_id for r in shard.replicas):
+                self._install_shard(shard, resp.payload.get("epoch"))
+                self.retired = False
+                self.on_shard_changed()
+            elif not self.recovered:
+                # mid-recovery replacement: not joined yet — keep
+                # polling until the coordinator adds us.
+                self.set_timer(
+                    self.config.heartbeat_interval,
+                    lambda: self._confirm_membership(attempt + 1),
+                )
+            # else: we were repaired out of the shard; stay fenced.
+
+        self.call(
+            target,
+            "get_shard_info",
+            {"shard": self.shard.shard_id},
+            callback=on_info,
+            timeout=self.config.replication_timeout,
+        )
 
     def _heartbeat(self) -> None:
         """LogHeartbeat(c, d) loop (paper Table III)."""
@@ -138,11 +189,113 @@ class Controlet(Actor):
             self.set_timer(self.config.replication_timeout, self._recover)
             return
         self.recovered = True
-        self.send(
-            self.coordinator,
-            "recovery_done",
-            {"controlet": self.node_id, "shard": self.shard.shard_id},
+        # Standby coordinators registered the same pending replica; tell
+        # them too, so a follower promoted mid-failover can complete the
+        # in-flight repair instead of stranding it.
+        payload = {"controlet": self.node_id, "shard": self.shard.shard_id}
+        self.send(self.coordinator, "recovery_done", dict(payload))
+        for backup in self.backup_coordinators:
+            self.send(backup, "recovery_done", dict(payload))
+
+    # ------------------------------------------------------------------
+    # hole-free recovery (controlet-to-controlet state transfer)
+    # ------------------------------------------------------------------
+    def source_controlet(self) -> Optional[str]:
+        """Controlet owning our recovery-source datalet, per our spawn
+        -time shard view (None if the view no longer lists it)."""
+        if self.recovery_source is None:
+            return None
+        for r in self.shard.ordered():
+            if r.datalet == self.recovery_source:
+                return r.controlet
+        return None
+
+    def sync_recover(self, pull_type: str) -> None:
+        """State transfer that closes the snapshot/join window.
+
+        A plain datalet snapshot (:meth:`_recover`) loses every write
+        committed between the snapshot and the moment the replacement
+        joins the shard.  Protocols that cannot tolerate that hole send
+        ``pull_type`` to the *source controlet* instead: the source
+        captures its protocol cursor and starts relaying subsequent
+        writes to us in the same handler invocation — before it asks its
+        datalet for the snapshot — so snapshot ∪ relay covers every
+        write.  Replication messages arriving while we restore are
+        buffered via :meth:`buffer_catchup` and replayed after
+        :meth:`on_sync_state` adopts the cursor.
+        """
+        src = self.source_controlet()
+        if src is None or src == self.node_id:
+            # The source was repaired out of the shard (it died while we
+            # were copying): fall back to the current head, which under
+            # every topology here holds a superset of committed state.
+            try:
+                head = self.shard.head
+            except Exception:  # noqa: BLE001 - empty shard view
+                head = None
+            if head is not None and head.controlet != self.node_id:
+                self.recovery_source = head.datalet
+                src = head.controlet
+        if src is None or src == self.node_id:
+            # No better option than a plain snapshot (subclasses
+            # override _recover, so call the base version explicitly).
+            Controlet._recover(self)
+            return
+
+        def retry() -> None:
+            # refresh first: the source may have died and been repaired
+            # away, in which case the re-pull needs the fallback above
+            self.set_timer(
+                self.config.replication_timeout,
+                lambda: self.refresh_shard(
+                    then=lambda: self.sync_recover(pull_type)
+                ),
+            )
+
+        def on_state(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type != "sync_state":
+                retry()
+                return
+            state = dict(resp.payload)
+
+            def restored(r: Optional[Message], e: Optional[BespoError]) -> None:
+                if e is not None:
+                    retry()
+                    return
+                self.on_sync_state(state)
+                self._recovery_done(None)
+                self.on_catchup_drain(self.drain_catchup())
+
+            self.datalet_call(
+                "restore", {"data": state.get("data", {})}, callback=restored
+            )
+
+        self.call(
+            src,
+            pull_type,
+            {"controlet": self.node_id, "datalet": self.datalet},
+            callback=on_state,
+            timeout=self.config.replication_timeout * 10,
         )
+
+    def on_sync_state(self, state: Dict[str, Any]) -> None:
+        """Hook: adopt protocol cursors carried by a ``sync_state``
+        response (sequence numbers, stream identity, log cursor)."""
+
+    def buffer_catchup(self, msg: Message) -> None:
+        self._catchup.append(msg)
+
+    def drain_catchup(self) -> List[Message]:
+        buf, self._catchup = self._catchup, []
+        return buf
+
+    def on_catchup_drain(self, msgs: List[Message]) -> None:
+        """Replay messages buffered during recovery through their
+        registered handlers (now that ``recovered`` is True)."""
+        for m in msgs:
+            handler = self._handlers.get(m.type)
+            if handler is not None:
+                handler(m)
 
     # ------------------------------------------------------------------
     # shard-view helpers
@@ -215,7 +368,10 @@ class Controlet(Actor):
 
         def on_info(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if resp is not None and resp.type == "shard_info":
-                self.shard = ShardInfo.from_dict(resp.payload["shard"])
+                self._install_shard(
+                    ShardInfo.from_dict(resp.payload["shard"]),
+                    resp.payload.get("epoch"),
+                )
             if then is not None:
                 then()
 
@@ -231,7 +387,10 @@ class Controlet(Actor):
     # client-op entry: retirement / transition forwarding, then dispatch
     # ------------------------------------------------------------------
     def _client_op(self, msg: Message) -> None:
-        if self.retired:
+        if self.retired or not self.recovered:
+            # not-yet-recovered replacements (visible to clients under
+            # AA join-first) bounce ops the same way retired controlets
+            # do: the client refreshes its map and retries elsewhere.
             self.stats["errors"] += 1
             self.respond(msg, "error", {"error": "retired"})
             return
@@ -311,11 +470,21 @@ class Controlet(Actor):
     # ------------------------------------------------------------------
     # reconfiguration & transitions
     # ------------------------------------------------------------------
+    def _install_shard(self, shard: ShardInfo, epoch: Optional[int]) -> bool:
+        """Adopt a shard view unless we already hold a newer one."""
+        if epoch is not None:
+            if epoch < self._config_epoch:
+                return False
+            self._config_epoch = epoch
+        self.shard = shard
+        return True
+
     def _on_config_update(self, msg: Message) -> None:
         new_shard = ShardInfo.from_dict(msg.payload["shard"])
         if new_shard.shard_id != self.shard.shard_id:
             return  # not ours; stale broadcast
-        self.shard = new_shard
+        if not self._install_shard(new_shard, msg.payload.get("epoch")):
+            return  # reordered broadcast older than our current view
         self.on_shard_changed()
 
     def on_shard_changed(self) -> None:

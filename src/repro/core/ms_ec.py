@@ -60,6 +60,86 @@ class MSEventualControlet(Controlet):
         self.register("replicate", self._on_replicate)
         self.register("resend_request", self._on_resend_request)
         self.register("sync_snapshot", self._on_sync_snapshot)
+        self.register("ec_sync_pull", self._on_ec_sync_pull)
+        self.register("seq_probe", self._on_seq_probe)
+
+    # ------------------------------------------------------------------
+    # periodic anti-entropy
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        super().on_start()
+        self._anti_entropy_tick()
+
+    def _anti_entropy_tick(self) -> None:
+        """Tail-of-stream repair: a gap is normally detected when the
+        *next* batch arrives, but if the final batches of a burst are
+        lost there is no next batch.  Slaves therefore periodically
+        compare their cursor against the master's sequence counter."""
+        self.set_timer(self.config.replication_timeout, self._anti_entropy_tick)
+        if self.retired or not self.recovered or self.is_head:
+            return
+        try:
+            master_id = self.shard.head.controlet
+        except Exception:  # noqa: BLE001 - empty shard view mid-repair
+            return
+        if master_id == self.node_id:
+            return
+
+        def on_seq(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if resp is None or resp.type != "seq_info":
+                return
+            probed_master = resp.payload["master"]
+            master_seq = int(resp.payload["seq"])
+            tracked, next_seq = self._stream
+            if probed_master != tracked:
+                # unfamiliar numbering: resync from its first op (the
+                # replicate/adoption path would do the same)
+                if master_seq > 0:
+                    self._request_repair(probed_master, 0)
+            elif master_seq > next_seq:
+                self._request_repair(probed_master, next_seq)
+
+        self.call(
+            master_id,
+            "seq_probe",
+            {},
+            callback=on_seq,
+            timeout=self.config.replication_timeout,
+        )
+
+    def _on_seq_probe(self, msg: Message) -> None:
+        self.respond(msg, "seq_info", {"master": self.node_id, "seq": self._seq})
+
+    # ------------------------------------------------------------------
+    # hole-free recovery (replacement slave)
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        self.sync_recover("ec_sync_pull")
+
+    def on_sync_state(self, state) -> None:
+        # Adopt the source's stream cursor, captured *before* its
+        # snapshot: any op missing from the snapshot carries a sequence
+        # number >= this cursor, so the gap-repair path fetches it.
+        self._stream = (state.get("master"), int(state.get("seq", 0)))
+
+    def _on_ec_sync_pull(self, msg: Message) -> None:
+        """We are the recovery source: capture our stream position
+        first, then snapshot.  Re-applying overlap is idempotent; a
+        skipped op would be a lost write."""
+        if self.is_head:
+            master, seq = self.node_id, self._seq
+        else:
+            master, seq = self._stream
+
+        def with_snap(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type != "snapshot":
+                self.respond(msg, "error", {"error": f"snapshot failed: {err}"})
+                return
+            self.respond(msg, "sync_state", {
+                "data": resp.payload["data"], "master": master, "seq": seq,
+            })
+
+        self.datalet_call("snapshot", {}, callback=with_snap)
 
     # ------------------------------------------------------------------
     # write path (master)
@@ -150,15 +230,23 @@ class MSEventualControlet(Controlet):
     # slave side
     # ------------------------------------------------------------------
     def _on_replicate(self, msg: Message) -> None:
+        if not self.recovered:
+            # mid-recovery: replay after the snapshot restore installs
+            # our stream cursor (overlap re-applies are idempotent).
+            self.buffer_catchup(msg)
+            return
         master = msg.payload["master"]
         start_seq = int(msg.payload["start_seq"])
         ops = msg.payload["ops"]
         tracked_master, next_seq = self._stream
         if master != tracked_master:
-            # new master (failover/transition): adopt its numbering —
-            # the data below start_seq reached us through recovery or
-            # the previous master's stream.
-            tracked_master, next_seq = master, start_seq
+            # New master (failover/transition): we cannot assume our
+            # state covers its history below start_seq — batches it
+            # flushed before we started listening are simply gone from
+            # our perspective.  Conservatively resync from its first
+            # op; overlap re-applies are idempotent and the master
+            # falls back to a snapshot if its window rolled past.
+            tracked_master, next_seq = master, 0
         if start_seq > next_seq:
             # gap: batches were lost (partition, drop).  Ask for a
             # resend and discard this batch — the resend covers it.

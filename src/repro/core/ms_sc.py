@@ -35,7 +35,46 @@ class MSStrongControlet(Controlet):
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
+        #: a recovering replacement we relay chain writes to while it is
+        #: not yet officially our successor (closes the snapshot/join
+        #: window — writes committed during the copy would otherwise be
+        #: missing from the new tail, i.e. stale strong reads).
+        self._sync_successor: Optional[str] = None
         self.register("chain_put", self._on_chain_put)
+        self.register("tail_sync_pull", self._on_tail_sync_pull)
+
+    # ------------------------------------------------------------------
+    # hole-free recovery (replacement tail)
+    # ------------------------------------------------------------------
+    def _recover(self) -> None:
+        self.sync_recover("tail_sync_pull")
+
+    def _on_tail_sync_pull(self, msg: Message) -> None:
+        """We are the recovery source: start relaying every subsequent
+        chain write to the replacement *before* snapshotting.  Datalet
+        message ordering then guarantees snapshot ∪ relayed writes
+        covers everything committed here."""
+        self._sync_successor = msg.payload["controlet"]
+
+        def with_snap(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type != "snapshot":
+                self._sync_successor = None
+                self.respond(msg, "error", {"error": f"snapshot failed: {err}"})
+                return
+            self.respond(msg, "sync_state", {"data": resp.payload["data"]})
+
+        self.datalet_call("snapshot", {}, callback=with_snap)
+
+    def on_shard_changed(self) -> None:
+        if self._sync_successor is None:
+            return
+        try:
+            succ = self.shard.successor(self.node_id)
+        except Exception:  # noqa: BLE001 - we may have been repaired out
+            return
+        if succ is not None and succ.controlet == self._sync_successor:
+            # the replacement joined: the ordinary chain now covers it
+            self._sync_successor = None
 
     # ------------------------------------------------------------------
     # write path
@@ -54,6 +93,14 @@ class MSStrongControlet(Controlet):
 
     def _on_chain_put(self, msg: Message) -> None:
         """A chain write arriving from our predecessor."""
+        if not self.recovered:
+            # Recovering replacement: buffer and ack.  Ack-on-buffer is
+            # safe because our predecessor applied before forwarding, so
+            # the write survives in the chain even if we die; we replay
+            # the buffer right after the snapshot restore.
+            self.buffer_catchup(msg)
+            self.respond(msg, "ok")
+            return
         self._apply_and_forward(msg, msg.payload["op"], retries=0)
 
     def _apply_and_forward(self, msg: Message, op: str, retries: int) -> None:
@@ -78,8 +125,15 @@ class MSStrongControlet(Controlet):
         self.datalet_call(op, payload, callback=after_local)
 
     def _forward_down(self, msg: Message, op: str, retries: int) -> None:
-        succ = self.shard.successor(self.node_id)
-        if succ is None:  # we are the tail: commit point reached
+        try:
+            succ = self.shard.successor(self.node_id)
+        except Exception:  # noqa: BLE001 - not in our own view yet
+            # A replacement replaying its catch-up buffer before the
+            # config update that adds it: it is the tail-elect.
+            succ = None
+        relaying = succ is None and self._sync_successor is not None
+        succ_id = succ.controlet if succ is not None else self._sync_successor
+        if succ_id is None:  # we are the tail: commit point reached
             self.respond(msg, "ok")
             return
 
@@ -88,6 +142,12 @@ class MSStrongControlet(Controlet):
                 # Successor unresponsive: likely mid-failover. Refresh the
                 # chain view and resume from the (possibly new) successor.
                 if retries >= MAX_CHAIN_RETRIES:
+                    if relaying and self._sync_successor == succ_id:
+                        # the recovering replacement died: stop relaying
+                        # and resume committing as the tail
+                        self._sync_successor = None
+                        self.respond(msg, "ok")
+                        return
                     self.stats["errors"] += 1
                     self.respond(msg, "error", {"error": "chain replication failed"})
                     return
@@ -96,7 +156,7 @@ class MSStrongControlet(Controlet):
             self.respond(msg, resp.type, dict(resp.payload))
 
         self.call(
-            succ.controlet,
+            succ_id,
             "chain_put",
             {"op": op, "key": msg.payload["key"], "val": msg.payload.get("val")},
             callback=on_ack,

@@ -146,6 +146,11 @@ class ClusterMap:
 
     shards: Dict[str, ShardInfo] = field(default_factory=dict)
     epoch: int = 0
+    #: shards running below their target replica count because no
+    #: standby host was available to spawn a replacement.  They keep
+    #: serving (possibly with reduced fault tolerance); the flag lets
+    #: operators and the harness see the exposure.
+    degraded: set = field(default_factory=set)
 
     def bump(self) -> None:
         self.epoch += 1
@@ -163,6 +168,7 @@ class ClusterMap:
         return {
             "epoch": self.epoch,
             "shards": {sid: s.to_dict() for sid, s in self.shards.items()},
+            "degraded": sorted(self.degraded),
         }
 
     @classmethod
@@ -173,4 +179,5 @@ class ClusterMap:
                 sid: ShardInfo.from_dict(s)  # type: ignore[arg-type]
                 for sid, s in d["shards"].items()  # type: ignore[union-attr]
             },
+            degraded=set(d.get("degraded", [])),  # type: ignore[arg-type]
         )

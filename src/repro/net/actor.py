@@ -21,6 +21,7 @@ front-end (:mod:`repro.net.tcp`).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Dict, Optional, Protocol
 
 from repro.errors import BespoError, RequestTimeout
@@ -70,6 +71,12 @@ class Actor:
         self._events: Dict[str, Callable[..., None]] = {}
         self._pending: Dict[int, _Pending] = {}
         self.alive = True
+        #: when True, repeated deliveries of the same msg_id are dropped
+        #: (TCP-style receiver dedup).  The transport enables this only
+        #: when it injects duplicates, so the hot path stays branch-cheap.
+        self.dedup_incoming = False
+        self._seen_ids: "deque[int]" = deque(maxlen=4096)
+        self._seen_set: set[int] = set()
 
     # ------------------------------------------------------------------
     # lifecycle (called by the transport)
@@ -82,6 +89,12 @@ class Actor:
 
     def on_stop(self) -> None:
         """Hook: the node is being shut down or killed."""
+
+    def on_restart(self) -> None:
+        """Hook: a crashed node came back (same process image, state
+        intact, but every timer chain died with it).  Default: rerun
+        :meth:`on_start` so heartbeat/poll loops resume."""
+        self.on_start()
 
     # ------------------------------------------------------------------
     # the paper's event API
@@ -176,6 +189,13 @@ class Actor:
                 return
             # Late response after timeout: drop silently.
             return
+        if self.dedup_incoming:
+            if msg.msg_id in self._seen_set:
+                return  # duplicate delivery (injected); already handled
+            if len(self._seen_ids) == self._seen_ids.maxlen:
+                self._seen_set.discard(self._seen_ids[0])
+            self._seen_ids.append(msg.msg_id)
+            self._seen_set.add(msg.msg_id)
         handler = self._handlers.get(msg.type)
         if handler is None:
             self.on_unhandled(msg)

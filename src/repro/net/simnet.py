@@ -149,6 +149,10 @@ class SimCluster:
         self._actors[actor.node_id] = actor
         self._actor_host[actor.node_id] = host
         actor.attach(_NodeCtx(actor.node_id, self))
+        if self.network.params.duplicate_rate > 0.0:
+            # the fabric may deliver a message twice; actors dedup by
+            # msg_id like a TCP receive window would
+            actor.dedup_incoming = True
         if self._started:
             self.sim.call_soon(actor.on_start)
         return actor
@@ -227,6 +231,35 @@ class SimCluster:
         self.network.kill(host)
         for node_id in h.actors:
             self.kill_actor(node_id)
+
+    def restart_host(self, host: str) -> None:
+        """Bring a crashed VM back: network traffic resumes and every
+        colocated actor re-runs its start hooks (``on_restart``).  The
+        actors keep their in-memory state — a restart models a process
+        that froze and thawed, so protocol code must *fence* itself
+        until it has confirmed its role is still valid."""
+        h = self._hosts.get(host)
+        if h is None:
+            raise BespoError(f"unknown host {host!r}")
+        if not self.network.is_dead(host):
+            return
+        self.network.revive(host)
+        for node_id in h.actors:
+            actor = self._actors[node_id]
+            if not actor.alive:
+                actor.alive = True
+                self.sim.call_soon(actor.on_restart)
+
+    def set_host_slowdown(self, host: str, factor: float) -> None:
+        """Degrade (or restore, with factor=1) a host's CPU service rate
+        — the chaos ``slow_node`` fault."""
+        h = self._hosts.get(host)
+        if h is None:
+            raise BespoError(f"unknown host {host!r}")
+        h.cpu.set_slowdown(factor)
+
+    def hosts(self) -> list[str]:
+        return list(self._hosts)
 
     def is_host_alive(self, host: str) -> bool:
         return not self.network.is_dead(host)

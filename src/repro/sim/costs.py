@@ -37,6 +37,10 @@ class CostModel:
     #: throughput to the order of magnitude of the paper's 4-vCPU VMs.
     cpu_scale: float = 6.0
 
+    #: default CPU service-time multiplier a chaos ``slow_node`` fault
+    #: applies to a host (schedules may override per event).
+    slow_node_factor: float = 4.0
+
     #: per-message cost of the kernel network stack (recv+send halves).
     socket_msg_cost: float = 8 * US
     #: per-message cost with DPDK poll-mode driver (kernel bypass).

@@ -31,12 +31,21 @@ class Server:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        #: service-time multiplier (>= 1): a degraded node (thermal
+        #: throttling, noisy neighbor) serves every job this much slower.
+        #: Chaos ``slow_node`` faults set it; 1.0 restores full speed.
+        self.slowdown = 1.0
         self._in_service = 0
         self._queue: Deque[Tuple[float, SimFuture]] = deque()
         # stats
         self.busy_time = 0.0
         self.completions = 0
         self.max_queue = 0
+
+    def set_slowdown(self, factor: float) -> None:
+        if factor < 1.0:
+            raise SimulationError(f"slowdown must be >= 1, got {factor}")
+        self.slowdown = factor
 
     @property
     def queue_len(self) -> int:
@@ -60,6 +69,7 @@ class Server:
         """
         if demand < 0:
             raise SimulationError(f"negative service demand: {demand}")
+        demand *= self.slowdown
         fut = self.sim.create_future()
         if self._in_service < self.capacity:
             self._start(demand, fut)

@@ -18,6 +18,83 @@ def test_network_params_validation():
         NetworkParams(loss_rate=1.0)
     with pytest.raises(ValueError):
         NetworkParams(loss_rate=-0.1)
+    with pytest.raises(ValueError):
+        NetworkParams(duplicate_rate=1.0)
+    with pytest.raises(ValueError):
+        NetworkParams(duplicate_rate=-0.1)
+    with pytest.raises(ValueError):
+        NetworkParams(reorder_rate=1.5)
+    with pytest.raises(ValueError):
+        NetworkParams(reorder_delay=0.0)
+    with pytest.raises(ValueError):
+        NetworkParams(latency_spike_factor=0.9)
+    p = NetworkParams(duplicate_rate=0.2, reorder_rate=0.1,
+                      reorder_delay=0.05, latency_spike_factor=3.0)
+    assert (p.duplicate_rate, p.reorder_rate) == (0.2, 0.1)
+
+
+def test_duplicate_rate_delivers_extra_copies():
+    sim = Simulator()
+    net = Network(sim, NetworkParams(duplicate_rate=0.5), RngRegistry(5))
+    delivered = []
+    for _ in range(500):
+        net.send("a", "b", 0, lambda: delivered.append(1))
+    sim.run()
+    assert len(delivered) > 500
+    assert net.messages_duplicated == len(delivered) - 500
+
+
+def test_reorder_rate_swaps_in_flight_messages():
+    sim = Simulator()
+    net = Network(sim, NetworkParams(reorder_rate=0.5, jitter_frac=0.0),
+                  RngRegistry(5))
+    order = []
+    for i in range(200):
+        net.send("a", "b", 0, lambda i=i: order.append(i))
+    sim.run()
+    assert sorted(order) == list(range(200))  # nothing lost
+    assert order != sorted(order)  # but delivery overtook send order
+    assert net.messages_reordered > 0
+
+
+def test_oneway_cut_is_asymmetric():
+    sim = Simulator()
+    net = Network(sim, NetworkParams(), RngRegistry(1))
+    net.cut_oneway("a", "b")
+    got = []
+    net.send("a", "b", 0, lambda: got.append("a->b"))
+    net.send("b", "a", 0, lambda: got.append("b->a"))
+    sim.run()
+    assert got == ["b->a"]
+    net.heal_oneway("a", "b")
+    net.send("a", "b", 0, lambda: got.append("a->b"))
+    sim.run()
+    assert "a->b" in got
+
+
+def test_latency_factors_and_heal_all():
+    sim = Simulator()
+    net = Network(sim, NetworkParams(jitter_frac=0.0), RngRegistry(1))
+    times = []
+    net.send("a", "b", 0, lambda: times.append(sim.now))
+    sim.run()
+    base = times[0]
+    net.set_link_factor("a", "b", 10.0)
+    t0 = sim.now
+    net.send("a", "b", 0, lambda: times.append(sim.now - t0))
+    sim.run()
+    assert times[1] == pytest.approx(10.0 * base)
+    net.set_node_factor("b", 4.0)
+    net.clear_degradations()
+    t0 = sim.now
+    net.send("a", "b", 0, lambda: times.append(sim.now - t0))
+    sim.run()
+    assert times[2] == pytest.approx(base)
+    # heal_all clears partitions (chaos teardown path)
+    net.partition("a", "b")
+    net.cut_oneway("b", "c")
+    net.heal_all()
+    assert not net.is_cut("a", "b") and not net.is_cut("b", "c")
 
 
 def test_loss_rate_drops_about_right_fraction():

@@ -1,0 +1,224 @@
+"""Chaos engine unit tests: fault schedules, the controller, and the
+history recorder (see docs/ARCHITECTURE.md "Chaos & fault injection")."""
+
+import pytest
+
+from repro.chaos import (
+    ChaosController,
+    FaultEvent,
+    FaultSchedule,
+    HistoryRecorder,
+    fault_menu,
+    random_schedule,
+)
+from repro.chaos.schedule import MIN_DOWNTIME
+from repro.core.types import Consistency, Topology
+from repro.errors import ConfigError
+from repro.harness import Deployment, DeploymentSpec
+
+HOSTS = [f"node0.{j}" for j in range(4)]
+
+
+# ---------------------------------------------------------------------------
+# FaultEvent / FaultSchedule
+# ---------------------------------------------------------------------------
+def test_fault_event_validation():
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="meteor", target="node0.0")
+    with pytest.raises(ConfigError):
+        FaultEvent(at=-0.5, kind="crash", target="node0.0")
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="partition", target="node0.0")  # no peer
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="crash")  # no target
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="duplicate", rate=1.0)
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="slow_node", target="node0.0", factor=0.5)
+
+
+def test_schedule_sorts_events_and_reports_horizon():
+    sched = FaultSchedule(
+        events=[
+            FaultEvent(at=5.0, kind="crash", target="node0.0"),
+            FaultEvent(at=1.0, kind="slow_node", target="node0.1", factor=2.0),
+        ]
+    )
+    assert [e.at for e in sched.events] == [1.0, 5.0]
+    assert sched.horizon == 5.0
+    assert FaultSchedule().horizon == 0.0
+
+
+def test_schedule_digest_is_content_hash():
+    ev = [FaultEvent(at=1.0, kind="crash", target="node0.0")]
+    assert FaultSchedule(events=list(ev)).digest() == FaultSchedule(events=list(ev)).digest()
+    other = FaultSchedule(events=[FaultEvent(at=1.0, kind="crash", target="node0.1")])
+    assert FaultSchedule(events=list(ev)).digest() != other.digest()
+
+
+# ---------------------------------------------------------------------------
+# fault menus & random schedules
+# ---------------------------------------------------------------------------
+def test_fault_menu_per_combo():
+    # AA+SC: no partitions (write-all/read-local is not partition
+    # tolerant — CAP); dup/reorder only where EC machinery absorbs them.
+    assert "partition" not in fault_menu(Topology.AA, Consistency.STRONG)
+    assert "partition" in fault_menu(Topology.MS, Consistency.STRONG)
+    for combo in ((Topology.MS, Consistency.STRONG), (Topology.AA, Consistency.STRONG)):
+        assert "duplicate" not in fault_menu(*combo)
+        assert "reorder" not in fault_menu(*combo)
+    for combo in ((Topology.MS, Consistency.EVENTUAL), (Topology.AA, Consistency.EVENTUAL)):
+        menu = fault_menu(*combo)
+        assert "duplicate" in menu and "reorder" in menu
+
+
+def test_random_schedule_deterministic_per_seed():
+    a = random_schedule(7, HOSTS, 20.0)
+    b = random_schedule(7, HOSTS, 20.0)
+    c = random_schedule(8, HOSTS, 20.0)
+    assert a.digest() == b.digest()
+    assert a.digest() != c.digest()
+
+
+def test_random_schedule_pairs_crash_with_late_restart():
+    for seed in range(1, 8):
+        sched = random_schedule(seed, HOSTS, 30.0, max_crashes=2)
+        crashes = [e for e in sched.events if e.kind == "crash"]
+        restarts = {e.target: e.at for e in sched.events if e.kind == "restart"}
+        assert len(crashes) <= 2
+        for ev in crashes:
+            # downtime must exceed the sweep interval so the node is
+            # replaced before it thaws (no stale-rejoin ambiguity)
+            assert restarts[ev.target] - ev.at >= MIN_DOWNTIME
+
+
+def test_random_schedule_respects_menu():
+    sched = random_schedule(
+        3, HOSTS, 40.0, topology=Topology.AA, consistency=Consistency.STRONG
+    )
+    kinds = {e.kind for e in sched.events}
+    assert not kinds & {"partition", "heal", "duplicate", "reorder"}
+
+
+def test_random_schedule_input_validation():
+    with pytest.raises(ConfigError):
+        random_schedule(1, ["only-one"], 10.0)
+    with pytest.raises(ConfigError):
+        random_schedule(1, HOSTS, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# controller
+# ---------------------------------------------------------------------------
+def build(**kw):
+    dep = Deployment(
+        DeploymentSpec(shards=1, replicas=3, topology=Topology.MS,
+                       consistency=Consistency.EVENTUAL, **kw)
+    )
+    dep.start()
+    return dep
+
+
+def test_controller_applies_schedule_on_the_sim_clock():
+    dep = build()
+    sched = FaultSchedule(
+        events=[
+            FaultEvent(at=0.5, kind="partition", target="node0.0", peer="node0.1", oneway=True),
+            FaultEvent(at=1.0, kind="latency_spike", target="node0.1", peer="node0.2", factor=8.0),
+            FaultEvent(at=1.5, kind="slow_node", target="node0.2", factor=3.0),
+            FaultEvent(at=2.0, kind="duplicate", rate=0.2),
+        ]
+    )
+    ctl = ChaosController(dep, sched)
+    ctl.arm()
+    dep.sim.run_until(3.0)
+    assert len(ctl.applied) == 4
+    net = dep.cluster.network
+    assert net.is_cut("node0.0", "node0.1")
+    assert not net.is_cut("node0.1", "node0.0")  # one-way: reverse open
+    assert net.params.duplicate_rate == 0.2
+    # every live actor now dedups repeated deliveries
+    assert all(a.dedup_incoming for a in dep.cluster.actors.values())
+
+    ctl.heal_all()
+    assert not net.is_cut("node0.0", "node0.1")
+    assert net.params.duplicate_rate == 0.0
+    assert net.params.reorder_rate == 0.0
+
+
+def test_controller_crash_and_restart_drive_failover():
+    dep = build()
+    client = dep.client("c0")
+    dep.sim.run_future(client.connect())
+    dep.sim.run_future(client.put("k", "v"))
+    victim = dep.map.shard("s0").ordered()[1].host
+    sched = FaultSchedule(
+        events=[
+            FaultEvent(at=1.0, kind="crash", target=victim),
+            FaultEvent(at=1.0 + MIN_DOWNTIME, kind="restart", target=victim),
+        ]
+    )
+    ctl = ChaosController(dep, sched)
+    ctl.arm()
+    dep.sim.run_until(dep.sim.now + 15.0)
+    assert dep.coordinator.failovers >= 1
+    assert dep.cluster.is_host_alive(victim)  # restarted (and fenced out)
+    assert len(dep.map.shard("s0").replicas) == 3  # replacement joined
+    assert dep.sim.run_future(client.get("k")) == "v"
+
+
+def test_controller_digest_reflects_applied_timeline():
+    dep = build(seed=11)
+    sched = FaultSchedule(events=[FaultEvent(at=0.5, kind="slow_node", target="node0.0", factor=2.0)])
+    ctl = ChaosController(dep, sched)
+    ctl.arm()
+    dep.sim.run_until(1.0)
+    dep2 = build(seed=11)
+    ctl2 = ChaosController(dep2, sched)
+    ctl2.arm()
+    dep2.sim.run_until(1.0)
+    assert ctl.digest() == ctl2.digest()
+
+
+# ---------------------------------------------------------------------------
+# history recorder
+# ---------------------------------------------------------------------------
+def test_history_recorder_stamps_and_counts():
+    dep = build()
+    rec = HistoryRecorder(dep.sim)
+    dep.sim.run_until(1.0)
+    r1 = rec.invoke("c0", "put", "k", "v")
+    dep.sim.run_until(1.5)
+    rec.complete(r1, "ok", attempts=3)
+    r2 = rec.invoke("c0", "get", "k", None)
+    rec.complete(r2, "ok", value="v")
+    rec.invoke("c1", "get", "gone", None)  # left pending
+    assert (r1.invoke, r1.response, r1.attempts) == (1.0, 1.5, 3)
+    assert r2.result == "v"
+    assert rec.counts() == {"ok": 2, "pending": 1}
+    assert rec.by_key()["k"] == [r1, r2]
+    assert len(rec.digest()) == 64
+
+
+# ---------------------------------------------------------------------------
+# client backoff (satellite: capped exponential with seeded jitter)
+# ---------------------------------------------------------------------------
+def test_client_backoff_exponential_capped_jittered():
+    dep = build()
+    client = dep.client("c0", retry_backoff=0.1, retry_backoff_cap=1.0)
+    for attempt in range(12):
+        expected = min(0.1 * (2 ** attempt), 1.0)
+        delay = client._backoff(attempt)
+        assert 0.5 * expected <= delay < 1.5 * expected
+    # deep attempts stay capped
+    assert client._backoff(30) < 1.5 * 1.0
+
+
+def test_client_backoff_uses_named_rng_stream():
+    """Same deployment seed => same jitter sequence (replay determinism)."""
+    seq = []
+    for _ in range(2):
+        dep = build(seed=42)
+        client = dep.client("c0")
+        seq.append([client._backoff(a) for a in range(6)])
+    assert seq[0] == seq[1]

@@ -1,0 +1,205 @@
+"""Consistency oracle tests.
+
+Synthetic histories pin down the oracle's semantics (what counts as a
+violation, what is legitimate indeterminacy), and the broken-chain test
+proves the oracle catches a real protocol bug: an MS+SC controlet that
+acks writes from the head without waiting for the tail.
+"""
+
+import pytest
+
+from repro.chaos import check_eventual, check_linearizable, run_combo
+from repro.chaos.history import OpRecord
+from repro.chaos.schedule import FaultSchedule
+from repro.core.ms_sc import MSStrongControlet
+from repro.core.types import Consistency, Topology
+
+
+def w(key, value, inv, resp, client="c0", status="ok", attempts=1, op_id=0):
+    return OpRecord(op_id=op_id, client=client, op="put", key=key, value=value,
+                    invoke=inv, response=resp, status=status, attempts=attempts)
+
+
+def r(key, result, inv, resp, client="c0", status="ok", op_id=0):
+    return OpRecord(op_id=op_id, client=client, op="get", key=key, value=None,
+                    invoke=inv, response=resp, status=status, result=result)
+
+
+# ---------------------------------------------------------------------------
+# linearizability
+# ---------------------------------------------------------------------------
+def test_sequential_history_linearizable():
+    report = check_linearizable([
+        w("k", "a", 0.0, 1.0),
+        r("k", "a", 2.0, 3.0),
+        w("k", "b", 4.0, 5.0),
+        r("k", "b", 6.0, 7.0),
+    ])
+    assert report.ok and report.stats["keys_checked"] == 1
+
+
+def test_stale_read_is_a_violation():
+    report = check_linearizable([
+        w("k", "a", 0.0, 1.0),
+        w("k", "b", 2.0, 3.0),
+        r("k", "a", 4.0, 5.0),  # b was acked before this read began
+    ])
+    assert not report.ok
+    assert "no valid linearization" in report.violations[0]
+
+
+def test_read_before_any_write_sees_absence():
+    assert check_linearizable([r("k", None, 0.0, 1.0), w("k", "a", 2.0, 3.0)]).ok
+    # absence after an acked write (no delete) is a lost update
+    assert not check_linearizable([w("k", "a", 0.0, 1.0), r("k", None, 2.0, 3.0)]).ok
+
+
+def test_concurrent_writes_allow_either_order():
+    # two overlapping writes: a read may observe either winner
+    for observed in ("a", "b"):
+        report = check_linearizable([
+            w("k", "a", 0.0, 2.0, client="c0"),
+            w("k", "b", 1.0, 3.0, client="c1"),
+            r("k", observed, 4.0, 5.0),
+        ])
+        assert report.ok, observed
+
+
+def test_failed_write_is_indeterminate():
+    # a timed-out write may have landed — reads seeing it are legal,
+    # and reads never seeing it are legal too
+    base = [w("k", "a", 0.0, 1.0), w("k", "b", 2.0, None, status="fail")]
+    assert check_linearizable(base + [r("k", "b", 5.0, 6.0)]).ok
+    assert check_linearizable(base + [r("k", "a", 5.0, 6.0)]).ok
+
+
+def test_retry_duplicate_write_is_permitted():
+    """attempts>1 means the same write may have executed twice (no
+    exactly-once layer): its value legally resurfaces *after* a later
+    acked write."""
+    history = [
+        w("k", "a", 0.0, 4.0, attempts=2),  # retried; a copy may land late
+        w("k", "b", 5.0, 6.0),
+        r("k", "a", 7.0, 8.0),  # the duplicate 'a' overwrote 'b'
+    ]
+    assert check_linearizable(history).ok
+    # without the retry, the same shape is a genuine violation
+    history[0] = w("k", "a", 0.0, 4.0, attempts=1)
+    assert not check_linearizable(history).ok
+
+
+def test_delete_makes_absence_observable():
+    report = check_linearizable([
+        w("k", "a", 0.0, 1.0),
+        OpRecord(op_id=9, client="c0", op="del", key="k", value=None,
+                 invoke=2.0, response=3.0, status="ok"),
+        r("k", None, 4.0, 5.0),
+    ])
+    assert report.ok
+
+
+def test_keys_checked_independently():
+    report = check_linearizable([
+        w("a", "1", 0.0, 1.0), r("a", "1", 2.0, 3.0),
+        w("b", "1", 0.0, 1.0), r("b", None, 2.0, 3.0),  # only b is broken
+    ])
+    assert len(report.violations) == 1
+    assert "key 'b'" in report.violations[0]
+
+
+def test_state_budget_inconclusive_is_warning_not_violation():
+    # dozens of overlapping writes: the search blows a tiny budget
+    ops = [w("k", f"v{i}", 0.0, 100.0, client=f"c{i}", op_id=i) for i in range(30)]
+    ops.append(r("k", "v7", 101.0, 102.0))
+    report = check_linearizable(ops, max_states=50)
+    assert report.ok
+    assert any("inconclusive" in warning for warning in report.warnings)
+
+
+# ---------------------------------------------------------------------------
+# eventual consistency
+# ---------------------------------------------------------------------------
+def test_eventual_validity_flags_fabricated_value():
+    report = check_eventual(
+        [w("k", "a", 0.0, 1.0), r("k", "z", 2.0, 3.0)],
+        replica_dumps={},
+    )
+    assert not report.ok
+    assert "never written" in report.violations[0]
+
+
+def test_eventual_unacked_write_value_is_still_valid():
+    # an unacked put may have landed; reading it is not fabrication
+    report = check_eventual(
+        [w("k", "a", 0.0, None, status="fail"), r("k", "a", 2.0, 3.0)],
+        replica_dumps={},
+    )
+    assert report.ok
+
+
+def test_eventual_convergence_flags_divergent_replicas():
+    dumps = {"s0": {"d0": {"k": "a"}, "d1": {"k": "a"}, "d2": {"k": "b"}}}
+    report = check_eventual([w("k", "a", 0.0, 1.0), w("k", "b", 0.5, 1.5)], dumps)
+    assert not report.ok
+    assert "diverged" in report.violations[0]
+    dumps["s0"]["d2"]["k"] = "a"
+    assert check_eventual([w("k", "a", 0.0, 1.0), w("k", "b", 0.5, 1.5)], dumps).ok
+
+
+def test_eventual_read_your_writes_is_warning_only():
+    # EC acks after one replica and reads anywhere: own-stale reads are
+    # legitimate staleness, reported but not failed
+    report = check_eventual(
+        [
+            w("k", "old", 0.0, 1.0, client="c0"),
+            w("k", "new", 2.0, 3.0, client="c0"),
+            r("k", "old", 4.0, 5.0, client="c0"),
+        ],
+        replica_dumps={},
+    )
+    assert report.ok
+    assert report.stats["stale_session_reads"] == 1
+    assert "stale" in report.warnings[0]
+
+
+# ---------------------------------------------------------------------------
+# acceptance: the oracle catches a deliberately broken chain
+# ---------------------------------------------------------------------------
+class BrokenChainControlet(MSStrongControlet):
+    """Acks writes as soon as the head applied locally — never forwards
+    down the chain, so tail reads serve stale data."""
+
+    def _forward_down(self, msg, op, retries):
+        self.respond(msg, "ok")
+
+
+def test_oracle_flags_broken_chain_as_non_linearizable():
+    result = run_combo(
+        Topology.MS,
+        Consistency.STRONG,
+        seed=1,
+        duration=4.0,
+        shards=1,
+        clients=2,
+        keys=8,
+        quiesce=2.0,
+        schedule=FaultSchedule(),  # no faults needed: the bug is the protocol
+        spec_overrides={"controlet_class": BrokenChainControlet},
+    )
+    assert not result.ok
+    assert any("no valid linearization" in v for v in result.report.violations)
+
+
+def test_same_workload_with_correct_chain_passes():
+    result = run_combo(
+        Topology.MS,
+        Consistency.STRONG,
+        seed=1,
+        duration=4.0,
+        shards=1,
+        clients=2,
+        keys=8,
+        quiesce=2.0,
+        schedule=FaultSchedule(),
+    )
+    assert result.ok, result.report.describe()

@@ -93,6 +93,38 @@ def test_promoted_standby_repairs_replica_failures():
     assert dep.sim.run_future(client.get("k3")) == "3"
 
 
+def test_primary_death_mid_failover_standby_completes_repair():
+    """Worst-case handoff: a replica dies, the primary starts the
+    repair (replacement spawned, recovery in flight), then the primary
+    itself dies.  The promoted standby must finish the repair — the
+    replacement reported ``recovery_done`` to both coordinators and the
+    standby holds the same pending-replica bookkeeping."""
+    dep, client = build()
+    for i in range(10):
+        dep.sim.run_future(client.put(f"k{i}", str(i)))
+    dep.sim.run_until(dep.sim.now + 2.0)
+
+    victim_host = dep.map.shard("s0").tail.host
+    dep.cluster.kill_host(victim_host)
+    # step in small increments and kill the primary the instant it has
+    # begun the failover, while replacement recovery is still in flight
+    deadline = dep.sim.now + 10.0
+    while dep.coordinator.failovers == 0 and dep.sim.now < deadline:
+        dep.sim.run_until(dep.sim.now + 0.25)
+    assert dep.coordinator.failovers >= 1
+    dep.cluster.kill_host("coordinator")
+
+    dep.sim.run_until(dep.sim.now + 20.0)
+    assert dep.standby.promoted
+    shard = dep.standby.map.shard("s0")
+    assert len(shard.replicas) == 3  # the in-flight repair completed
+    assert victim_host not in {r.host for r in shard.replicas}
+    # and the repaired shard serves all the data through the standby
+    dep.sim.run_future(client.connect())
+    for i in range(10):
+        assert dep.sim.run_future(client.get(f"k{i}")) == str(i)
+
+
 def test_no_promotion_while_primary_alive():
     dep, client = build()
     dep.sim.run_until(20.0)

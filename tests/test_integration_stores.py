@@ -175,8 +175,11 @@ def test_table_api_roundtrip():
     sim = dep.sim
     sim.run_future(client.create_table("users"))
     sim.run_future(client.table_put("u1", "alice", "users"))
+    # EC: let async propagation settle before reading an arbitrary replica
+    sim.run_until(sim.now + 1.0)
     assert sim.run_future(client.table_get("u1", "users")) == "alice"
     sim.run_future(client.table_del("u1", "users"))
+    sim.run_until(sim.now + 1.0)
     with pytest.raises(KeyNotFound):
         sim.run_future(client.table_get("u1", "users"))
 

@@ -1,0 +1,74 @@
+"""Static + runtime correctness tooling for the reproduction.
+
+Three cooperating passes guard the properties the rest of the repo
+relies on but nothing else enforces:
+
+* :mod:`repro.analysis.lint` — AST determinism linter (wall clock,
+  global/ad-hoc RNG, unordered set iteration, ``hash()``/``id()``
+  ordering in protocol code);
+* :mod:`repro.analysis.conformance` — static exhaustiveness check of
+  the string-typed actor protocol (sent-but-never-handled,
+  registered-but-never-sent, expected-response-missing);
+* :mod:`repro.analysis.races` — opt-in runtime detector for
+  same-timestamp events whose order over one actor is fixed only by
+  heap insertion sequence, plus a tie-order perturbation helper.
+
+CLI front-end: ``bespokv lint`` (see :mod:`repro.cli`); the first two
+passes also run in CI before the test and soak jobs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.conformance import ProtocolModel, check_sources, check_tree
+from repro.analysis.findings import Finding, format_findings, summarize
+from repro.analysis.lint import (
+    DEFAULT_ALLOWLIST,
+    PROTOCOL_PREFIXES,
+    lint_source,
+    lint_tree,
+)
+from repro.analysis.races import (
+    PerturbationResult,
+    RaceDetector,
+    RaceReport,
+    perturb_ties,
+)
+
+__all__ = [
+    "Finding",
+    "format_findings",
+    "summarize",
+    "lint_source",
+    "lint_tree",
+    "DEFAULT_ALLOWLIST",
+    "PROTOCOL_PREFIXES",
+    "ProtocolModel",
+    "check_sources",
+    "check_tree",
+    "RaceDetector",
+    "RaceReport",
+    "PerturbationResult",
+    "perturb_ties",
+    "run_lint",
+    "package_root",
+]
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package (the lint target)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def run_lint(root: Optional[Path] = None, conformance: bool = True) -> List[Finding]:
+    """Run the determinism linter (and optionally the protocol checker)
+    over one package tree; returns every finding, suppressed included."""
+    root = package_root() if root is None else Path(root)
+    findings = lint_tree(root)
+    if conformance:
+        findings.extend(check_tree(root).findings())
+    return findings

@@ -1,0 +1,51 @@
+"""Shared finding/report types for the static-analysis passes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Finding", "format_findings", "summarize"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from a pass.
+
+    ``severity`` is ``"error"`` (breaks determinism / protocol) or
+    ``"warning"`` (suspicious; strict mode treats it as fatal).
+    ``suppressed`` findings matched an explicit pragma or allowlist
+    entry and never affect exit codes — they are kept so ``repro lint
+    --show-suppressed`` can audit what is being waived.
+    """
+
+    path: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "error"
+    suppressed: bool = False
+
+    def format(self) -> str:
+        tag = "allowed" if self.suppressed else self.severity
+        return f"{self.path}:{self.line}: [{self.rule}] {tag}: {self.message}"
+
+
+def format_findings(findings: List[Finding]) -> str:
+    return "\n".join(
+        f.format()
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    )
+
+
+def summarize(findings: List[Finding]) -> Dict[str, int]:
+    """Counts by disposition, for the one-line lint summary."""
+    out = {"errors": 0, "warnings": 0, "suppressed": 0}
+    for f in findings:
+        if f.suppressed:
+            out["suppressed"] += 1
+        elif f.severity == "warning":
+            out["warnings"] += 1
+        else:
+            out["errors"] += 1
+    return out

@@ -1,0 +1,418 @@
+"""AST-based determinism linter.
+
+Every simulation in this repo is supposed to be bit-for-bit replayable
+from its seed (the property the chaos oracle and the soak digests pin
+down).  That only holds while protocol code draws *all* nondeterminism
+from the simulated clock and the :class:`~repro.sim.rng.RngRegistry`.
+This linter walks the package source and flags the ways that contract
+historically gets broken:
+
+``wallclock``
+    Reads of the host clock (``time.time``, ``time.monotonic``,
+    ``datetime.now`` ...) or wall sleeps.  Simulation code must use
+    ``actor.now()`` / ``sim.now``.
+``global-rng``
+    Draws from the process-global RNG (``random.random`` and friends),
+    ``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets`` — all of which
+    vary run to run regardless of the seed.
+``adhoc-rng``
+    ``random.Random(<seed>)`` constructed inside protocol code.  Even a
+    constant seed gives every instance the *same* stream and decouples
+    it from the run seed; protocol code must take a named stream from
+    the cluster's :class:`~repro.sim.rng.RngRegistry` instead.  Scoped
+    to protocol directories — workload generators may build seeded
+    generators freely.
+``set-iteration``
+    Iteration over a value inferred to be a ``set``/``frozenset`` in
+    protocol code.  Set order depends on insertion history and element
+    hashes; wrap in ``sorted(...)``.  Order-insensitive consumers
+    (``sorted``, ``min``, ``len`` ...) are not flagged.
+``hash-ordering``
+    Calls to builtin ``hash()`` / ``id()`` in protocol code.  Both vary
+    across processes (``PYTHONHASHSEED``, allocator layout); anything
+    ordering or seeding off them breaks cross-run replay.  Use
+    :func:`repro.hashing.stable_hash`.
+
+Escapes, both auditable via ``repro lint --show-suppressed``:
+
+* a line pragma ``# lint: allow[rule]`` (or ``allow[rule1, rule2]``,
+  or ``allow[*]``) on the offending line or the line above;
+* the per-file :data:`DEFAULT_ALLOWLIST` for files whose *job* is the
+  real world (the TCP front-end, wall-time measurement in the bench
+  harness, the RngRegistry itself).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "DEFAULT_ALLOWLIST",
+    "PROTOCOL_PREFIXES",
+    "lint_source",
+    "lint_tree",
+]
+
+#: Directories (relative to the package root) holding code that runs on
+#: the simulated timeline.  The scoped rules (set-iteration,
+#: hash-ordering, adhoc-rng) only apply here; wallclock/global-rng apply
+#: everywhere.
+PROTOCOL_PREFIXES: Tuple[str, ...] = (
+    "core/",
+    "coordinator/",
+    "dlm/",
+    "net/",
+    "chaos/",
+    "client/",
+    "sharedlog/",
+    "baselines/",
+    "datalet/",
+    "sim/",
+)
+
+#: path prefix (or exact file) -> rules waived for it, with the reason
+#: documented here rather than scattered through the code:
+#:
+#: * ``harness/`` measures *wall* time on purpose (simulated-seconds-
+#:   per-wall-second is a reported metric);
+#: * ``net/tcp.py`` is the real-TCP front-end — its sockets live on the
+#:   host clock, not the simulated one;
+#: * ``sim/rng.py`` is the RngRegistry: the one sanctioned constructor
+#:   of ``random.Random`` instances.
+DEFAULT_ALLOWLIST: Dict[str, Set[str]] = {
+    "harness/": {"wallclock"},
+    "net/tcp.py": {"wallclock"},
+    "sim/rng.py": {"adhoc-rng"},
+}
+
+_PRAGMA = re.compile(r"#\s*lint:\s*allow\[([^\]]*)\]")
+
+_WALLCLOCK_TIME = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock_gettime",
+    "localtime", "gmtime", "ctime", "asctime", "strftime", "sleep",
+}
+_WALLCLOCK_DATETIME = {"now", "utcnow", "today"}
+_GLOBAL_RNG_UUID = {"uuid1", "uuid4"}
+#: order-insensitive consumers: a set flowing straight into one of these
+#: cannot leak iteration order.
+_ORDER_FREE = {
+    "sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset",
+}
+_ITER_WRAPPERS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+
+def _parse_pragmas(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rules allowed by a ``# lint: allow[...]``."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA.search(text)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            out[lineno] = rules
+    return out
+
+
+class _Imports:
+    """Resolve names back to the stdlib modules the rules care about."""
+
+    MODULES = {"time", "datetime", "random", "os", "uuid", "secrets"}
+
+    def __init__(self, tree: ast.Module):
+        #: local alias -> module name ("t" -> "time")
+        self.modules: Dict[str, str] = {}
+        #: local alias -> (module, attr)  ("now" -> ("datetime.datetime", "now"))
+        self.members: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    root = a.name.split(".")[0]
+                    if root in self.MODULES:
+                        self.modules[a.asname or root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] in self.MODULES:
+                    for a in node.names:
+                        self.members[a.asname or a.name] = (node.module, a.name)
+
+    def resolve_call(self, func: ast.expr) -> Optional[Tuple[str, str]]:
+        """Return ``(module, attr)`` for a call target, if it bottoms out
+        in one of the tracked stdlib modules."""
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in self.modules:
+                return self.modules[base.id], func.attr
+            if isinstance(base, ast.Name) and base.id in self.members:
+                mod, attr = self.members[base.id]
+                # e.g. ``from datetime import datetime`` then datetime.now()
+                return f"{mod}.{attr}", func.attr
+            if (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id in self.modules
+            ):
+                # e.g. ``import datetime`` then datetime.datetime.now()
+                return f"{self.modules[base.value.id]}.{base.attr}", func.attr
+        elif isinstance(func, ast.Name) and func.id in self.members:
+            return self.members[func.id]
+        return None
+
+
+def _is_setish_value(node: ast.expr) -> bool:
+    """Syntactically set-valued expressions (no name inference)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_setish_value(node.left) or _is_setish_value(node.right)
+    return False
+
+
+def _annotation_is_set(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "frozenset", "Set", "FrozenSet", "MutableSet")
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Attribute):  # typing.Set[...]
+        return node.attr in ("Set", "FrozenSet", "MutableSet")
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[")[0].strip()
+        return head in ("set", "frozenset", "Set", "FrozenSet", "MutableSet")
+    return False
+
+
+class _SetInference(ast.NodeVisitor):
+    """Module-wide, name-granular inference of set-typed bindings.
+
+    Deliberately coarse (one namespace per module): a false positive is
+    one ``sorted()`` or pragma away, while a per-scope type system would
+    be overkill for a linter.
+    """
+
+    def __init__(self) -> None:
+        self.names: Set[str] = set()
+        self.attrs: Set[str] = set()
+
+    def _mark(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            self.attrs.add(target.attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_setish_value(node.value):
+            for t in node.targets:
+                self._mark(t)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if _annotation_is_set(node.annotation) or (
+            node.value is not None and _is_setish_value(node.value)
+        ):
+            self._mark(node.target)
+        self.generic_visit(node)
+
+    def visit_arg(self, node: ast.arg) -> None:
+        if node.annotation is not None and _annotation_is_set(node.annotation):
+            self.names.add(node.arg)
+        self.generic_visit(node)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, rel_path: str, imports: _Imports, protocol: bool,
+                 sets: _SetInference):
+        self.rel_path = rel_path
+        self.imports = imports
+        self.protocol = protocol
+        self.sets = sets
+        self.findings: List[Tuple[int, str, str]] = []  # (line, rule, message)
+        #: comprehension nodes whose iteration order provably cannot
+        #: escape (direct argument of an order-insensitive call)
+        self._blessed: Set[int] = set()
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append((getattr(node, "lineno", 0), rule, message))
+
+    # -- wallclock / global-rng / adhoc-rng ----------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.imports.resolve_call(node.func)
+        if resolved is not None:
+            self._check_stdlib_call(node, *resolved)
+        if self.protocol:
+            if isinstance(node.func, ast.Name) and node.func.id in ("hash", "id"):
+                self._flag(
+                    node, "hash-ordering",
+                    f"builtin {node.func.id}() varies across processes; "
+                    "use repro.hashing.stable_hash for protocol decisions",
+                )
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_FREE
+                and node.args
+            ):
+                for arg in node.args:
+                    if isinstance(
+                        arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                    ):
+                        self._blessed.add(id(arg))
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _ITER_WRAPPERS
+                and node.args
+                and self._is_set_valued(node.args[0])
+            ):
+                self._flag(
+                    node, "set-iteration",
+                    f"{node.func.id}() over a set materializes its "
+                    "arbitrary order; wrap the set in sorted(...)",
+                )
+        self.generic_visit(node)
+
+    def _check_stdlib_call(self, node: ast.Call, module: str, attr: str) -> None:
+        if module == "time" and attr in _WALLCLOCK_TIME:
+            what = "wall sleep" if attr == "sleep" else "wall-clock read"
+            self._flag(
+                node, "wallclock",
+                f"time.{attr}() is a {what}; simulation code must use "
+                "the virtual clock (actor.now() / sim.now)",
+            )
+        elif module in ("datetime.datetime", "datetime.date") and attr in _WALLCLOCK_DATETIME:
+            self._flag(
+                node, "wallclock",
+                f"{module}.{attr}() reads the host clock; use the "
+                "virtual clock instead",
+            )
+        elif module == "random":
+            if attr == "Random":
+                if not node.args and not node.keywords:
+                    self._flag(
+                        node, "global-rng",
+                        "random.Random() with no seed is OS-entropy seeded; "
+                        "take a named RngRegistry stream",
+                    )
+                elif self.protocol:
+                    self._flag(
+                        node, "adhoc-rng",
+                        "ad-hoc random.Random(seed) in protocol code; take "
+                        "a named stream from the cluster RngRegistry so "
+                        "draws derive from the run seed",
+                    )
+            elif attr == "SystemRandom":
+                self._flag(node, "global-rng",
+                           "random.SystemRandom is OS entropy, never replayable")
+            elif attr[:1].islower():
+                self._flag(
+                    node, "global-rng",
+                    f"random.{attr}() draws from the process-global RNG; "
+                    "use an RngRegistry stream",
+                )
+        elif module == "os" and attr == "urandom":
+            self._flag(node, "global-rng", "os.urandom() is OS entropy")
+        elif module == "uuid" and attr in _GLOBAL_RNG_UUID:
+            self._flag(node, "global-rng",
+                       f"uuid.{attr}() is host/entropy derived; derive ids "
+                       "from seeded streams or counters")
+        elif module == "secrets":
+            self._flag(node, "global-rng", f"secrets.{attr}() is OS entropy")
+
+    # -- set iteration -------------------------------------------------
+    def _is_set_valued(self, node: ast.expr) -> bool:
+        if _is_setish_value(node):
+            return True
+        if isinstance(node, ast.Name) and node.id in self.sets.names:
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in self.sets.attrs:
+            return True
+        return False
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.protocol and self._is_set_valued(node.iter):
+            self._flag(
+                node, "set-iteration",
+                "for-loop over a set: iteration order is arbitrary and "
+                "leaks into event order; iterate sorted(...) instead",
+            )
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        if self.protocol and id(node) not in self._blessed:
+            for gen in node.generators:
+                if self._is_set_valued(gen.iter):
+                    self._flag(
+                        node, "set-iteration",
+                        "comprehension over a set: iteration order is "
+                        "arbitrary; iterate sorted(...) instead",
+                    )
+                    break
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # building a set from a set keeps everything unordered; only
+        # *ordered* materialization is a finding
+        self.generic_visit(node)
+
+
+def _allowed_by_list(rel_path: str, allowlist: Dict[str, Set[str]]) -> Set[str]:
+    allowed: Set[str] = set()
+    for prefix, rules in allowlist.items():
+        if rel_path == prefix or rel_path.startswith(prefix):
+            allowed |= rules
+    return allowed
+
+
+def lint_source(
+    source: str,
+    rel_path: str = "<string>",
+    allowlist: Optional[Dict[str, Set[str]]] = None,
+) -> List[Finding]:
+    """Lint one module's source; ``rel_path`` decides rule scope."""
+    allowlist = DEFAULT_ALLOWLIST if allowlist is None else allowlist
+    tree = ast.parse(source)
+    imports = _Imports(tree)
+    sets = _SetInference()
+    sets.visit(tree)
+    protocol = rel_path.startswith(PROTOCOL_PREFIXES)
+    linter = _Linter(rel_path, imports, protocol, sets)
+    linter.visit(tree)
+
+    pragmas = _parse_pragmas(source)
+    file_allowed = _allowed_by_list(rel_path, allowlist)
+    out: List[Finding] = []
+    for line, rule, message in linter.findings:
+        line_rules = pragmas.get(line, set()) | pragmas.get(line - 1, set())
+        suppressed = (
+            rule in file_allowed or rule in line_rules or "*" in line_rules
+        )
+        out.append(Finding(path=rel_path, line=line, rule=rule,
+                           message=message, suppressed=suppressed))
+    return out
+
+
+def lint_tree(
+    root: Path,
+    allowlist: Optional[Dict[str, Set[str]]] = None,
+    files: Optional[Iterable[Path]] = None,
+) -> List[Finding]:
+    """Lint every ``*.py`` under ``root`` (the ``repro`` package dir)."""
+    root = Path(root)
+    targets = sorted(files) if files is not None else sorted(root.rglob("*.py"))
+    findings: List[Finding] = []
+    for path in targets:
+        rel = path.relative_to(root).as_posix()
+        findings.extend(lint_source(path.read_text(), rel, allowlist))
+    return findings

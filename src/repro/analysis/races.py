@@ -1,0 +1,176 @@
+"""Runtime simulation race detector.
+
+The kernel breaks ties between same-timestamp events by insertion
+sequence — deterministic, but *arbitrary*: nothing in the protocol
+ordered those events, the heap did.  If two same-time events touch the
+same actor, the run's outcome silently depends on that tie-break, and
+an innocent refactor that reorders two ``call_later`` lines changes the
+digest of every seed.  This module makes that schedule-sensitivity
+observable:
+
+* :class:`RaceDetector` hooks :attr:`Simulator.tracer
+  <repro.sim.kernel.Simulator.tracer>` (event begin/end) and the
+  cluster transport (actor-access attribution): message arrivals and
+  actor timer fires are recorded against the kernel event executing
+  them.  Two *different* events at the *same* timestamp touching the
+  *same* actor are reported as a schedule-sensitive race.
+* :func:`perturb_ties` is the confirmation tool: run the same scenario
+  under FIFO and LIFO tie-breaking (``Simulator(tie_break="lifo")``)
+  and diff the resulting digests.  A digest difference proves the
+  outcome depends on tie order.
+
+Attribution detail: a message to a loaded host is *queued* on the
+host's CPU at arrival and handled later, but its position in the CPU
+queue — hence handler order — is fixed at arrival time, so accesses
+are recorded at arrival.  Enable via
+:meth:`SimCluster.attach_race_detector
+<repro.net.simnet.SimCluster.attach_race_detector>` **before**
+``start()`` so timer wrapping covers the boot timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.sim.kernel import Simulator
+
+__all__ = ["AccessRecord", "RaceReport", "RaceDetector", "PerturbationResult",
+           "perturb_ties"]
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Two same-timestamp events whose order over one actor is fixed
+    only by heap insertion sequence."""
+
+    time: float
+    actor: str
+    first_seq: int
+    first_labels: Tuple[str, ...]
+    second_seq: int
+    second_labels: Tuple[str, ...]
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.9f} actor={self.actor}: "
+            f"event#{self.first_seq} {list(self.first_labels)} vs "
+            f"event#{self.second_seq} {list(self.second_labels)} "
+            "(order fixed only by insertion sequence)"
+        )
+
+
+@dataclass
+class AccessRecord:
+    """Accesses attributed to one kernel event."""
+
+    seq: int
+    actors: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+class RaceDetector:
+    """Same-timestamp conflict tracer (kernel + transport hook)."""
+
+    def __init__(self, max_races: int = 256):
+        self.max_races = max_races
+        self.races: List[RaceReport] = []
+        #: timestamp groups that contained more than one traced event
+        self.tied_groups = 0
+        self.events_traced = 0
+        self._time: Optional[float] = None
+        self._current: Optional[AccessRecord] = None
+        self._group: List[AccessRecord] = []
+        self._group_size = 0
+
+    # -- kernel tracer protocol ----------------------------------------
+    def begin_event(self, time: float, seq: int) -> None:
+        if self._time is None or time != self._time:
+            self._flush_group()
+            self._time = time
+            self._group_size = 0
+        self._group_size += 1
+        self._current = AccessRecord(seq=seq)
+        self.events_traced += 1
+
+    def end_event(self) -> None:
+        cur, self._current = self._current, None
+        if cur is not None and cur.actors:
+            self._group.append(cur)
+
+    # -- transport hook -------------------------------------------------
+    def record_access(self, actor: str, label: str) -> None:
+        if self._current is not None:
+            self._current.actors.setdefault(actor, set()).add(label)
+
+    # -- analysis --------------------------------------------------------
+    def _flush_group(self) -> None:
+        group, self._group = self._group, []
+        if self._group_size > 1:
+            self.tied_groups += 1
+        if len(group) < 2 or self._time is None:
+            return
+        for i in range(len(group)):
+            for j in range(i + 1, len(group)):
+                a, b = group[i], group[j]
+                for actor in sorted(set(a.actors) & set(b.actors)):
+                    if len(self.races) >= self.max_races:
+                        return
+                    self.races.append(RaceReport(
+                        time=self._time,
+                        actor=actor,
+                        first_seq=a.seq,
+                        first_labels=tuple(sorted(a.actors[actor])),
+                        second_seq=b.seq,
+                        second_labels=tuple(sorted(b.actors[actor])),
+                    ))
+
+    def finish(self) -> "RaceDetector":
+        """Analyze the trailing timestamp group; returns self."""
+        self._flush_group()
+        self._time = None
+        self._group_size = 0
+        return self
+
+    def describe(self) -> str:
+        self.finish()
+        head = (
+            f"race detector: {len(self.races)} schedule-sensitive race(s), "
+            f"{self.tied_groups} tied timestamp group(s), "
+            f"{self.events_traced} events traced"
+        )
+        return "\n".join([head] + [f"  {r.describe()}" for r in self.races])
+
+
+@dataclass(frozen=True)
+class PerturbationResult:
+    """Digest comparison between FIFO and LIFO tie-breaking."""
+
+    baseline: str
+    perturbed: str
+
+    @property
+    def differs(self) -> bool:
+        return self.baseline != self.perturbed
+
+    def describe(self) -> str:
+        verdict = (
+            "outcome DEPENDS on tied-event order"
+            if self.differs
+            else "outcome independent of tied-event order"
+        )
+        return (
+            f"{verdict}: fifo={self.baseline[:16]} lifo={self.perturbed[:16]}"
+        )
+
+
+def perturb_ties(scenario: Callable[[Simulator], str]) -> PerturbationResult:
+    """Run ``scenario`` under both tie orders and diff its digests.
+
+    ``scenario`` receives a fresh :class:`Simulator`, drives it to
+    completion, and returns a digest string of whatever final state
+    matters.  Each run gets its own kernel, so the scenario must build
+    all of its own state (a closure over a builder function).
+    """
+    baseline = scenario(Simulator())
+    perturbed = scenario(Simulator(tie_break="lifo"))
+    return PerturbationResult(baseline=baseline, perturbed=perturbed)

@@ -36,7 +36,7 @@ class BaselineClient:
         self.sim = deployment.sim
         self.op_timeout = op_timeout
         self.port: ClientPort = deployment.cluster.add_port(name)
-        self._rng = random.Random(deployment.cluster.rng.stream(f"bclient.{name}").random())
+        self._rng = deployment.cluster.rng.stream(f"bclient.{name}")
         self.ops = 0
         #: node -> sim time until which it is considered down (real
         #: Dynomite/Cassandra drivers mark unresponsive hosts and route
@@ -200,7 +200,8 @@ class BaselineDeployment:
         for name in names:
             self.cluster.add_host(name, cpus=cpus)
             self.cluster.add_actor(
-                node_cls(name, members=names, rf=min(self.replicas, len(names))),
+                node_cls(name, members=names, rf=min(self.replicas, len(names)),
+                         rng=self.cluster.rng.stream(f"quorum.{name}")),
                 host=name,
             )
         self._nodes = names

@@ -23,7 +23,7 @@ from typing import List, Optional
 
 from repro.datalet import Engine, HashTableEngine
 from repro.errors import KeyNotFound
-from repro.hashing import HashRing
+from repro.hashing import HashRing, stable_hash
 from repro.net.actor import Actor
 from repro.net.message import Message
 
@@ -45,6 +45,7 @@ class QuorumStoreNode(Actor):
         consistency_level: int = 1,
         engine: Optional[Engine] = None,
         seed: int = 0,
+        rng: Optional[random.Random] = None,
     ):
         super().__init__(node_id)
         self.members = list(members)
@@ -52,7 +53,11 @@ class QuorumStoreNode(Actor):
         self.rf = min(rf, len(self.members))
         self.cl = consistency_level
         self.engine = engine or HashTableEngine()
-        self.rng = random.Random(seed ^ hash(node_id) & 0xFFFF)
+        # Replica choice must replay across runs *and* processes:
+        # cluster deployments inject a named RngRegistry stream; the
+        # standalone fallback derives from stable_hash (builtin hash()
+        # varies with PYTHONHASHSEED, which silently broke replay here).
+        self.rng = rng or random.Random(seed ^ (stable_hash(node_id) & 0xFFFF))  # lint: allow[adhoc-rng]
         self.coordinated = 0
         self.register("put", lambda m: self._coordinate_write(m, "put"))
         self.register("del", lambda m: self._coordinate_write(m, "del"))

@@ -56,6 +56,10 @@ class ComboResult:
     stats: Dict[str, int] = field(default_factory=dict)
     #: full recorded history (diagnosis; not part of the digest fields)
     records: List = field(default_factory=list)
+    #: schedule-sensitivity reports when ``detect_races=True``
+    #: (:class:`repro.analysis.races.RaceReport`); advisory — a tied
+    #: pair is a *potential* divergence, the oracle stays the judge.
+    races: List = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -71,7 +75,10 @@ class ComboResult:
             f"{self.label} seed={self.seed}: "
             f"{'PASS' if self.ok else 'FAIL'} {self.stats} digest={self.digest[:16]}"
         )
-        return "\n".join([head] + [f"  {line}" for line in self.report.describe().splitlines()[1:]])
+        lines = [head] + [f"  {line}" for line in self.report.describe().splitlines()[1:]]
+        for race in self.races:
+            lines.append(f"  RACE {race.describe()}")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -112,6 +119,7 @@ def run_combo(
     quiesce: float = 10.0,
     schedule: Optional[FaultSchedule] = None,
     spec_overrides: Optional[dict] = None,
+    detect_races: bool = False,
 ) -> ComboResult:
     """Run one seeded chaotic soak of one combo and judge the history."""
     from repro.harness.deploy import Deployment, DeploymentSpec  # local: avoid cycle
@@ -129,6 +137,13 @@ def run_combo(
     spec_kwargs.update(spec_overrides or {})
     dep = Deployment(DeploymentSpec(**spec_kwargs))
     sim = dep.sim
+    detector = None
+    if detect_races:
+        from repro.analysis.races import RaceDetector  # local: keep chaos importable alone
+
+        detector = RaceDetector()
+        # before start(): boot timers must be instrumented too
+        dep.cluster.attach_race_detector(detector)
     dep.start()
 
     recorder = HistoryRecorder(sim)
@@ -243,6 +258,12 @@ def run_combo(
         "faults": len(controller.applied),
         "failovers": dep.coordinator.failovers,
     }
+    races: List = []
+    if detector is not None:
+        detector.finish()
+        races = list(detector.races)
+        stats["races"] = len(races)
+        stats["tied_groups"] = detector.tied_groups
     return ComboResult(
         topology=topology,
         consistency=consistency,
@@ -252,6 +273,7 @@ def run_combo(
         digest=h.hexdigest(),
         stats=stats,
         records=list(recorder.records),
+        races=races,
     )
 
 

@@ -177,7 +177,10 @@ def random_schedule(
         raise ConfigError("need at least two hosts to schedule faults")
     if duration <= 0:
         raise ConfigError("duration must be positive")
-    rng = random.Random(seed)
+    # Pure function of the run seed, evaluated before the simulation
+    # starts — there is no cluster (hence no RngRegistry) in scope yet,
+    # and the schedule digest pins the draws either way.
+    rng = random.Random(seed)  # lint: allow[adhoc-rng]
     hosts = sorted(hosts)
     menu = fault_menu(topology, consistency)
     events: List[FaultEvent] = []

@@ -21,7 +21,6 @@ that is rehashed by adding a suffix to the key."
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Set
 
 from repro.client.kv import KVClient
@@ -48,7 +47,9 @@ class HotKeyReplicatingClient:
         self.counter_capacity = counter_capacity
         self._counts: Dict[str, int] = {}
         self._hot: Set[str] = set()
-        self._rng = random.Random(0x480)
+        # Shadow-replica choice comes from a named registry stream so
+        # it derives from the run seed like every other client draw.
+        self._rng = inner.cluster.rng.stream(f"hotkey.{inner.name}")
         self.shadow_reads = 0
         self.promotions = 0
 

@@ -354,6 +354,51 @@ class KVClient:
 
         return self._run(proc())
 
+    def server_scan(self, start: str, end: str, limit: Optional[int] = None) -> SimFuture:
+        """Range query delegated to the server side (§IV-B).
+
+        Sends one ``get_range`` to a controlet of the shard owning
+        ``start``; a :class:`~repro.core.range_query.RangeQueryControlet`
+        fans clipped sub-scans out to every covering shard and returns
+        the merged, sorted result — the client needs no partitioning
+        knowledge at all (contrast :meth:`scan`, which plans the
+        scatter-gather client-side).  Deployments running plain
+        controlets answer with an unhandled-type error.
+        """
+
+        def proc():
+            if self.map is None:
+                raise BespoError("client not connected: call connect() first")
+            payload: Dict[str, Any] = {"start": start, "end": end, "limit": limit}
+            last_error: Optional[str] = None
+            for attempt in range(self.max_retries + 1):
+                shard = self.shard_for(start)
+                target = self._route(shard, "scan", None, None)
+                try:
+                    resp = yield self.port.request(
+                        target, "get_range", dict(payload),
+                        timeout=self.op_timeout * 2,
+                    )
+                except RequestTimeout:
+                    last_error = f"timeout talking to {target}"
+                    self.retries += 1
+                    yield self._backoff(attempt)
+                    yield from self._refresh_best_effort()
+                    continue
+                if resp.type == "range":
+                    return [tuple(item) for item in resp.payload["items"]]
+                err = resp.payload.get("error", "")
+                if err in ("retired", "cluster map not yet available"):
+                    last_error = err
+                    self.retries += 1
+                    yield self._backoff(attempt)
+                    yield from self._refresh_best_effort()
+                    continue
+                raise BespoError(f"server scan failed: {err}")
+            raise ShardUnavailable(f"server scan exhausted retries: {last_error}")
+
+        return self._run(proc())
+
     def _scan_one(self, shard: ShardInfo, payload: Dict[str, Any]):
         override_target: Optional[str] = None
         for attempt in range(self.max_retries + 1):

@@ -56,6 +56,13 @@ class CoordinatorActor(Actor):
         self.transition_spawner = transition_spawner
         self._last_seen: Dict[str, float] = {}
         self._dead: Set[str] = set()
+        #: desired replica count per shard: repairs refill to this
+        #: level and never past it (a promoted standby working from a
+        #: stale map must not spawn a second replacement for a death
+        #: the old primary already repaired).
+        self._shard_target: Dict[str, int] = {
+            sid: len(s.replicas) for sid, s in self.map.shards.items()
+        }
         #: controlets whose replacement is being recovered.
         self._recovering: Dict[str, str] = {}  # new controlet -> shard
         #: replicas spawned but not yet recovered (see register_pending).
@@ -83,7 +90,20 @@ class CoordinatorActor(Actor):
         for shard in self.map.shards.values():
             for r in shard.replicas:
                 self._last_seen.setdefault(r.controlet, now)
-        self.set_timer(self.config.heartbeat_interval, self._sweep)
+        # The deployment populates the (shared) map after constructing
+        # us, so repair targets are captured here, not in __init__.
+        self._record_targets()
+        # phase-staggered first arm: the sweep must never share a
+        # timestamp with the follower-sync loop (same period, same boot)
+        self.set_timer(
+            self.config.heartbeat_interval
+            + self.loop_phase("sweep", self.config.heartbeat_interval),
+            self._sweep,
+        )
+
+    def _record_targets(self) -> None:
+        for sid, shard in self.map.shards.items():
+            self._shard_target.setdefault(sid, len(shard.replicas))
 
     # ------------------------------------------------------------------
     # metadata queries
@@ -141,6 +161,11 @@ class CoordinatorActor(Actor):
         """Chain repair + leader election + replacement launch."""
         self.failovers += 1
         self._dead.add(dead.controlet)
+        # If the dead node was itself a mid-recovery replacement
+        # (AA-strong join-first), its in-flight entry must not count
+        # toward shard strength below.
+        self._recovering.pop(dead.controlet, None)
+        self._pending_replicas.pop(dead.controlet, None)
         shard.remove_replica(dead.controlet)
         # Re-number the chain: if the head died this *is* the leader
         # election (second node promoted); if a mid/tail died the chain
@@ -150,7 +175,17 @@ class CoordinatorActor(Actor):
         self.map.bump()
         self._broadcast_config(shard)
 
-        if self.spawner is not None and shard.replicas:
+        # Refill toward the deployment's target strength, counting
+        # replacements already in flight: a promoted standby replaying a
+        # death from a stale map (the old primary repaired it, then died
+        # before syncing) must not spawn a second replacement.
+        target = self._shard_target.get(shard.shard_id, len(shard.replicas) + 1)
+        inflight = sum(1 for sid in self._recovering.values() if sid == shard.shard_id)
+        if (
+            self.spawner is not None
+            and shard.replicas
+            and len(shard.replicas) + inflight < target
+        ):
             # Recover from the current tail: under chain replication the
             # tail holds every committed write; under EC/AA any live
             # replica is as good as another.  Capture the source BEFORE

@@ -35,13 +35,17 @@ class PrimaryCoordinator(CoordinatorActor):
 
     def on_start(self) -> None:
         super().on_start()
-        self._sync_followers()
+        self._sync_followers(stagger=True)
 
-    def _sync_followers(self) -> None:
+    def _sync_followers(self, stagger: bool = False) -> None:
         payload = {"map": self.map.to_dict()}
         for f in self.followers:
             self.send(f, "coord_sync", dict(payload))
-        self.set_timer(self.config.heartbeat_interval, self._sync_followers)
+        delay = self.config.heartbeat_interval
+        if stagger:
+            # one-time phase offset vs. the sweep loop (same period)
+            delay += self.loop_phase("coord-sync", delay)
+        self.set_timer(delay, self._sync_followers)
 
 
 class StandbyCoordinator(CoordinatorActor):
@@ -65,12 +69,19 @@ class StandbyCoordinator(CoordinatorActor):
         for shard in self.map.shards.values():
             for r in shard.replicas:
                 self._last_seen.setdefault(r.controlet, now)
-        self.set_timer(self.config.heartbeat_interval, self._watch_primary)
+        self.set_timer(
+            self.config.heartbeat_interval
+            + self.loop_phase("watch-primary", self.config.heartbeat_interval),
+            self._watch_primary,
+        )
 
     def _on_sync(self, msg: Message) -> None:
         self._primary_seen = self.now()
         if not self.promoted:
             self.map = ClusterMap.from_dict(msg.payload["map"])
+            # First sight of each shard fixes its repair target (we are
+            # constructed with an empty map, so on_start saw none).
+            self._record_targets()
 
     def _watch_primary(self) -> None:
         if self.promoted:

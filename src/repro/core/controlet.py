@@ -102,7 +102,7 @@ class Controlet(Actor):
     # lifecycle
     # ------------------------------------------------------------------
     def on_start(self) -> None:
-        self._heartbeat()
+        self._heartbeat(stagger=True)
         if self.recovery_source is not None and not self.recovered:
             self._recover()
 
@@ -148,14 +148,22 @@ class Controlet(Actor):
             timeout=self.config.replication_timeout,
         )
 
-    def _heartbeat(self) -> None:
-        """LogHeartbeat(c, d) loop (paper Table III)."""
+    def _heartbeat(self, stagger: bool = False) -> None:
+        """LogHeartbeat(c, d) loop (paper Table III).
+
+        The first beat fires immediately (the coordinator's failure
+        clock starts at boot); ``stagger`` offsets the re-arm chain once
+        so same-period loops on this node never share a timestamp.
+        """
         payload = {"controlet": self.node_id, "datalet": self.datalet,
                    "shard": self.shard.shard_id}
         self.send(self.coordinator, "heartbeat", dict(payload))
         for backup in self.backup_coordinators:
             self.send(backup, "heartbeat", dict(payload))
-        self.set_timer(self.config.heartbeat_interval, self._heartbeat)
+        delay = self.config.heartbeat_interval
+        if stagger:
+            delay += self.loop_phase("heartbeat", delay)
+        self.set_timer(delay, self._heartbeat)
 
     def _recover(self) -> None:
         """Copy a snapshot from a surviving datalet into our own, then

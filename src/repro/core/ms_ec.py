@@ -59,7 +59,11 @@ class MSEventualControlet(Controlet):
         self.gaps_detected = 0
         self.register("replicate", self._on_replicate)
         self.register("resend_request", self._on_resend_request)
-        self.register("sync_snapshot", self._on_sync_snapshot)
+        # NB: "sync_snapshot" is deliberately NOT registered — it only
+        # exists as a *response* to resend_request, consumed by the
+        # _request_repair callback.  A response that misses its pending
+        # callback (late, after timeout) is dropped by Actor.deliver
+        # before handler dispatch, so a registration could never fire.
         self.register("ec_sync_pull", self._on_ec_sync_pull)
         self.register("seq_probe", self._on_seq_probe)
 
@@ -68,7 +72,13 @@ class MSEventualControlet(Controlet):
     # ------------------------------------------------------------------
     def on_start(self) -> None:
         super().on_start()
-        self._anti_entropy_tick()
+        # An immediate first tick is useless (nothing replicated yet);
+        # arm with a stable phase so this loop and the heartbeat — same
+        # 1s period, both starting at boot — never fire at one timestamp.
+        self.set_timer(
+            self.loop_phase("anti-entropy", self.config.replication_timeout),
+            self._anti_entropy_tick,
+        )
 
     def _anti_entropy_tick(self) -> None:
         """Tail-of-stream repair: a gap is normally detected when the
@@ -99,12 +109,16 @@ class MSEventualControlet(Controlet):
             elif master_seq > next_seq:
                 self._request_repair(probed_master, next_seq)
 
+        # Timeout strictly inside the tick period: a full-period timeout
+        # expires at the exact timestamp of the *next* tick whenever the
+        # master is unreachable, tying the abandon-probe and new-probe
+        # events on the heap (a schedule-sensitivity races.py flags).
         self.call(
             master_id,
             "seq_probe",
             {},
             callback=on_seq,
-            timeout=self.config.replication_timeout,
+            timeout=self.config.replication_timeout / 2,
         )
 
     def _on_seq_probe(self, msg: Message) -> None:

@@ -25,6 +25,7 @@ from collections import deque
 from typing import Any, Callable, Dict, Optional, Protocol
 
 from repro.errors import BespoError, RequestTimeout
+from repro.hashing import stable_hash
 from repro.net.message import Message
 
 __all__ = ["Actor", "NodeContext", "Reply"]
@@ -219,12 +220,27 @@ class Actor:
             if self.alive:
                 fn()
 
+        # surfaced in race-detector reports (see simnet._NodeCtx.set_timer)
+        guarded.timer_label = getattr(fn, "__qualname__", "timer")  # type: ignore[attr-defined]
         return self._ctx.set_timer(delay, guarded)
 
     def now(self) -> float:
         if self._ctx is None:
             raise BespoError(f"actor {self.node_id} not attached to a transport")
         return self._ctx.now()
+
+    def loop_phase(self, label: str, period: float) -> float:
+        """Stable per-(node, loop) offset in ``(0, period)``.
+
+        Add it to a periodic loop's *first* arm: two independent
+        same-period loops armed at the same instant (heartbeat and
+        anti-entropy both start at boot) would otherwise fire at the
+        same timestamp forever, leaving their relative order to the
+        event heap's insertion sequence — exactly the schedule
+        sensitivity ``repro.analysis.races`` flags.  Exact-period
+        re-arms preserve the offset, so one stagger fixes the chain.
+        """
+        return period * ((stable_hash(f"{self.node_id}:{label}") % 65521) + 1) / 65523.0
 
     # ------------------------------------------------------------------
     # CPU accounting (overridden by datalets)

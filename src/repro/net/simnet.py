@@ -60,7 +60,17 @@ class _NodeCtx:
         self._cluster.route(msg)
 
     def set_timer(self, delay: float, fn: Callable[[], None]) -> Any:
-        return self._cluster.sim.call_later(delay, fn)
+        tracer = self._cluster.race_tracer
+        if tracer is None:
+            return self._cluster.sim.call_later(delay, fn)
+        node_id = self.node_id
+        label = f"timer:{getattr(fn, 'timer_label', 'fn')}"
+
+        def traced() -> None:
+            tracer.record_access(node_id, label)
+            fn()
+
+        return self._cluster.sim.call_later(delay, traced)
 
     def now(self) -> float:
         return self._cluster.sim.now
@@ -117,6 +127,9 @@ class SimCluster:
         self._actors: Dict[str, Actor] = {}
         self._actor_host: Dict[str, str] = {}
         self._started = False
+        #: optional :class:`repro.analysis.races.RaceDetector`; see
+        #: :meth:`attach_race_detector`.
+        self.race_tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # topology construction
@@ -171,6 +184,17 @@ class SimCluster:
         for actor in list(self._actors.values()):
             self.sim.call_soon(actor.on_start)
 
+    def attach_race_detector(self, detector: Any) -> None:
+        """Instrument this cluster for schedule-sensitivity detection.
+
+        Installs ``detector`` as the kernel event tracer and records an
+        access for every message delivery and timer callback.  Attach
+        **before** :meth:`start` so boot timers are covered too.  See
+        :mod:`repro.analysis.races`.
+        """
+        self.race_tracer = detector
+        self.sim.tracer = detector
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
@@ -202,6 +226,13 @@ class SimCluster:
         nbytes = msg.size_bytes()
 
         def on_arrival() -> None:
+            if self.race_tracer is not None:
+                # Attribute the touch at *arrival*: the destination's CPU
+                # queue order — and therefore handler order — is fixed the
+                # moment the message lands, so two same-timestamp arrivals
+                # at one actor are exactly the schedule-sensitive pair the
+                # detector is after.
+                self.race_tracer.record_access(msg.dst, f"deliver:{msg.type}")
             host = self._hosts[dst_host]
             if host.free:
                 dst_actor.deliver(msg)

@@ -134,7 +134,10 @@ class SharedLogActor(Actor):
         self.auto_trims = 0
         self.register("log_append", self._on_append)
         self.register("log_fetch", self._on_fetch)
-        self.register("log_trim", self._on_trim)
+        # Operator/retention API: driven from outside the actor system
+        # (tests, admin tooling); in-cluster trimming happens via the
+        # auto-trim watermark above.
+        self.register("log_trim", self._on_trim)  # protocol: external
 
     def service_demand(self, msg: Message, costs) -> float:
         if msg.type == "log_append":

@@ -151,13 +151,25 @@ class Simulator:
         sim.run_until(40.0)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tie_break: str = "fifo") -> None:
+        if tie_break not in ("fifo", "lifo"):
+            raise SimulationError(f"tie_break must be 'fifo' or 'lifo', got {tie_break!r}")
         self._now = 0.0
         self._heap: list[_Event] = []
-        self._seq = itertools.count()
+        self._seq = itertools.count(1)
+        # "lifo" negates the insertion sequence so simultaneous events
+        # pop in reverse order — a legal-but-different schedule used by
+        # the race detector's perturbation re-runs.  Event *times* are
+        # untouched; only ties flip.
+        self._tie_sign = 1 if tie_break == "fifo" else -1
         self._stopped = False
         #: number of events executed — useful for kernel regression tests
         self.events_processed = 0
+        #: optional event tracer (e.g. ``repro.analysis.races.RaceDetector``):
+        #: an object with ``begin_event(time, seq)`` / ``end_event()``
+        #: called around every event callback.  ``None`` costs one branch
+        #: per event.
+        self.tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # clock & scheduling
@@ -171,7 +183,11 @@ class Simulator:
         """Schedule ``fn(*args)`` after ``delay`` virtual seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        ev = _Event(self._now + delay, next(self._seq), (lambda: fn(*args)) if args else fn)
+        ev = _Event(
+            self._now + delay,
+            self._tie_sign * next(self._seq),
+            (lambda: fn(*args)) if args else fn,
+        )
         heapq.heappush(self._heap, ev)
         return TimerHandle(ev)
 
@@ -280,6 +296,18 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _execute(self, ev: _Event) -> None:
+        tracer = self.tracer
+        if tracer is None:
+            ev.fn()
+        else:
+            tracer.begin_event(ev.time, ev.seq)
+            try:
+                ev.fn()
+            finally:
+                tracer.end_event()
+        self.events_processed += 1
+
     def stop(self) -> None:
         """Make the current :meth:`run`/:meth:`run_until` return."""
         self._stopped = True
@@ -299,8 +327,7 @@ class Simulator:
             if ev.cancelled:
                 continue
             self._now = ev.time
-            ev.fn()
-            self.events_processed += 1
+            self._execute(ev)
         if not self._stopped:
             self._now = max(self._now, deadline)
 
@@ -315,8 +342,7 @@ class Simulator:
             if ev.cancelled:
                 continue
             self._now = ev.time
-            ev.fn()
-            self.events_processed += 1
+            self._execute(ev)
 
     def run_future(self, fut: SimFuture, timeout: Optional[float] = None) -> Any:
         """Drive the simulation until ``fut`` resolves and return its result.
@@ -334,6 +360,5 @@ class Simulator:
                 heapq.heappush(self._heap, ev)
                 raise SimulationError(f"future unresolved after {timeout}s of sim time")
             self._now = ev.time
-            ev.fn()
-            self.events_processed += 1
+            self._execute(ev)
         return fut.result()

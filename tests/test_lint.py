@@ -1,0 +1,251 @@
+"""Tests for the determinism linter (repro.analysis.lint)."""
+
+import textwrap
+
+from repro.analysis import (
+    DEFAULT_ALLOWLIST,
+    format_findings,
+    lint_source,
+    run_lint,
+    summarize,
+)
+from repro.cli import main
+
+
+def lint(source, rel_path="core/x.py", **kw):
+    return lint_source(textwrap.dedent(source), rel_path, **kw)
+
+
+def visible(findings):
+    return [(f.rule, f.line) for f in findings if not f.suppressed]
+
+
+def rules(findings):
+    return [f.rule for f in findings if not f.suppressed]
+
+
+# ---------------------------------------------------------------------------
+# wallclock
+# ---------------------------------------------------------------------------
+def test_wallclock_time_flagged_everywhere():
+    src = """
+        import time
+        def f():
+            return time.time()
+    """
+    assert rules(lint(src, "workloads/w.py")) == ["wallclock"]
+    assert rules(lint(src, "core/x.py")) == ["wallclock"]
+
+
+def test_wallclock_aliased_import_and_sleep():
+    src = """
+        import time as t
+        def f():
+            t.sleep(1.0)
+    """
+    assert rules(lint(src)) == ["wallclock"]
+
+
+def test_wallclock_datetime_now():
+    src = """
+        from datetime import datetime
+        def f():
+            return datetime.now()
+    """
+    assert rules(lint(src)) == ["wallclock"]
+
+
+def test_virtual_clock_reads_are_clean():
+    src = """
+        def f(self):
+            return self.now() + self.sim.now
+    """
+    assert rules(lint(src)) == []
+
+
+def test_wallclock_allowlisted_for_harness():
+    src = """
+        import time
+        def f():
+            return time.time()
+    """
+    findings = lint(src, "harness/loadgen.py")
+    assert rules(findings) == []
+    assert [f.rule for f in findings if f.suppressed] == ["wallclock"]
+
+
+# ---------------------------------------------------------------------------
+# global-rng / adhoc-rng
+# ---------------------------------------------------------------------------
+def test_global_rng_module_functions_flagged():
+    src = """
+        import random
+        def f():
+            return random.random() + random.randrange(5)
+    """
+    assert rules(lint(src, "workloads/w.py")) == ["global-rng", "global-rng"]
+
+
+def test_unseeded_random_and_entropy_sources_flagged():
+    src = """
+        import os
+        import random
+        import uuid
+        def f():
+            r = random.Random()
+            return os.urandom(8), uuid.uuid4(), r
+    """
+    assert sorted(rules(lint(src))) == ["global-rng", "global-rng", "global-rng"]
+
+
+def test_seeded_random_is_adhoc_only_in_protocol_code():
+    src = """
+        import random
+        def f(seed):
+            return random.Random(seed)
+    """
+    assert rules(lint(src, "core/x.py")) == ["adhoc-rng"]
+    # outside the protocol dirs a seeded Random is fine (e.g. workloads)
+    assert rules(lint(src, "workloads/w.py")) == []
+
+
+def test_registry_stream_usage_is_clean():
+    src = """
+        def f(self):
+            rng = self.cluster.rng.stream("quorum.n1")
+            return rng.random()
+    """
+    assert rules(lint(src)) == []
+
+
+# ---------------------------------------------------------------------------
+# set-iteration / hash-ordering
+# ---------------------------------------------------------------------------
+def test_for_loop_over_set_flagged_in_protocol_code():
+    src = """
+        def f():
+            s = {1, 2, 3}
+            for x in s:
+                print(x)
+    """
+    assert rules(lint(src, "core/x.py")) == ["set-iteration"]
+    assert rules(lint(src, "workloads/w.py")) == []
+
+
+def test_comprehension_and_list_wrapper_over_set_flagged():
+    src = """
+        def f(self):
+            pending = set()
+            a = [x for x in pending]
+            b = list(pending)
+            return a, b
+    """
+    assert rules(lint(src)) == ["set-iteration", "set-iteration"]
+
+
+def test_sorted_over_set_is_blessed():
+    src = """
+        def f():
+            s = {1, 2, 3}
+            for x in sorted(s):
+                print(x)
+            return sorted(y for y in s) + [min(s), len(s)]
+    """
+    assert rules(lint(src)) == []
+
+
+def test_builtin_hash_and_id_flagged_in_protocol_code():
+    src = """
+        def f(key, obj):
+            return hash(key) % 7, id(obj)
+    """
+    assert sorted(rules(lint(src, "core/x.py"))) == ["hash-ordering", "hash-ordering"]
+    assert rules(lint(src, "workloads/w.py")) == []
+
+
+def test_stable_hash_is_clean():
+    src = """
+        from repro.hashing import stable_hash
+        def f(key):
+            return stable_hash(key) % 7
+    """
+    assert rules(lint(src, "core/x.py")) == []
+
+
+# ---------------------------------------------------------------------------
+# pragmas
+# ---------------------------------------------------------------------------
+def test_pragma_on_offending_line_suppresses():
+    src = """
+        import time
+        def f():
+            return time.time()  # lint: allow[wallclock]
+    """
+    findings = lint(src)
+    assert rules(findings) == []
+    assert [f.rule for f in findings if f.suppressed] == ["wallclock"]
+
+
+def test_pragma_on_line_above_suppresses():
+    src = """
+        import time
+        def f():
+            # lint: allow[wallclock]
+            return time.time()
+    """
+    assert rules(lint(src)) == []
+
+
+def test_pragma_wildcard_and_wrong_rule():
+    src = """
+        import time
+        def f():
+            return time.time()  # lint: allow[*]
+    """
+    assert rules(lint(src)) == []
+    wrong = """
+        import time
+        def f():
+            return time.time()  # lint: allow[set-iteration]
+    """
+    assert rules(lint(wrong)) == ["wallclock"]
+
+
+# ---------------------------------------------------------------------------
+# whole tree + CLI
+# ---------------------------------------------------------------------------
+def test_package_tree_is_clean():
+    findings = run_lint()
+    bad = [f for f in findings if not f.suppressed]
+    assert bad == [], format_findings(bad)
+    # the allowlist/pragma escapes are in use, not dead config
+    assert summarize(findings)["suppressed"] > 0
+
+
+def test_cli_lint_strict_passes(capsys):
+    assert main(["lint", "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_cli_lint_fails_on_seeded_violation(tmp_path, capsys):
+    bad = tmp_path / "core"
+    bad.mkdir()
+    (bad / "evil.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n"
+    )
+    rc = main(["lint", "--root", str(tmp_path), "--no-conformance"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "wallclock" in out and "core/evil.py" in out
+
+
+def test_cli_lint_show_suppressed(capsys):
+    assert main(["lint", "--show-suppressed"]) == 0
+    out = capsys.readouterr().out
+    # cli.py's bench timing pragma shows up as a suppressed wallclock hit
+    assert "allowed" in out and "cli.py" in out
+
+
+def test_default_allowlist_documents_rng_constructor():
+    assert "adhoc-rng" in DEFAULT_ALLOWLIST["sim/rng.py"]

@@ -13,8 +13,19 @@ relies on but nothing else enforces:
   same-timestamp events whose order over one actor is fixed only by
   heap insertion sequence, plus a tie-order perturbation helper.
 
-CLI front-end: ``bespokv lint`` (see :mod:`repro.cli`); the first two
-passes also run in CI before the test and soak jobs.
+On top of those sit the model-checking modules (imported directly, not
+re-exported here, so ``import repro.analysis`` stays light):
+
+* :mod:`repro.analysis.summaries` — static per-handler read/write
+  footprints, the commutativity evidence for partial-order reduction;
+* :mod:`repro.analysis.statespace` — the controlled-scheduler cluster,
+  scenario scope bounds and checker clients;
+* :mod:`repro.analysis.explore` — exhaustive DFS with sleep sets +
+  fingerprint pruning, counterexample traces and their replayer.
+
+CLI front-ends: ``bespokv lint`` and ``bespokv check`` (see
+:mod:`repro.cli`); lint, conformance and a small-scope check smoke also
+run in CI before the test and soak jobs.
 """
 
 from __future__ import annotations
@@ -23,7 +34,14 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.conformance import ProtocolModel, check_sources, check_tree
-from repro.analysis.findings import Finding, format_findings, summarize
+from repro.analysis.findings import (
+    FINDINGS_SCHEMA,
+    Finding,
+    findings_to_json,
+    format_findings,
+    format_github,
+    summarize,
+)
 from repro.analysis.lint import (
     DEFAULT_ALLOWLIST,
     PROTOCOL_PREFIXES,
@@ -38,8 +56,11 @@ from repro.analysis.races import (
 )
 
 __all__ = [
+    "FINDINGS_SCHEMA",
     "Finding",
+    "findings_to_json",
     "format_findings",
+    "format_github",
     "summarize",
     "lint_source",
     "lint_tree",

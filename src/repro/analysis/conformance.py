@@ -110,6 +110,11 @@ class ProtocolModel:
     external: Set[str] = field(default_factory=set)
     #: send/register sites whose type expression could not be resolved
     unresolved: List[Use] = field(default_factory=list)
+    #: class -> message type -> handler method name ("<lambda>"/"<dynamic>"
+    #: when the registration is not a plain bound method).  Consumed by
+    #: :mod:`repro.analysis.summaries` to pair each message type with the
+    #: method whose state footprint decides commutativity.
+    handler_methods: Dict[str, Dict[str, str]] = field(default_factory=dict)
 
     def _add(self, table: Dict[str, List[Use]], use: Use) -> bool:
         uses = table.setdefault(use.type, [])
@@ -277,8 +282,21 @@ class _Collector(ast.NodeVisitor):
         else:
             self.model.unresolved.append(self._use(f"register:{ast.dump(arg)[:40]}", node.lineno))
             return
+        handler = "<dynamic>"
+        if len(node.args) > 1:
+            h = node.args[1]
+            if (
+                isinstance(h, ast.Attribute)
+                and isinstance(h.value, ast.Name)
+                and h.value.id == "self"
+            ):
+                handler = h.attr
+            elif isinstance(h, ast.Lambda):
+                handler = "<lambda>"
+        per_cls = self.model.handler_methods.setdefault(self._cur_cls, {})
         for t in types:
             self.model._add(self.model.registered, self._use(t, node.lineno))
+            per_cls.setdefault(t, handler)
             if node.lineno in self.external_lines:
                 self.model.external.add(t)
 

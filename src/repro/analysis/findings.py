@@ -1,11 +1,32 @@
-"""Shared finding/report types for the static-analysis passes."""
+"""Shared finding/report types for the static-analysis passes.
+
+Three renderings of the same finding list:
+
+* :func:`format_findings` — the human one-line-per-finding form;
+* :func:`findings_to_json` — a stable machine envelope (schema
+  ``repro.lint.findings/1``) shared by ``repro lint --format json``
+  and the model checker's counterexample metadata;
+* :func:`format_github` — GitHub Actions workflow commands
+  (``::error file=...``) so CI annotates the offending lines inline.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List
 
-__all__ = ["Finding", "format_findings", "summarize"]
+__all__ = [
+    "FINDINGS_SCHEMA",
+    "Finding",
+    "findings_to_json",
+    "format_findings",
+    "format_github",
+    "summarize",
+]
+
+#: version tag for the JSON envelope; bump on breaking field changes.
+FINDINGS_SCHEMA = "repro.lint.findings/1"
 
 
 @dataclass(frozen=True)
@@ -30,12 +51,53 @@ class Finding:
         tag = "allowed" if self.suppressed else self.severity
         return f"{self.path}:{self.line}: [{self.rule}] {tag}: {self.message}"
 
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
 
 def format_findings(findings: List[Finding]) -> str:
     return "\n".join(
         f.format()
         for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
     )
+
+
+def findings_to_json(findings: List[Finding], indent: int = 2) -> str:
+    """Serialize the full finding list (suppressed included, so tools
+    can audit waivers) under a versioned envelope."""
+    doc = {
+        "schema": FINDINGS_SCHEMA,
+        "summary": summarize(findings),
+        "findings": [
+            f.to_dict()
+            for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+        ],
+    }
+    return json.dumps(doc, indent=indent, sort_keys=False)
+
+
+def _gh_escape(value: str) -> str:
+    """Escape data for a GitHub Actions workflow-command message."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def format_github(findings: List[Finding], prefix: str = "") -> str:
+    """Render unsuppressed findings as ``::error``/``::warning``
+    workflow commands.  ``prefix`` rebases the lint-relative paths onto
+    repo-relative ones (e.g. ``src/repro/``) so the annotations land on
+    the right files in the PR view."""
+    lines = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        if f.suppressed:
+            continue
+        level = "warning" if f.severity == "warning" else "error"
+        lines.append(
+            f"::{level} file={prefix}{f.path},line={f.line},"
+            f"title=lint {f.rule}::{_gh_escape(f.message)}"
+        )
+    return "\n".join(lines)
 
 
 def summarize(findings: List[Finding]) -> Dict[str, int]:

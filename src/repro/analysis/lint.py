@@ -32,6 +32,16 @@ historically gets broken:
     across processes (``PYTHONHASHSEED``, allocator layout); anything
     ordering or seeding off them breaks cross-run replay.  Use
     :func:`repro.hashing.stable_hash`.
+``mutable-payload``
+    A local name aliased into a sent payload (bare argument to
+    ``send``/``call``/``respond``/``datalet_call``/..., or a value
+    inside a dict/list literal argument) that is *mutated later in the
+    same function*.  The simulated fabric passes payloads by reference,
+    so the receiver shares the object and the mutation rewrites what it
+    sees — behaviour no serializing network exhibits.  Function-scoped
+    heuristic (no inter-procedural aliasing); the runtime counterpart
+    is :class:`repro.net.sanitize.PayloadSanitizer`, which catches what
+    this rule cannot see.
 
 Escapes, both auditable via ``repro lint --show-suppressed``:
 
@@ -105,6 +115,30 @@ _ORDER_FREE = {
     "sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset",
 }
 _ITER_WRAPPERS = {"list", "tuple", "enumerate", "iter", "reversed"}
+#: actor-surface methods whose arguments enter the message fabric.
+_SEND_METHODS = {
+    "send", "call", "respond", "transmit", "broadcast", "datalet_call",
+}
+#: in-place mutators of dict/list payload values.
+_PAYLOAD_MUTATORS = {
+    "update", "pop", "popitem", "setdefault", "clear",
+    "append", "extend", "insert", "remove", "sort", "reverse",
+}
+
+
+def _harvest_payload_names(node: ast.expr, out: Set[str]) -> None:
+    """Collect bare names aliased into a payload argument: the name
+    itself, or names nested in dict/list/tuple literals.  Deliberately
+    does not look through calls — ``dict(x)`` copies its top level."""
+    if isinstance(node, ast.Name):
+        out.add(node.id)
+    elif isinstance(node, ast.Dict):
+        for v in node.values:
+            if v is not None:
+                _harvest_payload_names(v, out)
+    elif isinstance(node, (ast.List, ast.Tuple)):
+        for v in node.elts:
+            _harvest_payload_names(v, out)
 
 
 def _parse_pragmas(source: str) -> Dict[int, Set[str]]:
@@ -240,9 +274,72 @@ class _Linter(ast.NodeVisitor):
         #: comprehension nodes whose iteration order provably cannot
         #: escape (direct argument of an order-insensitive call)
         self._blessed: Set[int] = set()
+        self._func_depth = 0
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append((getattr(node, "lineno", 0), rule, message))
+
+    # -- mutable-payload (function-scope aliasing heuristic) -----------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # analyze outermost functions as one scope: nested closures
+        # (completion callbacks) share the outer frame's payload names
+        if self.protocol and self._func_depth == 0:
+            self._check_payload_aliasing(node)
+        self._func_depth += 1
+        self.generic_visit(node)
+        self._func_depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _check_payload_aliasing(self, func: ast.AST) -> None:
+        sends: Dict[str, List[int]] = {}    # name -> send linenos
+        rebinds: Dict[str, List[int]] = {}  # name -> fresh-object linenos
+        mutations: List[Tuple[int, str, str]] = []
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _SEND_METHODS:
+                    names: Set[str] = set()
+                    for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                        _harvest_payload_names(arg, names)
+                    for name in names:
+                        sends.setdefault(name, []).append(node.lineno)
+                if node.func.attr in _PAYLOAD_MUTATORS:
+                    base = node.func.value
+                    if isinstance(base, ast.Subscript):
+                        base = base.value  # payload["ops"].append(...)
+                    if isinstance(base, ast.Name):
+                        mutations.append(
+                            (node.lineno, base.id, f".{node.func.attr}()")
+                        )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for t in targets:
+                    if isinstance(t, ast.Subscript) and isinstance(t.value, ast.Name):
+                        mutations.append(
+                            (node.lineno, t.value.id, "subscript assignment")
+                        )
+                    elif isinstance(t, ast.Name) and isinstance(node, ast.Assign):
+                        rebinds.setdefault(t.id, []).append(node.lineno)
+            elif isinstance(node, ast.Delete):
+                for t in node.targets:
+                    if isinstance(t, ast.Subscript) and isinstance(t.value, ast.Name):
+                        mutations.append((node.lineno, t.value.id, "del"))
+        for lineno, name, how in mutations:
+            live = any(
+                s <= lineno
+                and not any(s < r <= lineno for r in rebinds.get(name, ()))
+                for s in sends.get(name, ())
+            )
+            if live:
+                self.findings.append((
+                    lineno, "mutable-payload",
+                    f"{how} mutates {name!r} after it was aliased into a "
+                    "sent payload; the fabric passes payloads by reference "
+                    "so the receiver shares this object — send a copy or "
+                    "mutate a copy",
+                ))
 
     # -- wallclock / global-rng / adhoc-rng ----------------------------
     def visit_Call(self, node: ast.Call) -> None:

@@ -1,0 +1,372 @@
+"""Static handler summaries: which message types commute.
+
+The model checker (:mod:`repro.analysis.explore`) explores interleavings
+of message deliveries.  Two deliveries to **different** actors always
+commute in this framework (a handler mutates only its own actor's state
+and *appends* sends, which are order-insensitive as a multiset).  Two
+deliveries to the **same** actor commute only if their handlers touch
+disjoint slices of the actor's state — e.g. ``get`` (reads nothing on a
+controlet, forwards to the datalet) commutes with ``seq_probe`` (reads
+``_seq``), but two ``replicate`` batches do not (both advance
+``_stream``).
+
+This pass computes, per actor class and per handler method, the set of
+``self.*`` attributes **read** and **written** (transitively through
+same-class helper calls, including nested callback closures — a
+callback's accesses happen at a later event, but charging them to the
+registering handler only makes the summary more conservative, never
+less sound).  Handlers whose footprint cannot be bounded (``self``
+escapes into an external call, a ``<lambda>``/``<dynamic>``
+registration) are marked opaque and commute with nothing.
+
+Commutativity rule for types ``a``, ``b`` on one class::
+
+    W(a) ∩ (R(b) ∪ W(b)) = ∅  and  W(b) ∩ (R(a) ∪ W(a)) = ∅
+
+with ``stats`` (pure accounting, excluded from state fingerprints too)
+ignored on both sides.  The message-type→method pairing comes from the
+conformance checker's ``handler_methods`` table, so the two static
+passes stay in sync.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.conformance import check_sources, check_tree
+
+__all__ = [
+    "DATALET_ATTR",
+    "DATALET_READ_OPS",
+    "HandlerFootprint",
+    "ClassSummary",
+    "SummaryTable",
+    "build_summaries",
+    "datalet_footprint",
+]
+
+#: attributes that never count toward conflicts (accounting only;
+#: state fingerprints exclude them for the same reason).
+IGNORED_ATTRS = {"stats"}
+
+#: self-methods that emit messages / arm timers: order-insensitive
+#: effects (multiset append), not state conflicts.  ``datalet_call`` is
+#: here too — its *framework plumbing* is an emit — but its **effect on
+#: the colocated datalet** is charged separately (see DATALET_ATTR):
+#: under the model checker a colocated engine call executes
+#: synchronously inside the handler, so it is very much part of the
+#: handler's footprint.
+_EMIT_METHODS = {
+    "send", "call", "respond", "forward", "redirect", "set_timer",
+    "datalet_call", "emit", "loop_phase", "now",
+}
+
+#: pseudo-attribute standing for "the colocated datalet's stored data".
+#: Handlers that issue ``datalet_call`` read or write it depending on
+#: the engine op; the explorer gives *direct* deliveries to a datalet a
+#: synthetic footprint over the same token, so controlet-vs-datalet
+#: conflicts on one host compare in a shared vocabulary.
+DATALET_ATTR = "<datalet>"
+
+#: engine ops that only read stored data (everything else mutates —
+#: including unknown/dynamic op names, conservatively).
+DATALET_READ_OPS = {"get", "scan", "snapshot", "stats"}
+
+
+@dataclass
+class HandlerFootprint:
+    """Transitive read/write sets of one handler method."""
+
+    method: str
+    reads: Set[str] = field(default_factory=set)
+    writes: Set[str] = field(default_factory=set)
+    #: True when the footprint cannot be statically bounded.
+    opaque: bool = False
+
+    def conflicts(self, other: "HandlerFootprint") -> bool:
+        if self.opaque or other.opaque:
+            return True
+        w1, w2 = self.writes - IGNORED_ATTRS, other.writes - IGNORED_ATTRS
+        r1, r2 = self.reads - IGNORED_ATTRS, other.reads - IGNORED_ATTRS
+        return bool(w1 & (r2 | w2)) or bool(w2 & (r1 | w1))
+
+
+@dataclass
+class ClassSummary:
+    """Per-actor-class commutativity oracle."""
+
+    cls: str
+    #: message type -> footprint of its (transitively resolved) handler.
+    handlers: Dict[str, HandlerFootprint] = field(default_factory=dict)
+
+    def footprint(self, msg_type: str) -> Optional[HandlerFootprint]:
+        """Footprint of the handler bound to ``msg_type`` (None = no
+        statically known binding: treat as conflicting with everything)."""
+        return self.handlers.get(msg_type)
+
+    def commutes(self, type_a: str, type_b: str) -> bool:
+        """True only when reordering deliveries of ``type_a``/``type_b``
+        to one instance of this class provably reaches the same state."""
+        fa = self.handlers.get(type_a)
+        fb = self.handlers.get(type_b)
+        if fa is None or fb is None:
+            return False
+        return not fa.conflicts(fb)
+
+
+class SummaryTable:
+    """All class summaries, with MRO-style lookup by class name chain."""
+
+    def __init__(self, classes: Dict[str, ClassSummary]):
+        self.classes = classes
+
+    def for_class_chain(self, names: Iterable[str]) -> ClassSummary:
+        """Merge summaries along an MRO chain (most-derived first): a
+        subclass registration shadows the base's for the same type."""
+        merged = ClassSummary(cls="+".join(names))
+        for name in names:
+            summary = self.classes.get(name)
+            if summary is None:
+                continue
+            for t, fp in summary.handlers.items():
+                merged.handlers.setdefault(t, fp)
+        return merged
+
+    def describe(self) -> str:
+        lines = []
+        for cls in sorted(self.classes):
+            summary = self.classes[cls]
+            for t in sorted(summary.handlers):
+                fp = summary.handlers[t]
+                shape = "opaque" if fp.opaque else (
+                    f"R={sorted(fp.reads - IGNORED_ATTRS)} "
+                    f"W={sorted(fp.writes - IGNORED_ATTRS)}"
+                )
+                lines.append(f"{cls}.{fp.method} [{t}]: {shape}")
+        return "\n".join(lines)
+
+
+class _MethodScanner(ast.NodeVisitor):
+    """Direct (non-transitive) footprint of one method body."""
+
+    def __init__(self) -> None:
+        self.reads: Set[str] = set()
+        self.writes: Set[str] = set()
+        self.calls: Set[str] = set()  # self.<method>() invocations
+        self.opaque = False
+
+    def _is_self(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id == "self"
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._is_self(node.value):
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                self.writes.add(node.attr)
+            else:
+                self.reads.add(node.attr)
+        self.generic_visit(node)
+
+    def _scan_datalet_call(self, node: ast.Call) -> None:
+        """Charge a ``self.datalet_call(op, ...)`` to the ``<datalet>``
+        pseudo-attribute: colocated engine calls execute synchronously
+        under the checker, so the engine op belongs to the handler's
+        footprint (a remote target makes this an over-approximation —
+        conservative in the safe direction)."""
+        op = None
+        if node.args and isinstance(node.args[0], ast.Constant) \
+                and isinstance(node.args[0].value, str):
+            op = node.args[0].value
+        else:
+            for kw in node.keywords:
+                if kw.arg == "type" and isinstance(kw.value, ast.Constant) \
+                        and isinstance(kw.value.value, str):
+                    op = kw.value.value
+        if op in DATALET_READ_OPS:
+            self.reads.add(DATALET_ATTR)
+        elif op is not None:
+            self.writes.add(DATALET_ATTR)
+        else:  # dynamic op name: could be anything
+            self.reads.add(DATALET_ATTR)
+            self.writes.add(DATALET_ATTR)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and self._is_self(func.value):
+            # self.method(...) — resolved transitively by the builder
+            if func.attr == "datalet_call":
+                self._scan_datalet_call(node)
+            if func.attr not in _EMIT_METHODS:
+                self.calls.add(func.attr)
+            self.reads.discard(func.attr)
+        elif isinstance(func, ast.Attribute) and isinstance(func.value, ast.Attribute) \
+                and self._is_self(func.value.value):
+            # self.attr.method(...): a mutating container call writes the
+            # attribute; we cannot tell mutators from pure reads reliably,
+            # so count it as BOTH read and write (conservative).
+            self.reads.add(func.value.attr)
+            self.writes.add(func.value.attr)
+        # bare self passed as an argument escapes the analysis entirely
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            if self._is_self(arg):
+                self.opaque = True
+        self.generic_visit(node)
+
+
+@dataclass
+class _ClassAst:
+    name: str
+    bases: List[str]
+    methods: Dict[str, ast.AST]
+
+
+def _collect_classes(sources: Iterable[Tuple[str, str]]) -> Dict[str, _ClassAst]:
+    out: Dict[str, _ClassAst] = {}
+    for _rel, source in sources:
+        tree = ast.parse(source)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = [
+                b.id if isinstance(b, ast.Name) else getattr(b, "attr", "")
+                for b in node.bases
+            ]
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            out[node.name] = _ClassAst(node.name, bases, methods)
+    return out
+
+
+def _resolve_method(classes: Dict[str, _ClassAst], cls: str, name: str):
+    """Walk the (name-based) base-class chain for a method definition."""
+    seen: Set[str] = set()
+    stack = [cls]
+    while stack:
+        cur = stack.pop(0)
+        if cur in seen or cur not in classes:
+            continue
+        seen.add(cur)
+        if name in classes[cur].methods:
+            return classes[cur].methods[name]
+        stack.extend(classes[cur].bases)
+    return None
+
+
+def _footprint(
+    classes: Dict[str, _ClassAst],
+    cls: str,
+    method: str,
+    cache: Dict[Tuple[str, str], HandlerFootprint],
+    stack: Set[Tuple[str, str]],
+) -> HandlerFootprint:
+    key = (cls, method)
+    if key in cache:
+        return cache[key]
+    if key in stack:  # recursion (retry loops): already accounted
+        return HandlerFootprint(method=method)
+    node = _resolve_method(classes, cls, method)
+    fp = HandlerFootprint(method=method)
+    if node is None:
+        fp.opaque = True
+        cache[key] = fp
+        return fp
+    scanner = _MethodScanner()
+    # scan the whole body *including* nested callback closures: their
+    # accesses happen at later events, and folding them in only widens
+    # the footprint (conservative in the right direction)
+    for item in ast.iter_child_nodes(node):
+        scanner.visit(item)
+    fp.reads |= scanner.reads
+    fp.writes |= scanner.writes
+    fp.opaque |= scanner.opaque
+    stack.add(key)
+    for callee in sorted(scanner.calls):
+        sub = _footprint(classes, cls, callee, cache, stack)
+        fp.reads |= sub.reads
+        fp.writes |= sub.writes
+        fp.opaque |= sub.opaque
+    stack.discard(key)
+    cache[key] = fp
+    return fp
+
+
+def _ancestry(classes: Dict[str, _ClassAst], cls: str) -> List[str]:
+    """Name-based base chain, most-derived first (approximate MRO)."""
+    order: List[str] = []
+    seen: Set[str] = set()
+    stack = [cls]
+    while stack:
+        cur = stack.pop(0)
+        if cur in seen:
+            continue
+        seen.add(cur)
+        order.append(cur)
+        if cur in classes:
+            stack.extend(classes[cur].bases)
+    return order
+
+
+def build_from_sources(sources: List[Tuple[str, str]]) -> SummaryTable:
+    model = check_sources(sources)
+    classes = _collect_classes(sources)
+    cache: Dict[Tuple[str, str], HandlerFootprint] = {}
+    table: Dict[str, ClassSummary] = {}
+    for cls in sorted(classes):
+        # a handler registered by a base class but *overridden* in a
+        # subclass (or dispatching to overridden hooks, e.g. Controlet's
+        # _client_op -> handle_put) must be summarized in the context of
+        # the concrete class, so inherit every ancestor's bindings and
+        # resolve methods against ``cls`` itself
+        bindings: Dict[str, str] = {}
+        for ancestor in _ancestry(classes, cls):
+            for msg_type, method in model.handler_methods.get(ancestor, {}).items():
+                bindings.setdefault(msg_type, method)
+        if not bindings:
+            continue
+        summary = ClassSummary(cls=cls)
+        for msg_type, method in sorted(bindings.items()):
+            if method in ("<lambda>", "<dynamic>"):
+                summary.handlers[msg_type] = HandlerFootprint(
+                    method=method, opaque=True
+                )
+                continue
+            summary.handlers[msg_type] = _footprint(
+                classes, cls, method, cache, set()
+            )
+        table[cls] = summary
+    return SummaryTable(table)
+
+
+def datalet_footprint(msg_type: str) -> HandlerFootprint:
+    """Synthetic footprint for a message delivered *directly* to a
+    datalet actor (remote engine calls: recovery snapshots, AA fan-out).
+    Expressed over :data:`DATALET_ATTR` so it conflicts correctly with a
+    colocated controlet handler touching the same engine."""
+    fp = HandlerFootprint(method=f"datalet:{msg_type}")
+    if msg_type in DATALET_READ_OPS:
+        fp.reads.add(DATALET_ATTR)
+    else:
+        fp.writes.add(DATALET_ATTR)
+    return fp
+
+
+def build_summaries(root: Optional[Path] = None) -> SummaryTable:
+    """Summaries for the whole installed ``repro`` package (default) or
+    an explicit source root."""
+    if root is None:
+        from repro.analysis import package_root
+
+        root = package_root()
+    root = Path(root)
+    # reuse the conformance file walk so both passes see the same universe
+    _ = check_tree  # (kept importable for callers that want the model too)
+    sources = [
+        (p.relative_to(root).as_posix(), p.read_text())
+        for p in sorted(root.rglob("*.py"))
+    ]
+    return build_from_sources(sources)

@@ -23,9 +23,10 @@ from typing import List, Optional
 
 from repro.datalet import Engine, HashTableEngine
 from repro.errors import KeyNotFound
-from repro.hashing import HashRing, stable_hash
+from repro.hashing import HashRing
 from repro.net.actor import Actor
 from repro.net.message import Message
+from repro.sim.rng import RngRegistry
 
 __all__ = ["QuorumStoreNode", "CassandraLikeNode", "VoldemortLikeNode"]
 
@@ -55,9 +56,10 @@ class QuorumStoreNode(Actor):
         self.engine = engine or HashTableEngine()
         # Replica choice must replay across runs *and* processes:
         # cluster deployments inject a named RngRegistry stream; the
-        # standalone fallback derives from stable_hash (builtin hash()
-        # varies with PYTHONHASHSEED, which silently broke replay here).
-        self.rng = rng or random.Random(seed ^ (stable_hash(node_id) & 0xFFFF))  # lint: allow[adhoc-rng]
+        # standalone fallback takes a per-node stream from a private
+        # registry (node_id in the stream name, not in the seed, so
+        # renaming a node never perturbs the other nodes' draws).
+        self.rng = rng or RngRegistry(seed).stream(f"baseline.quorum.{node_id}")
         self.coordinated = 0
         self.register("put", lambda m: self._coordinate_write(m, "put"))
         self.register("del", lambda m: self._coordinate_write(m, "del"))

@@ -60,6 +60,21 @@ class HistoryRecorder:
         self.sim = sim
         self.records: List[OpRecord] = []
         self._next_id = 0
+        self._stamp = float("-inf")
+
+    def _now(self) -> float:
+        """Strictly monotonic timestamp: ties on the simulated clock are
+        broken by recorder-event order.  Client events are serialized
+        through the single-threaded scheduler, so that order *is* the
+        execution's real-time order — without the tiebreak, the model
+        checker's zero-latency deliveries stamp every op at the same
+        instant and the linearizability search may legally reorder a
+        read before a write the schedule actually completed first."""
+        t = self.sim.now
+        if t <= self._stamp:
+            t = self._stamp + 1e-9
+        self._stamp = t
+        return t
 
     # -- KVClient hook surface ------------------------------------------
     def invoke(self, client: str, op: str, key: str, value: Optional[str]) -> OpRecord:
@@ -69,7 +84,7 @@ class HistoryRecorder:
             op=op,
             key=key,
             value=value,
-            invoke=self.sim.now,
+            invoke=self._now(),
         )
         self._next_id += 1
         self.records.append(rec)
@@ -83,7 +98,7 @@ class HistoryRecorder:
         error: Optional[str] = None,
         attempts: int = 1,
     ) -> None:
-        rec.response = self.sim.now
+        rec.response = self._now()
         rec.status = status
         rec.result = value
         rec.error = error

@@ -120,6 +120,7 @@ def run_combo(
     schedule: Optional[FaultSchedule] = None,
     spec_overrides: Optional[dict] = None,
     detect_races: bool = False,
+    sanitize: bool = False,
 ) -> ComboResult:
     """Run one seeded chaotic soak of one combo and judge the history."""
     from repro.harness.deploy import Deployment, DeploymentSpec  # local: avoid cycle
@@ -144,6 +145,11 @@ def run_combo(
         detector = RaceDetector()
         # before start(): boot timers must be instrumented too
         dep.cluster.attach_race_detector(detector)
+    sanitizer = None
+    if sanitize:
+        # before start(): boot-time sends must be digested and frozen
+        # too, or a handler stashing a boot payload escapes the check
+        sanitizer = dep.cluster.attach_sanitizer()
     dep.start()
 
     recorder = HistoryRecorder(sim)
@@ -258,6 +264,9 @@ def run_combo(
         "faults": len(controller.applied),
         "failovers": dep.coordinator.failovers,
     }
+    if sanitizer is not None:
+        stats["sanitized_sends"] = sanitizer.sends
+        stats["payload_violations"] = len(sanitizer.violations)
     races: List = []
     if detector is not None:
         detector.finish()

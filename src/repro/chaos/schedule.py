@@ -47,12 +47,12 @@ combination (see docs/ARCHITECTURE.md "Chaos & fault injection"):
 from __future__ import annotations
 
 import hashlib
-import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.types import Consistency, Topology
 from repro.errors import ConfigError
+from repro.sim.rng import RngRegistry
 
 __all__ = ["FaultEvent", "FaultSchedule", "fault_menu", "random_schedule"]
 
@@ -178,9 +178,11 @@ def random_schedule(
     if duration <= 0:
         raise ConfigError("duration must be positive")
     # Pure function of the run seed, evaluated before the simulation
-    # starts — there is no cluster (hence no RngRegistry) in scope yet,
-    # and the schedule digest pins the draws either way.
-    rng = random.Random(seed)  # lint: allow[adhoc-rng]
+    # starts.  Drawing from a *named* registry stream (rather than
+    # random.Random(seed) directly) keeps the schedule decoupled from
+    # every other consumer of the seed: adding a draw elsewhere can
+    # never perturb the schedule, and vice versa.
+    rng = RngRegistry(seed).stream("chaos.schedule")
     hosts = sorted(hosts)
     menu = fault_menu(topology, consistency)
     events: List[FaultEvent] = []

@@ -11,9 +11,14 @@ The paper's artifact ships ``conkv`` (a datalet server), ``conproxy``
 * ``bespokv demo``   — a 30-second tour: deploy, write, read, kill a
   node, watch failover, switch consistency live.
 * ``bespokv chaos``  — seeded randomized fault soak judged by the
-  consistency oracles (optionally race-detector instrumented).
+  consistency oracles (optionally race-detector instrumented and/or
+  payload-sanitized).
+* ``bespokv check``  — exhaustive small-scope model check: every
+  message/timer/crash interleaving within declared scope bounds, with
+  replayable counterexample traces.
 * ``bespokv lint``   — static determinism + protocol-conformance
-  checks over the package source.
+  checks over the package source (text, JSON, or GitHub-annotation
+  output).
 
 Installed as the ``bespokv`` console script; also runnable as
 ``python -m repro.cli``.
@@ -95,6 +100,50 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--detect-races", action="store_true",
                        help="instrument the kernel for schedule-sensitive "
                        "same-timestamp conflicts (advisory; never fails the run)")
+    chaos.add_argument("--sanitize", action="store_true",
+                       help="copy-on-send payload sanitizer: freeze payloads "
+                       "at delivery and verify send-vs-delivery digests; an "
+                       "aliasing bug raises at the mutating line")
+
+    check = sub.add_parser(
+        "check",
+        help="exhaustive small-scope model check of one combo",
+        description="Run the real controlet/coordinator code under a "
+        "controlled scheduler and explore EVERY interleaving of message "
+        "deliveries, timer advances and crashes within the declared "
+        "scope bounds (nodes, ops, crash and advance budgets).  Client "
+        "histories are judged by the chaos oracles at every terminal "
+        "state; violations come with a minimal decision trace that "
+        "--replay re-executes deterministically.",
+    )
+    check.add_argument("--combo", choices=("ms-sc", "ms-ec", "aa-sc", "aa-ec"),
+                       default="ms-sc")
+    check.add_argument("--nodes", type=int, default=2,
+                       help="replicas in the (single) shard")
+    check.add_argument("--clients", type=int, default=1)
+    check.add_argument("--ops", type=int, default=3,
+                       help="operations per client (alternating put/get on one key)")
+    check.add_argument("--crashes", type=int, default=1,
+                       help="crash fault budget per schedule")
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--inject", default=None, metavar="DEFECT",
+                       help="seed a named known-bad build (e.g. early-ack) "
+                       "to demonstrate counterexample discovery")
+    check.add_argument("--advance-budget", type=int, default=40,
+                       help="scope bound on timer/clock advances per path")
+    check.add_argument("--lazy-network", action="store_true",
+                       help="drop the maximal-progress reduction: interleave "
+                       "time advances with pending deliveries (much larger "
+                       "space; only tractable for the smallest scenarios)")
+    check.add_argument("--max-states", type=int, default=20000)
+    check.add_argument("--max-depth", type=int, default=200)
+    check.add_argument("--time-budget", type=float, default=None,
+                       help="wall-clock search budget in seconds")
+    check.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the counterexample trace JSON here")
+    check.add_argument("--replay", metavar="TRACE", default=None,
+                       help="re-execute a previously written counterexample "
+                       "trace instead of exploring")
 
     lint = sub.add_parser(
         "lint",
@@ -115,6 +164,14 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="also print findings silenced by pragmas/allowlist")
     lint.add_argument("--no-conformance", action="store_true",
                       help="skip the protocol-conformance pass")
+    lint.add_argument("--format", choices=("text", "json", "github"),
+                      default="text",
+                      help="text = human lines; json = versioned machine "
+                      "envelope; github = ::error/::warning workflow "
+                      "commands for inline PR annotations")
+    lint.add_argument("--path-prefix", default="src/repro/",
+                      help="prefix rebasing lint-relative paths onto "
+                      "repo-relative ones for --format github")
     return parser
 
 
@@ -260,6 +317,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             clients=args.clients,
             quiesce=args.quiesce,
             detect_races=args.detect_races,
+            sanitize=args.sanitize,
         )
     except ConfigError as e:
         print(f"chaos: {e}", file=sys.stderr)
@@ -269,6 +327,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(f"--- {result.label} seed={result.seed} schedule ---")
             print(result.schedule.describe())
     print(report.describe())
+    if args.sanitize:
+        n_sends = sum(r.stats.get("sanitized_sends", 0) for r in report.results)
+        n_viol = sum(r.stats.get("payload_violations", 0) for r in report.results)
+        print(f"payload sanitizer: {n_viol} violations "
+              f"({n_sends} sends digested + frozen)")
     if args.detect_races:
         n_races = sum(r.stats.get("races", 0) for r in report.results)
         n_tied = sum(r.stats.get("tied_groups", 0) for r in report.results)
@@ -279,23 +342,86 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# check
+# ---------------------------------------------------------------------------
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.explore import CounterTrace, explore, replay_trace
+    from repro.analysis.statespace import INJECTIONS, CheckScenario
+
+    if args.replay:
+        trace = CounterTrace.from_json(Path(args.replay).read_text())
+        result = replay_trace(trace)
+        print(result.describe())
+        return 0 if result.reproduced else 1
+
+    if args.inject is not None and args.inject not in INJECTIONS:
+        known = ", ".join(sorted(INJECTIONS)) or "(none)"
+        print(f"check: unknown injection {args.inject!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    scenario = CheckScenario(
+        combo=args.combo,
+        nodes=args.nodes,
+        clients=args.clients,
+        ops_per_client=args.ops,
+        crashes=args.crashes,
+        seed=args.seed,
+        advance_budget=args.advance_budget,
+        eager_network=not args.lazy_network,
+        inject=args.inject,
+    )
+    result = explore(
+        scenario,
+        max_states=args.max_states,
+        max_depth=args.max_depth,
+        time_budget=args.time_budget,
+    )
+    print(result.describe())
+    if result.counterexample is not None:
+        if args.trace_out:
+            Path(args.trace_out).write_text(result.counterexample.to_json() + "\n")
+            print(f"counterexample trace -> {args.trace_out} "
+                  f"(replay with: bespokv check --replay {args.trace_out})")
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # lint
 # ---------------------------------------------------------------------------
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.analysis import format_findings, package_root, run_lint, summarize
+    from repro.analysis import (
+        findings_to_json,
+        format_findings,
+        format_github,
+        package_root,
+        run_lint,
+        summarize,
+    )
 
     root = Path(args.root) if args.root else package_root()
     findings = run_lint(root, conformance=not args.no_conformance)
-    visible = [f for f in findings if not f.suppressed]
-    if args.show_suppressed:
-        visible = list(findings)
-    if visible:
-        print(format_findings(visible))
     counts = summarize(findings)
-    print(f"lint: {counts['errors']} error(s), {counts['warnings']} warning(s), "
-          f"{counts['suppressed']} suppressed")
+    if args.format == "json":
+        print(findings_to_json(findings))
+    elif args.format == "github":
+        annotations = format_github(findings, prefix=args.path_prefix)
+        if annotations:
+            print(annotations)
+        print(f"lint: {counts['errors']} error(s), {counts['warnings']} "
+              f"warning(s), {counts['suppressed']} suppressed")
+    else:
+        visible = [f for f in findings if not f.suppressed]
+        if args.show_suppressed:
+            visible = list(findings)
+        if visible:
+            print(format_findings(visible))
+        print(f"lint: {counts['errors']} error(s), {counts['warnings']} "
+              f"warning(s), {counts['suppressed']} suppressed")
     if counts["errors"]:
         return 1
     if args.strict and counts["warnings"]:
@@ -310,6 +436,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "demo": _cmd_demo,
         "chaos": _cmd_chaos,
+        "check": _cmd_check,
         "lint": _cmd_lint,
     }[args.command]
     return handler(args)

@@ -258,6 +258,40 @@ class CoordinatorActor(Actor):
         return self.map.shard(shard_id).head.controlet
 
     # ------------------------------------------------------------------
+    # model-checker introspection
+    # ------------------------------------------------------------------
+    def snapshot_state(self):
+        """Fingerprint state with *quantized* liveness: raw ``_last_seen``
+        timestamps never repeat, so they would keep the explored graph
+        from ever closing.  What matters behaviorally is how many more
+        failure-detector sweeps a silent node survives — an integer that
+        progresses as the explorer advances time and saturates once the
+        node is overdue."""
+        s = super().snapshot_state()
+        now = self.now()
+        hb = self.config.heartbeat_interval
+        cap = int(self.config.failure_timeout / hb) + 2
+        staleness = {}
+        for c, seen in self._last_seen.items():
+            if c in self._dead:
+                continue
+            staleness[c] = min(int(max(0.0, now - seen) / hb), cap)
+        s.update({
+            "epoch": self.map.epoch,
+            "shards": {
+                sid: [r.controlet for r in shard.ordered()]
+                for sid, shard in self.map.shards.items()
+            },
+            "degraded": sorted(self.map.degraded),
+            "dead": sorted(self._dead),
+            "staleness": staleness,
+            "recovering": dict(self._recovering),
+            "pending_replicas": sorted(self._pending_replicas),
+            "transitions": sorted(self._transitions),
+        })
+        return s
+
+    # ------------------------------------------------------------------
     # transitions (§V)
     # ------------------------------------------------------------------
     def _on_request_transition(self, msg: Message) -> None:

@@ -114,3 +114,17 @@ class StandbyCoordinator(CoordinatorActor):
             self.respond(msg, "error", {"error": "standby: not the primary"})
             return
         super()._on_request_transition(msg)
+
+    # -- model-checker introspection ---------------------------------------
+    def snapshot_state(self):
+        s = super().snapshot_state()
+        hb = self.config.heartbeat_interval
+        cap = int(self.config.failure_timeout / hb) + 2
+        s.update({
+            "promoted": self.promoted,
+            # quantized like the liveness staleness in the base class
+            "primary_staleness": min(
+                int(max(0.0, self.now() - self._primary_seen) / hb), cap
+            ),
+        })
+        return s

@@ -229,3 +229,16 @@ class AAEventualControlet(Controlet):
             callback=on_tail,
             timeout=self.config.replication_timeout,
         )
+
+    # ------------------------------------------------------------------
+    # model-checker introspection
+    # ------------------------------------------------------------------
+    def snapshot_state(self):
+        s = super().snapshot_state()
+        s.update({
+            "cursor": self.cursor,
+            "start_at_tail": self._start_at_tail,
+            "fetch_armed": self._fetch_armed,
+            "draining": self._draining is not None,
+        })
+        return s

@@ -211,3 +211,11 @@ class AAStrongControlet(Controlet):
             self.datalet_call("get", {"key": key}, callback=on_value)
 
         self._with_lock(key, "r", body, msg)
+
+    # ------------------------------------------------------------------
+    # model-checker introspection
+    # ------------------------------------------------------------------
+    def snapshot_state(self):
+        s = super().snapshot_state()
+        s["relay_to"] = self._relay_to
+        return s

@@ -524,3 +524,23 @@ class Controlet(Actor):
 
     def _on_stats(self, msg: Message) -> None:
         self.respond(msg, "ctl_stats", {k: float(v) for k, v in self.stats.items()})
+
+    # ------------------------------------------------------------------
+    # model-checker introspection
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Protocol-relevant state for model-checker fingerprints.
+
+        Deliberately excludes ``stats`` (accounting, not behavior) and
+        anything clock-valued; see :meth:`Actor.snapshot_state`.
+        """
+        s = super().snapshot_state()
+        s.update({
+            "shard_view": [r.controlet for r in self.shard.ordered()],
+            "epoch": self._config_epoch,
+            "recovered": self.recovered,
+            "retired": self.retired,
+            "catchup": len(self._catchup),
+            "forward_writes_to": self.forward_writes_to,
+        })
+        return s

@@ -74,10 +74,17 @@ class AAMSHybridControlet(AAEventualControlet):
         if not self._backlog:
             return
         batch, self._backlog = self._backlog, []
-        payload = {"master": self.node_id, "start_seq": self._slave_seq, "ops": batch}
+        start_seq = self._slave_seq
         self._slave_seq += len(batch)
         for slave in self.slaves:
-            self.send(slave, "replicate", dict(payload))
+            # per-slave copies, op dicts included: the fabric passes
+            # payloads by reference and a serializing network would
+            # never hand two receivers the same ops list
+            self.send(slave, "replicate", {
+                "master": self.node_id,
+                "start_seq": start_seq,
+                "ops": [dict(op) for op in batch],
+            })
         self.propagated += len(batch)
 
 

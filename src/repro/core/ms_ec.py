@@ -206,11 +206,17 @@ class MSEventualControlet(Controlet):
         ops = [{"op": op, "key": k, "val": v} for op, k, v in batch]
         start_seq = self._seq
         for op_dict in ops:
-            self._retained.append((self._seq, op_dict))
+            # retain a private copy: the window is re-served by resend
+            # requests and must never alias dicts already shipped to
+            # peers — the fabric passes payloads by reference
+            self._retained.append((self._seq, dict(op_dict)))
             self._seq += 1
-        payload = {"master": self.node_id, "start_seq": start_seq, "ops": ops}
         for peer in self.peers():
-            self.send(peer.controlet, "replicate", dict(payload))
+            self.send(peer.controlet, "replicate", {
+                "master": self.node_id,
+                "start_seq": start_seq,
+                "ops": [dict(op) for op in ops],
+            })
         self.propagated += len(batch)
 
     def _on_resend_request(self, msg: Message) -> None:
@@ -218,7 +224,9 @@ class MSEventualControlet(Controlet):
         fall back to a full snapshot if the window has rolled past."""
         from_seq = msg.payload["from_seq"]
         if self._retained and self._retained[0][0] <= from_seq:
-            ops = [op for seq, op in self._retained if seq >= from_seq]
+            # copies again: the same window entry can be served to
+            # several gap-detecting slaves
+            ops = [dict(op) for seq, op in self._retained if seq >= from_seq]
             self.resends_served += 1
             self.respond(msg, "replicate", {
                 "master": self.node_id,
@@ -318,3 +326,19 @@ class MSEventualControlet(Controlet):
         self._flush()
         # allow the final batch one network round before declaring ready
         self.set_timer(self.config.replication_timeout, done)
+
+    # ------------------------------------------------------------------
+    # model-checker introspection
+    # ------------------------------------------------------------------
+    def snapshot_state(self):
+        s = super().snapshot_state()
+        s.update({
+            "seq": self._seq,
+            "backlog": [list(entry) for entry in self._backlog],
+            "retained_window": [
+                self._retained[0][0], self._retained[-1][0]
+            ] if self._retained else None,
+            "stream": list(self._stream),
+            "repair_pending": self._repair_pending,
+        })
+        return s

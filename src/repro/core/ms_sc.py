@@ -180,3 +180,11 @@ class MSStrongControlet(Controlet):
             self.redirect(msg, self.shard.tail.controlet, "strong scans go to the tail")
             return
         super().handle_scan(msg)
+
+    # ------------------------------------------------------------------
+    # model-checker introspection
+    # ------------------------------------------------------------------
+    def snapshot_state(self):
+        s = super().snapshot_state()
+        s["sync_successor"] = self._sync_successor
+        return s

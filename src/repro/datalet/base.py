@@ -201,3 +201,11 @@ class DataletActor(Actor):
         stats = dict(self.engine.stats())
         stats.update({f"ops_{k}": float(v) for k, v in self.ops.items()})
         self.respond(msg, "stats", stats)
+
+    # -- model-checker introspection -----------------------------------
+    def snapshot_state(self):
+        s = super().snapshot_state()
+        # stored data is *the* observable state of a datalet; op counters
+        # are accounting and stay out (see Actor.snapshot_state)
+        s["data"] = dict(self.engine.snapshot())
+        return s

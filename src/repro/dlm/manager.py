@@ -168,3 +168,16 @@ class LockManagerActor(Actor):
         if self._lease_timers.pop((key, owner), None) is not None:
             if self.table.release(key, owner):
                 self.expired += 1
+
+    # -- model-checker introspection -----------------------------------
+    def snapshot_state(self):
+        s = super().snapshot_state()
+        s["locks"] = {
+            key: {
+                "writer": st.writer,
+                "readers": sorted(st.readers),
+                "queue": [(owner, mode) for owner, mode, _cb in st.waiters],
+            }
+            for key, st in sorted(self.table._locks.items())
+        }
+        return s

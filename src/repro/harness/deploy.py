@@ -99,9 +99,11 @@ class DeploymentSpec:
 class Deployment:
     """A built cluster, ready to serve clients and take failures."""
 
-    def __init__(self, spec: DeploymentSpec):
+    def __init__(self, spec: DeploymentSpec, cluster: Optional[SimCluster] = None):
         self.spec = spec
-        self.cluster = SimCluster(
+        # an injected cluster lets harnesses substitute an instrumented
+        # SimCluster subclass (e.g. the model checker's controlled one)
+        self.cluster = cluster if cluster is not None else SimCluster(
             costs=spec.costs, net_params=spec.net_params, seed=spec.seed
         )
         self.sim = self.cluster.sim

@@ -209,6 +209,40 @@ class Actor:
             self.respond(msg, "error", {"error": f"unhandled message type {msg.type!r}"})
 
     # ------------------------------------------------------------------
+    # model-checker introspection
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Protocol-relevant state digest for model-checker fingerprints.
+
+        Subclasses extend the returned dict with whatever distinguishes
+        two *behaviorally different* states, and **exclude** anything
+        that merely drifts with wall time or accounting (timestamps,
+        ``stats`` counters) — spurious differences there would make the
+        explored state graph never close.  Values must be canonicalizable
+        (dicts/lists/scalars).
+        """
+        return {
+            "alive": self.alive,
+            # count, not msg_ids: the global id counter diverges across
+            # replayed branches, so ids must never reach a fingerprint
+            "pending_calls": len(self._pending),
+        }
+
+    def pending_introspect(self) -> list:
+        """``(msg_id, has_timer, armed)`` per outstanding call — feeds
+        the checker's orphaned-pending-call invariant: a continuation
+        whose timeout timer was *cancelled* without the entry being
+        removed can only resolve via a response that may never come.
+        Calls issued without a timeout (colocated datalet calls) have
+        ``has_timer=False`` and are legitimately unbounded."""
+        out = []
+        for msg_id, pending in self._pending.items():
+            has_timer = pending.timer is not None
+            armed = has_timer and not pending.timer.cancelled
+            out.append((msg_id, has_timer, armed))
+        return out
+
+    # ------------------------------------------------------------------
     # time
     # ------------------------------------------------------------------
     def set_timer(self, delay: float, fn: Callable[[], None]) -> Any:

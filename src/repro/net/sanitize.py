@@ -1,0 +1,210 @@
+"""Copy-on-send payload sanitizer.
+
+The simulated fabric passes message payloads **by reference**: a dict
+the sender builds is the very object the receiver reads.  Real networks
+serialize — the receiver gets a private copy, and a sender mutating its
+buffer after send (or a receiver stashing and later mutating a received
+dict) has no effect on the other side.  Reference passing therefore
+*hides* a whole bug class (and can conjure up impossible behaviours,
+e.g. a retained-ops window that retroactively changes because a peer
+edited a shared dict).
+
+``repro chaos --sanitize`` (and the model checker, always) turns on two
+complementary checks at the fabric boundary:
+
+* **freeze-on-deliver** — the receiver sees a recursively read-only
+  view (:class:`FrozenDict` / :class:`FrozenList`); any mutation raises
+  :class:`PayloadMutationError` *at the mutating line*, naming the
+  culprit handler in the traceback.
+* **digest-at-send vs digest-at-delivery** — the payload is fingerprinted
+  when it enters the fabric and re-fingerprinted on arrival; a mismatch
+  means the *sender* (or anyone aliasing the dict) mutated it while the
+  message was in flight, which a serializing network would never show
+  the receiver.
+
+The static counterpart is the ``mutable-payload`` lint rule
+(:mod:`repro.analysis.lint`), which flags post-send mutation of sent
+dicts without running anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "FrozenDict",
+    "FrozenList",
+    "PayloadMutationError",
+    "PayloadSanitizer",
+    "canonical_digest",
+    "deep_freeze",
+    "deep_unfreeze",
+]
+
+
+class PayloadMutationError(TypeError):
+    """A message payload was mutated across the send/deliver boundary."""
+
+
+def _blocked(what: str):
+    def op(self, *args, **kwargs):
+        raise PayloadMutationError(
+            f"payload mutation: {what} on a delivered message payload — "
+            "a serializing network would give the receiver a private copy; "
+            "copy before mutating (e.g. dict(payload))"
+        )
+
+    return op
+
+
+class FrozenDict(Mapping):
+    """Recursively read-only dict view delivered to receivers."""
+
+    __slots__ = ("_d",)
+
+    def __init__(self, d: Mapping):
+        object.__setattr__(self, "_d", d)
+
+    def __getitem__(self, key):
+        return deep_freeze(self._d[key])
+
+    def __iter__(self) -> Iterator:
+        return iter(self._d)
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrozenDict({self._d!r})"
+
+    def copy(self) -> Dict:
+        """A *mutable* shallow copy — the sanctioned escape hatch."""
+        return dict(self._d)
+
+    # every mutator of dict, blocked with a pointed message
+    __setitem__ = _blocked("__setitem__")
+    __delitem__ = _blocked("__delitem__")
+    __setattr__ = _blocked("__setattr__")
+    pop = _blocked("pop")
+    popitem = _blocked("popitem")
+    setdefault = _blocked("setdefault")
+    update = _blocked("update")
+    clear = _blocked("clear")
+
+
+class FrozenList(Sequence):
+    """Recursively read-only list view delivered to receivers."""
+
+    __slots__ = ("_l",)
+
+    def __init__(self, l: Sequence):
+        object.__setattr__(self, "_l", l)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return FrozenList(self._l[idx])
+        return deep_freeze(self._l[idx])
+
+    def __len__(self) -> int:
+        return len(self._l)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrozenList({self._l!r})"
+
+    def copy(self) -> List:
+        return list(self._l)
+
+    __setitem__ = _blocked("__setitem__")
+    __delitem__ = _blocked("__delitem__")
+    __setattr__ = _blocked("__setattr__")
+    append = _blocked("append")
+    extend = _blocked("extend")
+    insert = _blocked("insert")
+    pop = _blocked("pop")
+    remove = _blocked("remove")
+    sort = _blocked("sort")
+    reverse = _blocked("reverse")
+    clear = _blocked("clear")
+
+
+def deep_freeze(obj: Any) -> Any:
+    """Wrap ``obj`` in a recursively read-only view (lazy: children are
+    frozen on access, so freezing a large snapshot payload is O(1))."""
+    if isinstance(obj, FrozenDict) or isinstance(obj, FrozenList):
+        return obj
+    if isinstance(obj, dict):
+        return FrozenDict(obj)
+    if isinstance(obj, (list, tuple)):
+        return FrozenList(obj)
+    return obj
+
+
+def deep_unfreeze(obj: Any) -> Any:
+    """Recursive mutable copy of a (possibly frozen) payload value."""
+    if isinstance(obj, Mapping):
+        return {k: deep_unfreeze(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, FrozenList)):
+        return [deep_unfreeze(v) for v in obj]
+    return obj
+
+
+def _canonical_lines(obj: Any, out: List[str], prefix: str) -> None:
+    if isinstance(obj, Mapping):
+        for k in sorted(obj, key=str):
+            _canonical_lines(obj[k], out, f"{prefix}.{k}")
+    elif isinstance(obj, (list, tuple, FrozenList)):
+        for i, v in enumerate(obj):
+            _canonical_lines(v, out, f"{prefix}[{i}]")
+    else:
+        out.append(f"{prefix}={type(obj).__name__}:{obj!r}")
+
+
+def canonical_digest(obj: Any) -> str:
+    """Structure-insensitive fingerprint of a payload value (handles
+    frozen views, nested dicts/lists, arbitrary scalar reprs)."""
+    lines: List[str] = []
+    _canonical_lines(obj, lines, "$")
+    h = hashlib.sha256()
+    for line in lines:
+        h.update(line.encode())
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class PayloadSanitizer:
+    """Fabric-boundary checker: digest at send, verify + freeze at deliver.
+
+    Attach with :meth:`SimCluster.attach_sanitizer`; the cluster calls
+    :meth:`on_send` as a message enters :meth:`route` and
+    :meth:`on_deliver` just before handing it to the receiver.
+    """
+
+    def __init__(self, freeze: bool = True):
+        self.freeze = freeze
+        self.sends = 0
+        self.deliveries = 0
+        #: (src, dst, type) triples that failed the in-flight digest check.
+        self.violations: List[Tuple[str, str, str]] = []
+
+    def on_send(self, msg) -> None:
+        self.sends += 1
+        # stamp the digest on the message itself: duplicate deliveries
+        # (duplicate_rate faults) re-verify against the same token
+        msg.sent_digest = canonical_digest(msg.payload)
+
+    def on_deliver(self, msg):
+        """Verify the in-flight digest and return the message to hand to
+        the receiver (payload frozen when ``freeze`` is on)."""
+        self.deliveries += 1
+        sent = getattr(msg, "sent_digest", None)
+        if sent is not None and canonical_digest(msg.payload) != sent:
+            self.violations.append((msg.src, msg.dst, msg.type))
+            raise PayloadMutationError(
+                f"payload of {msg.type!r} ({msg.src} -> {msg.dst}) changed "
+                "between send and delivery: the sender (or an aliasing "
+                "handler) mutated a dict that was already in flight"
+            )
+        if self.freeze:
+            msg.payload = deep_freeze(msg.payload)
+        return msg

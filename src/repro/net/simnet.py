@@ -70,6 +70,8 @@ class _NodeCtx:
             tracer.record_access(node_id, label)
             fn()
 
+        # keep the label visible to kernel introspection (armed_events)
+        traced.timer_label = getattr(fn, "timer_label", "fn")  # type: ignore[attr-defined]
         return self._cluster.sim.call_later(delay, traced)
 
     def now(self) -> float:
@@ -130,6 +132,9 @@ class SimCluster:
         #: optional :class:`repro.analysis.races.RaceDetector`; see
         #: :meth:`attach_race_detector`.
         self.race_tracer: Optional[Any] = None
+        #: optional :class:`repro.net.sanitize.PayloadSanitizer`; see
+        #: :meth:`attach_sanitizer`.
+        self.sanitizer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # topology construction
@@ -193,7 +198,23 @@ class SimCluster:
         :mod:`repro.analysis.races`.
         """
         self.race_tracer = detector
-        self.sim.tracer = detector
+        self.sim.add_tracer(detector)
+
+    def attach_sanitizer(self, sanitizer: Optional[Any] = None) -> Any:
+        """Enable copy-on-send payload checking on this cluster.
+
+        Every message entering :meth:`route` is digest-stamped; on
+        delivery the digest is re-verified (catching senders that mutate
+        a payload already in flight) and the receiver gets a recursively
+        frozen view (catching handlers that stash and later mutate a
+        received dict).  See :mod:`repro.net.sanitize`.
+        """
+        if sanitizer is None:
+            from repro.net.sanitize import PayloadSanitizer  # local: optional feature
+
+            sanitizer = PayloadSanitizer()
+        self.sanitizer = sanitizer
+        return sanitizer
 
     # ------------------------------------------------------------------
     # lookup
@@ -224,8 +245,12 @@ class SimCluster:
         src_host = self._actor_host.get(msg.src, msg.src)
         dst_host = self._actor_host[msg.dst]
         nbytes = msg.size_bytes()
+        if self.sanitizer is not None:
+            self.sanitizer.on_send(msg)
 
         def on_arrival() -> None:
+            if self.sanitizer is not None:
+                self.sanitizer.on_deliver(msg)
             if self.race_tracer is not None:
                 # Attribute the touch at *arrival*: the destination's CPU
                 # queue order — and therefore handler order — is fixed the

@@ -177,6 +177,20 @@ class SharedLogActor(Actor):
             self.log.trim(safe)
             self.auto_trims += 1
 
+    # -- model-checker introspection -----------------------------------
+    def snapshot_state(self):
+        s = super().snapshot_state()
+        s.update({
+            "base": self.log.base,
+            "tail": self.log.tail,
+            "entries": [
+                [e.pos, e.writer, e.op, e.key, e.value]
+                for e in self.log.fetch_from(self.log.base, len(self.log))
+            ],
+            "cursors": dict(self._cursors),
+        })
+        return s
+
     def _on_trim(self, msg: Message) -> None:
         dropped = self.log.trim(msg.payload["pos"])
         self.respond(msg, "ok", {"dropped": dropped})

@@ -37,6 +37,24 @@ from repro.errors import SimulationError
 __all__ = ["Simulator", "SimFuture", "TimerHandle", "Process"]
 
 
+class _TracerChain:
+    """Fan-out wrapper so several tracers (race detector, sanitizer,
+    model-checker bookkeeping) can observe the same kernel."""
+
+    __slots__ = ("tracers",)
+
+    def __init__(self, *tracers: Any):
+        self.tracers = list(tracers)
+
+    def begin_event(self, time: float, seq: int) -> None:
+        for t in self.tracers:
+            t.begin_event(time, seq)
+
+    def end_event(self) -> None:
+        for t in self.tracers:
+            t.end_event()
+
+
 class _Event:
     """Heap entry.  Hand-rolled (not a dataclass) because ``__lt__`` is
     the hottest function in saturated simulations."""
@@ -179,15 +197,31 @@ class Simulator:
         """Current virtual time in seconds."""
         return self._now
 
+    def add_tracer(self, tracer: Any) -> None:
+        """Attach an event tracer without displacing an existing one.
+
+        Multiple observers (race detector + sanitizer + model checker)
+        are fanned out through a :class:`_TracerChain`; assigning
+        :attr:`tracer` directly stays supported for single-observer use.
+        """
+        if self.tracer is None:
+            self.tracer = tracer
+        elif isinstance(self.tracer, _TracerChain):
+            self.tracer.tracers.append(tracer)
+        else:
+            self.tracer = _TracerChain(self.tracer, tracer)
+
     def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> TimerHandle:
         """Schedule ``fn(*args)`` after ``delay`` virtual seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        ev = _Event(
-            self._now + delay,
-            self._tie_sign * next(self._seq),
-            (lambda: fn(*args)) if args else fn,
-        )
+        if args:
+            inner = fn
+            fn = lambda: inner(*args)  # noqa: E731 - hot path, no functools
+            label = getattr(inner, "timer_label", None)
+            if label is not None:
+                fn.timer_label = label  # type: ignore[attr-defined]
+        ev = _Event(self._now + delay, self._tie_sign * next(self._seq), fn)
         heapq.heappush(self._heap, ev)
         return TimerHandle(ev)
 
@@ -311,6 +345,35 @@ class Simulator:
     def stop(self) -> None:
         """Make the current :meth:`run`/:meth:`run_until` return."""
         self._stopped = True
+
+    def step_one(self) -> Optional[float]:
+        """Execute exactly the earliest pending event (skipping cancelled
+        entries) and return its firing time, or ``None`` if the heap is
+        empty.  This is the model checker's "advance time" transition:
+        timers fire one at a time, in deterministic deadline order, so
+        the explorer controls how far the clock moves between message
+        deliveries."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._execute(ev)
+            return ev.time
+        return None
+
+    def armed_events(self) -> list[tuple[float, str]]:
+        """Live heap entries as ``(time, label)`` in firing order —
+        introspection for model-checker state fingerprints.  Labels come
+        from ``timer_label``/``__qualname__`` of the callbacks, which is
+        what makes two runs' timer sets comparable."""
+        out = []
+        for ev in sorted(e for e in self._heap if not e.cancelled):
+            label = getattr(ev.fn, "timer_label", None) or getattr(
+                ev.fn, "__qualname__", type(ev.fn).__name__
+            )
+            out.append((ev.time, str(label)))
+        return out
 
     def run_until(self, deadline: float) -> None:
         """Execute events until the clock would pass ``deadline``.

@@ -58,6 +58,43 @@ def test_serve_roundtrip(capsys):
     assert result["rc"] == 0
 
 
+def test_check_healthy_combo_passes(capsys):
+    rc = main(["check", "--combo", "ms-sc", "--ops", "2", "--crashes", "0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "check: PASS" in out and "fixpoint        : yes" in out
+
+
+def test_check_injected_defect_fails_and_replays(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    rc = main(["check", "--combo", "ms-sc", "--ops", "2", "--crashes", "0",
+               "--inject", "early-ack", "--trace-out", str(trace)])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "VIOLATION [consistency]" in out
+    assert trace.exists()
+
+    rc = main(["check", "--replay", str(trace)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "REPRODUCED" in out
+
+
+def test_check_unknown_injection_rejected(capsys):
+    rc = main(["check", "--inject", "bogus"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "unknown injection" in err
+
+
+def test_chaos_sanitize_soak(capsys):
+    rc = main(["chaos", "--sanitize", "--combo", "ms-ec",
+               "--duration", "4", "--quiesce", "4"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "payload sanitizer: 0 violations" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -1,0 +1,126 @@
+"""Tests for the copy-on-send payload sanitizer (repro.net.sanitize)."""
+
+import pytest
+
+from repro.net.actor import Actor
+from repro.net.sanitize import (
+    FrozenDict,
+    FrozenList,
+    PayloadMutationError,
+    PayloadSanitizer,
+    canonical_digest,
+    deep_freeze,
+    deep_unfreeze,
+)
+from repro.net.simnet import SimCluster
+from repro.sim import NetworkParams, Simulator
+
+
+# ---------------------------------------------------------------------------
+# frozen views
+# ---------------------------------------------------------------------------
+def test_frozen_dict_reads_like_a_dict_but_blocks_mutation():
+    d = deep_freeze({"a": 1, "nested": {"b": [1, 2]}})
+    assert isinstance(d, FrozenDict)
+    assert d["a"] == 1
+    assert len(d) == 2
+    assert sorted(d) == ["a", "nested"]
+    assert isinstance(d["nested"], FrozenDict)
+    assert isinstance(d["nested"]["b"], FrozenList)
+    assert d["nested"]["b"][1] == 2
+    for mutate in (
+        lambda: d.__setitem__("a", 2),
+        lambda: d.pop("a"),
+        lambda: d.update({"c": 3}),
+        lambda: d.setdefault("c", 3),
+        lambda: d.clear(),
+        lambda: d["nested"]["b"].append(3),
+        lambda: d["nested"].__delitem__("b"),
+    ):
+        with pytest.raises(PayloadMutationError):
+            mutate()
+
+
+def test_frozen_copy_is_the_mutable_escape_hatch():
+    d = deep_freeze({"a": 1})
+    c = d.copy()
+    c["a"] = 2  # plain dict again
+    assert c["a"] == 2 and d["a"] == 1
+    l = deep_freeze([1, 2]).copy()
+    l.append(3)
+    assert l == [1, 2, 3]
+
+
+def test_deep_unfreeze_round_trips():
+    original = {"a": [1, {"b": 2}], "c": "x"}
+    thawed = deep_unfreeze(deep_freeze(original))
+    assert thawed == original
+    thawed["a"].append(9)  # fully mutable again
+    assert original["a"] == [1, {"b": 2}]
+
+
+def test_canonical_digest_ignores_freezing_and_key_order():
+    a = {"x": 1, "y": [1, 2, {"z": "v"}]}
+    b = {"y": [1, 2, {"z": "v"}], "x": 1}
+    assert canonical_digest(a) == canonical_digest(b)
+    assert canonical_digest(deep_freeze(a)) == canonical_digest(a)
+    assert canonical_digest({"x": 2}) != canonical_digest({"x": 1})
+    # type-sensitive: 1 and "1" must not collide
+    assert canonical_digest({"x": 1}) != canonical_digest({"x": "1"})
+
+
+# ---------------------------------------------------------------------------
+# fabric-boundary checks
+# ---------------------------------------------------------------------------
+def build_pair(sanitize=True):
+    sim = Simulator()
+    cluster = SimCluster(sim=sim, net_params=NetworkParams(jitter_frac=0.0))
+    sink = Actor("sink")
+    seen = []
+    sink.register("ping", lambda m: seen.append(m.payload))
+    cluster.add_actor(sink)
+    src = Actor("src")
+    cluster.add_actor(src)
+    sanitizer = cluster.attach_sanitizer() if sanitize else None
+    cluster.start()
+    return sim, cluster, src, sink, seen, sanitizer
+
+
+def test_receiver_mutation_raises_at_the_mutating_line():
+    sim, cluster, src, sink, seen, sanitizer = build_pair()
+    sink.register("stash", lambda m: m.payload.update({"hacked": True}))
+    src.send("sink", "stash", {"a": 1})
+    with pytest.raises(PayloadMutationError):
+        sim.run()
+    assert sanitizer.deliveries >= 1
+
+
+def test_sender_mutating_in_flight_payload_is_a_digest_violation():
+    sim, cluster, src, sink, seen, sanitizer = build_pair()
+    payload = {"a": 1}
+    src.send("sink", "ping", payload)
+    payload["a"] = 2  # mutated while the message is on the wire
+    with pytest.raises(PayloadMutationError):
+        sim.run()
+    assert sanitizer.violations == [("src", "sink", "ping")]
+
+
+def test_clean_traffic_passes_and_is_frozen_on_arrival():
+    sim, cluster, src, sink, seen, sanitizer = build_pair()
+    src.send("sink", "ping", {"a": 1, "l": [1, 2]})
+    sim.run()
+    assert len(seen) == 1
+    assert isinstance(seen[0], FrozenDict)
+    assert seen[0]["a"] == 1
+    assert sanitizer.violations == []
+    assert sanitizer.sends == 1 and sanitizer.deliveries == 1
+
+
+def test_without_sanitizer_aliasing_stays_invisible():
+    """The control case: reference-passing hides the same bug."""
+    sim, cluster, src, sink, seen, _ = build_pair(sanitize=False)
+    payload = {"a": 1}
+    src.send("sink", "ping", payload)
+    payload["a"] = 2
+    sim.run()
+    assert seen[0]["a"] == 2  # the receiver saw the impossible rewrite

@@ -116,8 +116,12 @@ _ORDER_FREE = {
 }
 _ITER_WRAPPERS = {"list", "tuple", "enumerate", "iter", "reversed"}
 #: actor-surface methods whose arguments enter the message fabric.
+#: ``ack``/``finish``/``fail`` are the Request completion surface — their
+#: payloads reach ``respond`` (and parked duplicate waiters) through
+#: ``Controlet._complete_request``, so aliasing them is just as unsafe.
 _SEND_METHODS = {
     "send", "call", "respond", "transmit", "broadcast", "datalet_call",
+    "ack", "finish", "fail",
 }
 #: in-place mutators of dict/list payload values.
 _PAYLOAD_MUTATORS = {

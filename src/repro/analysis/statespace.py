@@ -95,20 +95,21 @@ class EarlyAckMSStrongControlet(MSStrongControlet):
     entirely).  Inject via ``CheckScenario(inject="early-ack")``.
     """
 
-    def _forward_down(self, msg: Message, op: str, retries: int) -> None:
+    def _forward_down(self, req) -> None:
         if not self.is_head:
-            super()._forward_down(msg, op, retries)
+            super()._forward_down(req)
             return
         try:
             succ = self.shard.successor(self.node_id)
         except Exception:  # noqa: BLE001 - repaired out of our own view
             succ = None
-        self.respond(msg, "ok")  # BUG: ack precedes downstream commit
+        req.ack()  # BUG: ack precedes downstream commit
         if succ is not None:
             self.send(
                 succ.controlet,
                 "chain_put",
-                {"op": op, "key": msg.payload["key"], "val": msg.payload.get("val")},
+                {"op": req.op, "key": req.msg.payload["key"],
+                 "val": req.msg.payload.get("val")},
             )
 
 

@@ -48,9 +48,14 @@ __all__ = [
     "datalet_footprint",
 ]
 
-#: attributes that never count toward conflicts (accounting only;
-#: state fingerprints exclude them for the same reason).
-IGNORED_ATTRS = {"stats"}
+#: attributes that never count toward conflicts.  ``stats`` is pure
+#: accounting (state fingerprints exclude it for the same reason).  The
+#: ``_rid_*`` dedup tables are quiescent under the model checker: its
+#: scripted clients never stamp request ids, so ``begin_write`` returns
+#: before touching them and reordering deliveries cannot change them —
+#: counting them would make every pair of write handlers conflict for
+#: state that provably never moves during exploration.
+IGNORED_ATTRS = {"stats", "_rid_done", "_rid_order", "_rid_pending"}
 
 #: self-methods that emit messages / arm timers: order-insensitive
 #: effects (multiset append), not state conflicts.  ``datalet_call`` is
@@ -74,6 +79,10 @@ DATALET_ATTR = "<datalet>"
 #: engine ops that only read stored data (everything else mutates —
 #: including unknown/dynamic op names, conservatively).
 DATALET_READ_OPS = {"get", "scan", "snapshot", "stats"}
+
+#: constructors a bare ``self`` may escape into without making the
+#: handler opaque (see ``_MethodScanner.visit_Call``).
+_SELF_SAFE_CALLEES = {"Request"}
 
 
 @dataclass
@@ -208,9 +217,14 @@ class _MethodScanner(ast.NodeVisitor):
             # so count it as BOTH read and write (conservative).
             self.reads.add(func.value.attr)
             self.writes.add(func.value.attr)
-        # bare self passed as an argument escapes the analysis entirely
+        # bare self passed as an argument escapes the analysis entirely —
+        # except into known-safe constructors: a Request only reaches
+        # back through ``respond``/``_complete_request`` (an emit plus
+        # the ignored ``_rid_*`` tables), so its footprint adds nothing.
         for arg in list(node.args) + [kw.value for kw in node.keywords]:
             if self._is_self(arg):
+                if isinstance(func, ast.Name) and func.id in _SELF_SAFE_CALLEES:
+                    continue
                 self.opaque = True
         self.generic_visit(node)
 

@@ -39,17 +39,30 @@ class OpRecord:
     status: str = "pending"
     result: Optional[str] = None  # get result value
     error: Optional[str] = None
-    #: client attempts consumed (timeout/retired/redirect retries).  A
-    #: write that needed >1 attempt may have taken effect more than
-    #: once — the oracle models the extra executions as optional
-    #: duplicates, since the store has no exactly-once request layer.
+    #: client attempts consumed (timeout/retired/redirect retries).
     attempts: int = 1
+    #: how many of those attempts ended in an RPC *timeout* — the only
+    #: kind of retry that is fabric-indeterminate (the request may have
+    #: executed before the ack was lost).  Redirect/retired bounces are
+    #: rejected before execution and can never duplicate, so the oracle
+    #: models potential duplicates from ``timeouts``, not ``attempts``.
+    timeouts: int = 0
+    #: request id stamped by the client on mutations; replicas
+    #: deduplicate retries carrying the same id, which lets the oracle
+    #: drop ghost writes entirely for combos with a full dedup path.
+    req_id: Optional[str] = None
+    #: trace id when a SpanRecorder was attached (``chaos --trace``
+    #: uses it to print the span tree of a violating request).
+    trace_id: Optional[int] = None
 
     def describe(self) -> str:
+        # trace_id deliberately excluded: digests must be identical with
+        # tracing on and off.
         resp = f"{self.response:.9f}" if self.response is not None else "-"
         return (
             f"{self.op_id}|{self.client}|{self.op}|{self.key}|{self.value}|"
-            f"{self.invoke:.9f}|{resp}|{self.status}|{self.result}|{self.attempts}"
+            f"{self.invoke:.9f}|{resp}|{self.status}|{self.result}|"
+            f"{self.attempts}|{self.timeouts}|{self.req_id}"
         )
 
 
@@ -77,7 +90,9 @@ class HistoryRecorder:
         return t
 
     # -- KVClient hook surface ------------------------------------------
-    def invoke(self, client: str, op: str, key: str, value: Optional[str]) -> OpRecord:
+    def invoke(self, client: str, op: str, key: str, value: Optional[str],
+               req_id: Optional[str] = None,
+               trace_id: Optional[int] = None) -> OpRecord:
         rec = OpRecord(
             op_id=self._next_id,
             client=client,
@@ -85,6 +100,8 @@ class HistoryRecorder:
             key=key,
             value=value,
             invoke=self._now(),
+            req_id=req_id,
+            trace_id=trace_id,
         )
         self._next_id += 1
         self.records.append(rec)
@@ -97,12 +114,14 @@ class HistoryRecorder:
         value: Optional[str] = None,
         error: Optional[str] = None,
         attempts: int = 1,
+        timeouts: int = 0,
     ) -> None:
         rec.response = self._now()
         rec.status = status
         rec.result = value
         rec.error = error
         rec.attempts = max(1, attempts)
+        rec.timeouts = max(0, timeouts)
 
     # -- queries ---------------------------------------------------------
     def by_key(self) -> Dict[str, List[OpRecord]]:

@@ -63,7 +63,8 @@ class _Entry:
     optional: bool  # may be skipped (failed/indeterminate write)
 
 
-def _entries_for_key(ops: Sequence[OpRecord]) -> Optional[List[_Entry]]:
+def _entries_for_key(ops: Sequence[OpRecord],
+                     exact_once: bool = False) -> Optional[List[_Entry]]:
     """Translate records to search entries; None = nothing to check."""
     entries: List[_Entry] = []
     inf = float("inf")
@@ -72,19 +73,23 @@ def _entries_for_key(ops: Sequence[OpRecord]) -> Optional[List[_Entry]]:
             written = rec.value if rec.op == "put" else None
             if rec.status == "ok":
                 entries.append(_Entry("w", written, rec.invoke, rec.response, False))
-                ghosts = rec.attempts - 1
             else:
                 # fail / pending / del-not_found: may have taken effect
                 # (possibly partially down the chain), or not — optional.
                 entries.append(_Entry("w", written, rec.invoke, inf, True))
+            # Extra executions of the same write.  With a request id on
+            # the record, only *timeout* attempts are fabric-
+            # indeterminate (redirect/retired bounces are rejected
+            # before execution), and a combo whose every replication
+            # hop deduplicates the id (``exact_once``) executes at most
+            # once — no ghosts at all.  Records without a request id
+            # fall back to the permissive attempts-1 model.
+            if rec.req_id is not None:
+                ghosts = 0 if exact_once else rec.timeouts
+            else:
                 ghosts = rec.attempts - 1
-            # Each extra client attempt is a possible *duplicate*
-            # execution of the same write: there is no exactly-once
-            # request layer, so a timed-out first attempt can land (and
-            # even resurface from a delayed in-flight apply) before or
-            # after the attempt that finally acked.  Model those as
-            # optional ghost writes (capped: they only add permissive
-            # interleavings for this op's own value).
+            # ghosts are optional writes (capped: they only add
+            # permissive interleavings for this op's own value).
             for _ in range(min(ghosts, 3)):
                 entries.append(_Entry("w", written, rec.invoke, inf, True))
         elif rec.op == "get":
@@ -162,12 +167,18 @@ def check_linearizable(
     records: Sequence[OpRecord],
     initial: Optional[str] = None,
     max_states: int = 500_000,
+    exact_once: bool = False,
 ) -> OracleReport:
     """Per-key linearizability of an acked history.
 
     Keys are independent registers (the store has no multi-key
     transactions), so the check decomposes per key — the standard
     locality property of linearizability.
+
+    ``exact_once`` asserts the deployment deduplicates request ids at
+    every replication hop (MS+SC: every chain member gates on the rid),
+    so a rid-stamped write can execute at most once regardless of how
+    many client attempts it took.
     """
     report = OracleReport()
     by_key: Dict[str, List[OpRecord]] = {}
@@ -175,7 +186,7 @@ def check_linearizable(
         by_key.setdefault(rec.key, []).append(rec)
     checked = 0
     for key in sorted(by_key):
-        entries = _entries_for_key(by_key[key])
+        entries = _entries_for_key(by_key[key], exact_once=exact_once)
         if entries is None:
             continue
         checked += 1

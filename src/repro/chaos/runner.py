@@ -60,6 +60,10 @@ class ComboResult:
     #: (:class:`repro.analysis.races.RaceReport`); advisory — a tied
     #: pair is a *potential* divergence, the oracle stays the judge.
     races: List = field(default_factory=list)
+    #: the :class:`~repro.obs.trace.SpanRecorder` when ``trace=True``
+    #: (``chaos --trace`` prints span trees of violating requests).
+    #: Never part of the digest: tracing must not perturb the run.
+    recorder: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -121,6 +125,7 @@ def run_combo(
     spec_overrides: Optional[dict] = None,
     detect_races: bool = False,
     sanitize: bool = False,
+    trace: bool = False,
 ) -> ComboResult:
     """Run one seeded chaotic soak of one combo and judge the history."""
     from repro.harness.deploy import Deployment, DeploymentSpec  # local: avoid cycle
@@ -150,6 +155,12 @@ def run_combo(
         # before start(): boot-time sends must be digested and frozen
         # too, or a handler stashing a boot payload escapes the check
         sanitizer = dep.cluster.attach_sanitizer()
+    spans = None
+    if trace:
+        # before start(): every actor must carry the recorder hook.
+        # Pure observation — no RNG draws, no timing effects — so the
+        # run's digest is identical with tracing on or off.
+        spans = dep.cluster.attach_obs()
     dep.start()
 
     recorder = HistoryRecorder(sim)
@@ -243,7 +254,12 @@ def run_combo(
 
     # -- oracle ------------------------------------------------------------
     if consistency is Consistency.STRONG:
-        report = check_linearizable(recorder.records)
+        # MS+SC deduplicates the request id at every chain member, so a
+        # stamped write executes at most once cluster-wide.  AA+SC
+        # cannot claim that: retries may enter at a different active
+        # whose fan-out the entry gate never saw.
+        exact_once = topology is Topology.MS
+        report = check_linearizable(recorder.records, exact_once=exact_once)
     else:
         report = check_eventual(recorder.records, replica_dumps)
 
@@ -283,6 +299,7 @@ def run_combo(
         stats=stats,
         records=list(recorder.records),
         races=races,
+        recorder=spans,
     )
 
 

@@ -104,6 +104,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="copy-on-send payload sanitizer: freeze payloads "
                        "at delivery and verify send-vs-delivery digests; an "
                        "aliasing bug raises at the mutating line")
+    chaos.add_argument("--trace", action="store_true",
+                       help="attach the span recorder; oracle violations are "
+                       "printed with the offending requests' full span trees")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced workload and print the latency breakdown",
+        description="Deploy one combo with the span recorder attached, "
+        "drive a small deterministic workload, and print the per-stage "
+        "latency breakdown (client op, RPC attempts, network transit, "
+        "receiver CPU, backoff).  --out dumps the spans as seed-stable "
+        "repro.obs.trace/1 JSONL: the same seed produces byte-identical "
+        "files across runs.",
+    )
+    trace.add_argument("--combo", default="ms-sc",
+                       help="topology-consistency combo: ms-sc, ms-ec, "
+                       "aa-sc or aa-ec (underscores accepted)")
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--ops", type=int, default=60,
+                       help="operations in the deterministic workload")
+    trace.add_argument("--shards", type=int, default=2)
+    trace.add_argument("--replicas", type=int, default=3)
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="write the span JSONL here")
+    trace.add_argument("--check", action="store_true",
+                       help="fail if the span tree is malformed "
+                       "(dangling spans, missing parents)")
+    trace.add_argument("--show-trace", type=int, default=None, metavar="N",
+                       help="also render the span tree of trace id N")
 
     check = sub.add_parser(
         "check",
@@ -318,6 +347,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             quiesce=args.quiesce,
             detect_races=args.detect_races,
             sanitize=args.sanitize,
+            trace=args.trace,
         )
     except ConfigError as e:
         print(f"chaos: {e}", file=sys.stderr)
@@ -337,8 +367,105 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         n_tied = sum(r.stats.get("tied_groups", 0) for r in report.results)
         print(f"race detector: {n_races} schedule-sensitive conflicts "
               f"({n_tied} tied event groups examined)")
+    if args.trace:
+        _print_violation_traces(report)
     print(f"({len(report.results)} runs in {time.time() - t0:.1f}s wall)")  # lint: allow[wallclock]
     return 0 if report.ok else 1
+
+
+def _print_violation_traces(report, limit: int = 8) -> None:
+    """Span trees of the requests behind each failing run's violations."""
+    import re
+
+    for result in report.results:
+        if result.ok or result.recorder is None:
+            continue
+        keys: List[str] = []
+        for violation in result.report.violations:
+            m = re.match(r"(?:key|client \S+ key) '([^']*)'", violation)
+            if m and m.group(1) not in keys:
+                keys.append(m.group(1))
+        shown = 0
+        for rec in result.records:
+            if rec.key not in keys or rec.trace_id is None:
+                continue
+            if shown >= limit:
+                print(f"  ... more traced ops on violating keys omitted "
+                      f"(limit {limit})")
+                break
+            print(f"--- {result.label} seed={result.seed}: {rec.op} "
+                  f"{rec.key!r} by {rec.client} status={rec.status} "
+                  f"(trace {rec.trace_id}) ---")
+            print(result.recorder.format_trace(rec.trace_id))
+            shown += 1
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import BespoError
+    from repro.harness import Deployment, DeploymentSpec
+
+    combo_by_flag = {
+        "ms-sc": (Topology.MS, Consistency.STRONG),
+        "ms-ec": (Topology.MS, Consistency.EVENTUAL),
+        "aa-sc": (Topology.AA, Consistency.STRONG),
+        "aa-ec": (Topology.AA, Consistency.EVENTUAL),
+    }
+    name = args.combo.replace("_", "-")
+    if name not in combo_by_flag:
+        print(f"trace: unknown combo {args.combo!r} "
+              f"(expected one of {sorted(combo_by_flag)})", file=sys.stderr)
+        return 2
+    topology, consistency = combo_by_flag[name]
+    dep = Deployment(DeploymentSpec(
+        shards=args.shards, replicas=args.replicas,
+        topology=topology, consistency=consistency, seed=args.seed,
+    ))
+    recorder = dep.cluster.attach_obs()  # before start(): hook every actor
+    dep.start()
+    sim = dep.sim
+    client = dep.client("trace")
+    sim.run_future(client.connect())
+    # Deterministic op sequence: put-heavy with reads and the odd delete,
+    # cycling a small keyspace — no RNG, so the span stream depends only
+    # on (combo, seed, ops).
+    for i in range(args.ops):
+        key = f"k{i % 8}"
+        try:
+            if i % 3 == 2:
+                sim.run_future(client.get(key))
+            elif i % 7 == 6:
+                sim.run_future(client.delete(key))
+            else:
+                sim.run_future(client.put(key, f"v{i}"))
+        except BespoError:
+            pass  # e.g. delete of a never-written key
+    sim.run_until(sim.now + 1.0)  # let replication tails close their spans
+
+    errors = recorder.validate()
+    label = f"{topology.value.upper()}+{'SC' if consistency is Consistency.STRONG else 'EC'}"
+    print(f"{label} seed={args.seed} ops={args.ops}: "
+          f"{len(recorder.spans)} spans recorded")
+    print(recorder.breakdown_table())
+    if args.show_trace is not None:
+        print(f"--- trace {args.show_trace} ---")
+        print(recorder.format_trace(args.show_trace))
+    if errors:
+        print(f"span tree: {len(errors)} problem(s)")
+        for e in errors[:20]:
+            print(f"  {e}")
+    else:
+        print("span tree: well-formed")
+    if args.out:
+        recorder.dump(args.out, meta={
+            "combo": name, "seed": args.seed, "ops": args.ops,
+        })
+        print(f"spans -> {args.out}")
+    if args.check and errors:
+        return 1
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -436,6 +563,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "demo": _cmd_demo,
         "chaos": _cmd_chaos,
+        "trace": _cmd_trace,
         "check": _cmd_check,
         "lint": _cmd_lint,
     }[args.command]

@@ -21,9 +21,11 @@ sessions inside the simulation.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.types import ClusterMap, Consistency, ShardInfo, Topology
+from repro.obs import RequestContext
 from repro.errors import (
     BespoError,
     KeyNotFound,
@@ -85,7 +87,27 @@ class KVClient:
         self._tables: Dict[str, bool] = {}
         self.ops = 0
         self.retries = 0
+        #: subset of ``retries`` caused by RPC timeouts — the fabric-
+        #: indeterminate attempts the oracle must model as potential
+        #: duplicates (routing bounces never execute and are excluded).
+        self.timeouts = 0
         self.refreshes = 0
+        #: request-id stream: one id per *operation* (not per attempt),
+        #: so every retry of a mutation carries the same identity and
+        #: controlets can deduplicate.  Disabled only by the overhead
+        #: micro-benchmark's baseline mode.
+        self._req_seq = itertools.count(1)
+        self._stamp_rids = True
+        self._latency: Dict[str, Any] = {}
+        cluster.metrics.register_group(
+            f"client.{name}",
+            lambda: {
+                "ops": self.ops,
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "refreshes": self.refreshes,
+            },
+        )
 
     # ------------------------------------------------------------------
     # topology cache
@@ -170,6 +192,43 @@ class KVClient:
     # ------------------------------------------------------------------
     # core op engine
     # ------------------------------------------------------------------
+    def _begin_ctx(self, op: str, key: str, mutation: bool) -> Optional[RequestContext]:
+        """Open the request envelope for one operation.
+
+        Mutations always get a request id (retry dedup needs identity
+        even with tracing off); a context with a trace id is only built
+        when a :class:`~repro.obs.trace.SpanRecorder` is attached, so
+        the disabled path costs one attribute check plus (for reads)
+        nothing at all.
+        """
+        rid = None
+        if mutation and self._stamp_rids:
+            rid = f"{self.name}.{next(self._req_seq)}"
+        obs = self.cluster.obs
+        if obs is not None:
+            return obs.new_trace(f"op:{op}", origin=self.name, req_id=rid)
+        if rid is not None:
+            return RequestContext(origin=self.name, req_id=rid)
+        return None
+
+    def _observe_latency(self, op: str, seconds: float) -> None:
+        hist = self._latency.get(op)
+        if hist is None:
+            hist = self.cluster.metrics.histogram(
+                f"client.{self.name}.latency_{op}")
+            self._latency[op] = hist
+        hist.observe(seconds)
+
+    def _sleep(self, attempt: int, ctx: Optional[RequestContext]):
+        """Backoff with a ``backoff`` span when the request is traced."""
+        obs = self.cluster.obs
+        span = None
+        if obs is not None and ctx is not None and ctx.trace_id is not None:
+            span = obs.begin(ctx, "backoff", self.name)
+        yield self._backoff(attempt)
+        if span is not None:
+            obs.end(span, "ok")
+
     def _op_proc(
         self,
         op: str,
@@ -177,39 +236,53 @@ class KVClient:
         payload: Dict[str, Any],
         consistency: Optional[str] = None,
         prefer_kind: Optional[str] = None,
+        ctx: Optional[RequestContext] = None,
     ):
         self.ops += 1
-        override_target: Optional[str] = None
-        last_error: Optional[str] = None
-        for attempt in range(self.max_retries + 1):
-            shard = self.shard_for(key)
-            target = override_target or self._route(shard, op, consistency, prefer_kind)
-            override_target = None
-            try:
-                resp = yield self.port.request(target, op, dict(payload), timeout=self.op_timeout)
-            except RequestTimeout:
-                last_error = f"timeout talking to {target}"
-                self.retries += 1
-                yield self._backoff(attempt)
-                yield from self._refresh_best_effort()
-                continue
-            if resp.type != "error":
-                return resp
-            err = resp.payload.get("error", "")
-            if err == "not_found":
-                raise KeyNotFound(key)
-            if err == "redirect":
-                override_target = resp.payload.get("to")
-                self.retries += 1
-                continue
-            if err == "retired":
-                last_error = f"{target} retired"
-                self.retries += 1
-                yield self._backoff(attempt)
-                yield from self._refresh_best_effort()
-                continue
-            raise BespoError(f"{op} {key!r} failed: {err}")
-        raise ShardUnavailable(f"{op} {key!r} exhausted retries: {last_error}")
+        obs = self.cluster.obs
+        start = self.sim.now
+        status = "error"
+        try:
+            override_target: Optional[str] = None
+            last_error: Optional[str] = None
+            for attempt in range(self.max_retries + 1):
+                shard = self.shard_for(key)
+                target = override_target or self._route(shard, op, consistency, prefer_kind)
+                override_target = None
+                try:
+                    resp = yield self.port.request(
+                        target, op, dict(payload), timeout=self.op_timeout, ctx=ctx
+                    )
+                except RequestTimeout:
+                    last_error = f"timeout talking to {target}"
+                    self.retries += 1
+                    self.timeouts += 1
+                    yield from self._sleep(attempt, ctx)
+                    yield from self._refresh_best_effort()
+                    continue
+                if resp.type != "error":
+                    status = "ok"
+                    return resp
+                err = resp.payload.get("error", "")
+                if err == "not_found":
+                    status = "not_found"
+                    raise KeyNotFound(key)
+                if err == "redirect":
+                    override_target = resp.payload.get("to")
+                    self.retries += 1
+                    continue
+                if err == "retired":
+                    last_error = f"{target} retired"
+                    self.retries += 1
+                    yield from self._sleep(attempt, ctx)
+                    yield from self._refresh_best_effort()
+                    continue
+                raise BespoError(f"{op} {key!r} failed: {err}")
+            raise ShardUnavailable(f"{op} {key!r} exhausted retries: {last_error}")
+        finally:
+            self._observe_latency(op, self.sim.now - start)
+            if obs is not None and ctx is not None and ctx.trace_id is not None:
+                obs.end_trace(ctx, status)
 
     def _refresh_best_effort(self):
         """Refresh the map inside a retry loop; a lost/failed refresh
@@ -230,21 +303,34 @@ class KVClient:
     def _run(self, gen) -> SimFuture:
         return self.sim.spawn(gen)
 
-    def _recorded(self, op: str, key: str, gen, value: Optional[str] = None):
+    def _recorded(self, op: str, key: str, gen, value: Optional[str] = None,
+                  ctx: Optional[RequestContext] = None):
         """Wrap an op generator with history recording.  Failed and
         timed-out ops are recorded too: an unacked write may still have
-        taken effect, and the oracle must treat it as indeterminate."""
+        taken effect, and the oracle must treat it as indeterminate.
+
+        The request id and trace id flow into the record so the oracle
+        can separate client retries (same ``req_id``, deduplicated
+        server-side) from fabric duplicates, and so ``chaos --trace``
+        can pull up the span tree of a violating request."""
         if self.recorder is None:
             result = yield from gen
             return result
-        rec = self.recorder.invoke(self.name, op, key, value)
+        rec = self.recorder.invoke(
+            self.name, op, key, value,
+            req_id=ctx.req_id if ctx is not None else None,
+            trace_id=ctx.trace_id if ctx is not None else None,
+        )
         retries_before = self.retries
+        timeouts_before = self.timeouts
         try:
             result = yield from gen
         except KeyNotFound:
             # a definite observation (key absent), not a failure
             self.recorder.complete(
-                rec, "not_found", attempts=1 + self.retries - retries_before
+                rec, "not_found",
+                attempts=1 + self.retries - retries_before,
+                timeouts=self.timeouts - timeouts_before,
             )
             raise
         except BespoError as e:
@@ -253,6 +339,7 @@ class KVClient:
                 "fail",
                 error=f"{type(e).__name__}: {e}",
                 attempts=1 + self.retries - retries_before,
+                timeouts=self.timeouts - timeouts_before,
             )
             raise
         self.recorder.complete(
@@ -260,6 +347,7 @@ class KVClient:
             "ok",
             value=result if op == "get" else None,
             attempts=1 + self.retries - retries_before,
+            timeouts=self.timeouts - timeouts_before,
         )
         return result
 
@@ -270,8 +358,10 @@ class KVClient:
         """Write a pair; resolves to None."""
 
         def proc():
-            gen = self._op_proc("put", key, {"key": key, "val": val}, consistency)
-            yield from self._recorded("put", key, gen, value=val)
+            ctx = self._begin_ctx("put", key, mutation=True)
+            gen = self._op_proc("put", key, {"key": key, "val": val},
+                                consistency, ctx=ctx)
+            yield from self._recorded("put", key, gen, value=val, ctx=ctx)
 
         return self._run(proc())
 
@@ -292,12 +382,14 @@ class KVClient:
             payload: Dict[str, Any] = {"key": key}
             if consistency is not None:
                 payload["consistency"] = consistency
+            ctx = self._begin_ctx("get", key, mutation=False)
 
             def inner():
-                resp = yield from self._op_proc("get", key, payload, consistency, prefer_kind)
+                resp = yield from self._op_proc("get", key, payload, consistency,
+                                                prefer_kind, ctx=ctx)
                 return resp.payload["val"]
 
-            value = yield from self._recorded("get", key, inner())
+            value = yield from self._recorded("get", key, inner(), ctx=ctx)
             return value
 
         return self._run(proc())
@@ -306,8 +398,9 @@ class KVClient:
         """Delete a pair; resolves to None."""
 
         def proc():
-            gen = self._op_proc("del", key, {"key": key}, consistency)
-            yield from self._recorded("del", key, gen)
+            ctx = self._begin_ctx("del", key, mutation=True)
+            gen = self._op_proc("del", key, {"key": key}, consistency, ctx=ctx)
+            yield from self._recorded("del", key, gen, ctx=ctx)
 
         return self._run(proc())
 
@@ -322,35 +415,46 @@ class KVClient:
         def proc():
             if self.map is None:
                 raise BespoError("client not connected: call connect() first")
-            if self.partitioner == "range":
-                targets = self._range.covering(start, end)
-            else:
-                targets = {sid: (start, end) for sid in self.map.shard_ids()}
-            ordered = sorted(targets.items(), key=lambda kv: kv[1][0])
-            if limit is not None and self.partitioner == "range":
-                # Range-partitioned limited scan: shards are visited in
-                # key order and the walk stops as soon as the limit is
-                # filled — most scans touch one or two shards.
-                out: List[Tuple[str, str]] = []
+            ctx = self._begin_ctx("scan", start, mutation=False)
+            obs = self.cluster.obs
+            status = "error"
+            try:
+                if self.partitioner == "range":
+                    targets = self._range.covering(start, end)
+                else:
+                    targets = {sid: (start, end) for sid in self.map.shard_ids()}
+                ordered = sorted(targets.items(), key=lambda kv: kv[1][0])
+                if limit is not None and self.partitioner == "range":
+                    # Range-partitioned limited scan: shards are visited in
+                    # key order and the walk stops as soon as the limit is
+                    # filled — most scans touch one or two shards.
+                    out: List[Tuple[str, str]] = []
+                    for sid, (lo, hi) in ordered:
+                        shard = self.map.shard(sid)
+                        payload = {"start": lo, "end": hi, "limit": limit - len(out)}
+                        chunk = yield self.sim.spawn(
+                            self._scan_one(shard, payload, ctx=ctx))
+                        out.extend(tuple(item) for item in chunk)
+                        if len(out) >= limit:
+                            break
+                    status = "ok"
+                    return out[:limit]
+                # Unlimited (or hash-partitioned) scan: scatter-gather.
+                futs = []
                 for sid, (lo, hi) in ordered:
                     shard = self.map.shard(sid)
-                    payload = {"start": lo, "end": hi, "limit": limit - len(out)}
-                    chunk = yield self.sim.spawn(self._scan_one(shard, payload))
-                    out.extend(tuple(item) for item in chunk)
-                    if len(out) >= limit:
-                        break
-                return out[:limit]
-            # Unlimited (or hash-partitioned) scan: scatter-gather.
-            futs = []
-            for sid, (lo, hi) in ordered:
-                shard = self.map.shard(sid)
-                payload = {"start": lo, "end": hi, "limit": limit}
-                futs.append(self.sim.spawn(self._scan_one(shard, payload)))
-            chunks = yield self.sim.gather(futs)
-            merged: List[Tuple[str, str]] = sorted(
-                (tuple(item) for chunk in chunks for item in chunk)
-            )
-            return merged[:limit] if limit is not None else merged
+                    payload = {"start": lo, "end": hi, "limit": limit}
+                    futs.append(self.sim.spawn(
+                        self._scan_one(shard, payload, ctx=ctx)))
+                chunks = yield self.sim.gather(futs)
+                merged: List[Tuple[str, str]] = sorted(
+                    (tuple(item) for chunk in chunks for item in chunk)
+                )
+                status = "ok"
+                return merged[:limit] if limit is not None else merged
+            finally:
+                if obs is not None and ctx is not None and ctx.trace_id is not None:
+                    obs.end_trace(ctx, status)
 
         return self._run(proc())
 
@@ -370,45 +474,57 @@ class KVClient:
             if self.map is None:
                 raise BespoError("client not connected: call connect() first")
             payload: Dict[str, Any] = {"start": start, "end": end, "limit": limit}
-            last_error: Optional[str] = None
-            for attempt in range(self.max_retries + 1):
-                shard = self.shard_for(start)
-                target = self._route(shard, "scan", None, None)
-                try:
-                    resp = yield self.port.request(
-                        target, "get_range", dict(payload),
-                        timeout=self.op_timeout * 2,
-                    )
-                except RequestTimeout:
-                    last_error = f"timeout talking to {target}"
-                    self.retries += 1
-                    yield self._backoff(attempt)
-                    yield from self._refresh_best_effort()
-                    continue
-                if resp.type == "range":
-                    return [tuple(item) for item in resp.payload["items"]]
-                err = resp.payload.get("error", "")
-                if err in ("retired", "cluster map not yet available"):
-                    last_error = err
-                    self.retries += 1
-                    yield self._backoff(attempt)
-                    yield from self._refresh_best_effort()
-                    continue
-                raise BespoError(f"server scan failed: {err}")
-            raise ShardUnavailable(f"server scan exhausted retries: {last_error}")
+            ctx = self._begin_ctx("server_scan", start, mutation=False)
+            obs = self.cluster.obs
+            status = "error"
+            try:
+                last_error: Optional[str] = None
+                for attempt in range(self.max_retries + 1):
+                    shard = self.shard_for(start)
+                    target = self._route(shard, "scan", None, None)
+                    try:
+                        resp = yield self.port.request(
+                            target, "get_range", dict(payload),
+                            timeout=self.op_timeout * 2, ctx=ctx,
+                        )
+                    except RequestTimeout:
+                        last_error = f"timeout talking to {target}"
+                        self.retries += 1
+                        self.timeouts += 1
+                        yield from self._sleep(attempt, ctx)
+                        yield from self._refresh_best_effort()
+                        continue
+                    if resp.type == "range":
+                        status = "ok"
+                        return [tuple(item) for item in resp.payload["items"]]
+                    err = resp.payload.get("error", "")
+                    if err in ("retired", "cluster map not yet available"):
+                        last_error = err
+                        self.retries += 1
+                        yield from self._sleep(attempt, ctx)
+                        yield from self._refresh_best_effort()
+                        continue
+                    raise BespoError(f"server scan failed: {err}")
+                raise ShardUnavailable(f"server scan exhausted retries: {last_error}")
+            finally:
+                if obs is not None and ctx is not None and ctx.trace_id is not None:
+                    obs.end_trace(ctx, status)
 
         return self._run(proc())
 
-    def _scan_one(self, shard: ShardInfo, payload: Dict[str, Any]):
+    def _scan_one(self, shard: ShardInfo, payload: Dict[str, Any],
+                  ctx: Optional[RequestContext] = None):
         override_target: Optional[str] = None
         for attempt in range(self.max_retries + 1):
             target = override_target or self._route(shard, "scan", None, None)
             override_target = None
             try:
-                resp = yield self.port.request(target, "scan", dict(payload), timeout=self.op_timeout)
+                resp = yield self.port.request(target, "scan", dict(payload),
+                                               timeout=self.op_timeout, ctx=ctx)
             except RequestTimeout:
                 self.retries += 1
-                yield self._backoff(attempt)
+                self.timeouts += 1
+                yield from self._sleep(attempt, ctx)
                 continue
             if resp.type != "error":
                 return resp.payload["items"]

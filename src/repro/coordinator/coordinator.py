@@ -82,6 +82,13 @@ class CoordinatorActor(Actor):
     def service_demand(self, msg: Message, costs) -> float:
         return costs.scaled("coordinator_overhead")
 
+    def metrics_group(self) -> Dict[str, float]:
+        return {
+            "failovers": self.failovers,
+            "recovering": len(self._recovering),
+            "pending_replicas": len(self._pending_replicas),
+        }
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------

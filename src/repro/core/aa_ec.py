@@ -124,11 +124,25 @@ class AAEventualControlet(Controlet):
     def _accept_write(self, msg: Message, op: str) -> None:
         key = msg.payload["key"]
         val = msg.payload.get("val")
+        # Local gate catches a retry re-entering at this active; the
+        # sequencer's own rid→pos dedup catches retries that were routed
+        # to a *different* active (sharedlog/log.py).
+        req = self.begin_write(msg, op)
+        if req is None:
+            return
 
         def on_appended(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if err is not None or resp is None or resp.type != "appended":
                 self.stats["errors"] += 1
-                self.respond(msg, "error", {"error": f"shared log append failed: {err}"})
+                req.fail(f"shared log append failed: {err}")
+                return
+            if resp.payload.get("dup"):
+                # The sequencer has this rid already: the original
+                # attempt owns the log slot and replay delivers the
+                # value.  Do NOT apply locally — a late second apply
+                # here could overwrite newer replayed state on this
+                # replica only, diverging it from its peers.
+                req.ack()
                 return
             payload = {"key": key}
             if op == "put":
@@ -137,21 +151,24 @@ class AAEventualControlet(Controlet):
             def after_local(dresp: Optional[Message], derr: Optional[BespoError]) -> None:
                 if derr is not None or dresp is None:
                     self.stats["errors"] += 1
-                    self.respond(msg, "error", {"error": f"local apply failed: {derr}"})
+                    req.fail(f"local apply failed: {derr}")
                     return
                 if op == "del" and dresp.type == "error":
                     # Our replica may simply not have replayed the put
                     # yet; the log entry *is* the delete, so ack anyway.
-                    self.respond(msg, "ok")
+                    req.ack()
                     return
-                self.respond(msg, dresp.type, dict(dresp.payload))
+                req.finish(dresp.type, dict(dresp.payload))
 
             self.datalet_call(op, payload, callback=after_local)
 
+        append = {"op": op, "key": key, "val": val}
+        if req.rid is not None:
+            append["rid"] = req.rid
         self.call(
             self.sharedlog,
             "log_append",
-            {"op": op, "key": key, "val": val},
+            append,
             callback=on_appended,
             timeout=self.config.replication_timeout,
         )

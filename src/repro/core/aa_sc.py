@@ -11,9 +11,10 @@ Fig 7 ("lock contention at the DLM caps the performance").
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.controlet import Controlet
+from repro.core.request import Request
 from repro.errors import BespoError
 from repro.net.message import Message
 
@@ -84,29 +85,23 @@ class AAStrongControlet(Controlet):
         if op == "put":
             payload["val"] = msg.payload["val"]
         relay_to = self._relay_to
-        state = {"n": 2 if relay_to else 1, "resp": None, "err": None}
-
-        def finish() -> None:
-            resp, err = state["resp"], state["err"]
-            if err is not None or resp is None:
-                self.respond(msg, "error", {"error": str(err) if err else "no response"})
-            else:
-                self.respond(msg, resp.type, dict(resp.payload))
+        # No dedup gate here: retries of an AA write may enter at a
+        # *different* active, so a peer-level rid cache could answer for
+        # a fan-out that never completed.  The Request only joins the
+        # local apply with the optional recovery relay.
+        req = Request(self, msg, op)
+        req.arm(2 if relay_to else 1)
 
         def on_local(resp: Optional[Message], err: Optional[BespoError]) -> None:
-            state["resp"], state["err"] = resp, err
-            state["n"] -= 1
-            if state["n"] == 0:
-                finish()
+            req.settle(err, resp)
 
         def on_relay(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if err is not None and self._relay_to == relay_to:
                 # the recovering replacement died; stop relaying (its
-                # next pull retry re-snapshots, so nothing is lost)
+                # next pull retry re-snapshots, so nothing is lost) —
+                # the relay leg never fails the peer_apply itself
                 self._relay_to = None
-            state["n"] -= 1
-            if state["n"] == 0:
-                finish()
+            req.settle()
 
         self.datalet_call(op, payload, callback=on_local)
         if relay_to is not None:
@@ -121,13 +116,14 @@ class AAStrongControlet(Controlet):
     # ------------------------------------------------------------------
     # locking helpers
     # ------------------------------------------------------------------
-    def _with_lock(self, key: str, mode: str, body, msg: Message) -> None:
-        """Acquire → body(release) → body calls release(reply...)."""
+    def _with_lock(self, key: str, mode: str, body,
+                   fail: Callable[[str], None]) -> None:
+        """Acquire → body(); ``fail(error)`` if the grant never comes."""
 
         def on_grant(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if err is not None or resp is None or resp.type != "granted":
                 self.stats["errors"] += 1
-                self.respond(msg, "error", {"error": f"lock acquisition failed: {err}"})
+                fail(f"lock acquisition failed: {err}")
                 return
             body()
 
@@ -154,6 +150,20 @@ class AAStrongControlet(Controlet):
 
     def _accept_write(self, msg: Message, op: str) -> None:
         key = msg.payload["key"]
+        # The dedup gate only catches a retry re-entering at *this*
+        # active (routing may send other attempts elsewhere — the oracle
+        # keeps modeling those as potential duplicates, see chaos/oracle).
+        req = self.begin_write(msg, op)
+        if req is None:
+            return
+
+        def unlock_then_finish(error: Optional[str]) -> None:
+            self._unlock(key)
+            if error is not None:
+                self.stats["errors"] += 1
+                req.fail(error)
+            else:
+                req.ack()
 
         def body() -> None:
             payload = {"op": op, "key": key}
@@ -165,22 +175,15 @@ class AAStrongControlet(Controlet):
             # or a catch-up buffer can intercept the write, which a
             # datalet-direct write would bypass.
             targets = [r.controlet for r in self.shard.ordered()]
-            remaining = {"n": len(targets)}
-            failed = {"err": None}
+            req.arm(len(targets), then=unlock_then_finish)
 
             def on_ack(resp: Optional[Message], err: Optional[BespoError]) -> None:
                 if err is not None:
-                    failed["err"] = err
+                    req.settle(str(err))
                 elif resp is not None and resp.type == "error" and op == "put":
-                    failed["err"] = BespoError(str(resp.payload))
-                remaining["n"] -= 1
-                if remaining["n"] == 0:
-                    self._unlock(key)
-                    if failed["err"] is not None:
-                        self.stats["errors"] += 1
-                        self.respond(msg, "error", {"error": str(failed["err"])})
-                    else:
-                        self.respond(msg, "ok")
+                    req.settle(str(resp.payload))
+                else:
+                    req.settle()
 
             for target in targets:
                 self.call(
@@ -191,7 +194,7 @@ class AAStrongControlet(Controlet):
                     timeout=self.config.replication_timeout,
                 )
 
-        self._with_lock(key, "w", body, msg)
+        self._with_lock(key, "w", body, req.fail)
 
     # ------------------------------------------------------------------
     # read path
@@ -210,7 +213,10 @@ class AAStrongControlet(Controlet):
 
             self.datalet_call("get", {"key": key}, callback=on_value)
 
-        self._with_lock(key, "r", body, msg)
+        def fail(error: str) -> None:
+            self.respond(msg, "error", {"error": error})
+
+        self._with_lock(key, "r", body, fail)
 
     # ------------------------------------------------------------------
     # model-checker introspection

@@ -17,9 +17,11 @@ on top of this framework.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.config import ControlConfig
+from repro.core.request import Request
 from repro.core.types import Replica, ShardInfo
 from repro.errors import BespoError
 from repro.net.actor import Actor
@@ -29,6 +31,9 @@ __all__ = ["Controlet"]
 
 #: client-facing operation message types.
 CLIENT_OPS = ("put", "get", "del", "scan")
+
+#: request-id dedup memory per controlet (completed-write cache size).
+RID_CACHE = 65536
 
 
 class Controlet(Actor):
@@ -82,7 +87,19 @@ class Controlet(Actor):
         self.stats: Dict[str, int] = {
             "puts": 0, "gets": 0, "dels": 0, "scans": 0,
             "redirects": 0, "forwarded": 0, "errors": 0,
+            "dup_writes": 0,
         }
+        #: request-id dedup tables.  Clients stamp a per-operation
+        #: ``req_id`` on mutations (RequestContext.req_id); a write that
+        #: completed here is cached so a *client retry* of the same
+        #: operation is answered from cache instead of re-executed —
+        #: distinguishing retries from fabric duplicates.  These tables
+        #: are excluded from model-checker handler summaries (see
+        #: analysis/summaries.py IGNORED_ATTRS): checker clients never
+        #: stamp rids, so the tables stay quiescent in explored runs.
+        self._rid_done: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+        self._rid_order: Deque[str] = deque(maxlen=RID_CACHE)
+        self._rid_pending: Dict[str, List[Message]] = {}
         self.register("put", self._client_op)
         self.register("get", self._client_op)
         self.register("del", self._client_op)
@@ -112,6 +129,12 @@ class Controlet(Actor):
         would serve stale strong reads).  Refuse client ops until the
         coordinator confirms we are still a shard member."""
         self.retired = True
+        # In-flight executions (and their completion callbacks) died with
+        # the crash: a rid left "pending" would absorb every retry of
+        # that operation forever.  Drop the pending set — retries then
+        # re-execute — but keep the completed-write cache, which is the
+        # part that carries the exactly-once guarantee.
+        self._rid_pending.clear()
         self._confirm_membership()
         self.on_start()
 
@@ -434,6 +457,95 @@ class Controlet(Actor):
             ),
             timeout=self.config.replication_timeout * 4,
         )
+
+    # ------------------------------------------------------------------
+    # request lifecycle: dedup gate + completion
+    # ------------------------------------------------------------------
+    def begin_write(self, msg: Message, op: str,
+                    rid: Optional[str] = None) -> Optional[Request]:
+        """Admit a write behind the request-id dedup gate.
+
+        Returns a :class:`~repro.core.request.Request` to execute, or
+        ``None`` when the operation was already handled here: a
+        completed rid is answered from cache, an in-flight rid parks the
+        duplicate message until the first execution completes.  Call
+        *after* routing checks (redirect/retired) — a bounced attempt
+        must not consume the rid.
+        """
+        if rid is None:
+            ctx = msg.ctx
+            if ctx is not None:
+                rid = ctx.req_id
+        if rid is None:
+            return Request(self, msg, op)
+        cached = self._rid_done.get(rid)
+        if cached is not None:
+            self.stats["dup_writes"] += 1
+            self.respond(msg, cached[0], dict(cached[1]))
+            return None
+        waiters = self._rid_pending.get(rid)
+        if waiters is not None:
+            self.stats["dup_writes"] += 1
+            waiters.append(msg)
+            return None
+        self._rid_pending[rid] = []
+        return Request(self, msg, op, rid=rid, dedup=True)
+
+    def _complete_request(self, req: Request, type: str,
+                          payload: Dict[str, Any]) -> None:
+        """Respond to the request's originator and settle dedup state.
+
+        Successful completions are cached (client retries replay the
+        answer) and parked duplicate attempts receive the same response.
+        Errors clear the pending entry and *re-drive* any parked
+        duplicates through dispatch: a retry must stay an independent
+        execution, not inherit the first attempt's failure.  Re-driving
+        cannot double-apply — every downstream receiver (chain members,
+        EC slaves, the shared-log sequencer) gates on the same rid.
+        """
+        self.respond(req.msg, type, payload)
+        if not req.dedup or req.rid is None:
+            return
+        waiters = self._rid_pending.pop(req.rid, ())
+        if type != "error":
+            self._remember_rid(req.rid, type, payload)
+            for dup in waiters:
+                self.respond(dup, type, dict(payload))
+        else:
+            for dup in waiters:
+                self._redrive(dup)
+
+    def _redrive(self, msg: Message) -> None:
+        """Re-enter a parked duplicate through normal dispatch (under
+        its own request context), as if it had just arrived."""
+        handler = self._handlers.get(msg.type)
+        if handler is None:
+            self.on_unhandled(msg)
+            return
+        if msg.ctx is not None:
+            prev = self._ctx_current
+            self._ctx_current = msg.ctx
+            try:
+                handler(msg)
+            finally:
+                self._ctx_current = prev
+        else:
+            handler(msg)
+
+    def _remember_rid(self, rid: str, type: str = "ok",
+                      payload: Optional[Dict[str, Any]] = None) -> None:
+        """Record a completed write's rid (bounded FIFO cache).
+
+        Also used by replication receivers (chain members, EC slaves)
+        that learn a rid from the protocol stream rather than from a
+        client-facing completion.
+        """
+        if rid in self._rid_done:
+            return
+        if len(self._rid_order) == self._rid_order.maxlen:
+            self._rid_done.pop(self._rid_order[0], None)
+        self._rid_order.append(rid)
+        self._rid_done[rid] = (type, payload if payload is not None else {})
 
     # -- subclass protocol hooks -------------------------------------------
     def handle_put(self, msg: Message) -> None:

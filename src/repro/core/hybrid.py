@@ -52,14 +52,19 @@ class AAMSHybridControlet(AAEventualControlet):
         # Slaves are fed exclusively from the replay path — *including*
         # our own writes — so they observe mutations in log order; the
         # accept path's order differs from the log's under concurrent
-        # masters and would leave slaves divergent.
+        # masters and would leave slaves divergent.  The log entry's rid
+        # rides along so slaves inherit the request identity too.
         for d in fresh:
-            self._enqueue(d["op"], d["key"], d["value"])
+            self._enqueue(d["op"], d["key"], d["value"], d.get("rid"))
 
-    def _enqueue(self, op: str, key: str, val: Optional[str]) -> None:
+    def _enqueue(self, op: str, key: str, val: Optional[str],
+                 rid: Optional[str] = None) -> None:
         if not self.slaves:
             return
-        self._backlog.append({"op": op, "key": key, "val": val})
+        entry: Dict[str, Optional[str]] = {"op": op, "key": key, "val": val}
+        if rid is not None:
+            entry["rid"] = rid
+        self._backlog.append(entry)
         if len(self._backlog) >= self.config.ec_batch_max:
             self._flush()
         elif not self._flush_armed:
@@ -176,7 +181,7 @@ class P2PNode(Actor):
         fwd_payload["hops"] = fwd_payload.get("hops", 0) + 1
         fwd = Message(type=msg.type, payload=fwd_payload, src=msg.src,
                       dst=self._closest_preceding(stable_hash(key)),
-                      msg_id=msg.msg_id, reply_to=msg.reply_to)
+                      msg_id=msg.msg_id, reply_to=msg.reply_to, ctx=msg.ctx)
         self._transmit(fwd)
 
     def _serve(self, msg: Message) -> None:

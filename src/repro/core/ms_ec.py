@@ -39,8 +39,8 @@ class MSEventualControlet(Controlet):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         # -- master state ---------------------------------------------
-        #: buffered (op, key, val) awaiting propagation.
-        self._backlog: List[Tuple[str, str, Optional[str]]] = []
+        #: buffered (op, key, val, rid) awaiting propagation.
+        self._backlog: List[Tuple[str, str, Optional[str], Optional[str]]] = []
         self._flush_timer_armed = False
         #: next sequence number to assign to a propagated op.
         self._seq = 0
@@ -168,6 +168,9 @@ class MSEventualControlet(Controlet):
         if not self.is_head:
             self.redirect(msg, self.shard.head.controlet, "writes go to the master")
             return
+        req = self.begin_write(msg, op)
+        if req is None:
+            return  # duplicate of a completed/in-flight rid
         payload = {"key": msg.payload["key"]}
         if op == "put":
             payload["val"] = msg.payload["val"]
@@ -175,20 +178,22 @@ class MSEventualControlet(Controlet):
         def after_local(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if err is not None or resp is None:
                 self.stats["errors"] += 1
-                self.respond(msg, "error", {"error": f"local datalet write failed: {err}"})
+                req.fail(f"local datalet write failed: {err}")
                 return
             # EC: ack as soon as one replica (ours) has the write.
-            self.respond(msg, resp.type, dict(resp.payload))
+            req.finish(resp.type, dict(resp.payload))
             if resp.type != "error":
-                self._enqueue(op, msg.payload["key"], msg.payload.get("val"))
+                self._enqueue(op, msg.payload["key"], msg.payload.get("val"),
+                              req.rid)
 
         self.datalet_call(op, payload, callback=after_local)
 
     # ------------------------------------------------------------------
     # async propagation (master)
     # ------------------------------------------------------------------
-    def _enqueue(self, op: str, key: str, val: Optional[str]) -> None:
-        self._backlog.append((op, key, val))
+    def _enqueue(self, op: str, key: str, val: Optional[str],
+                 rid: Optional[str] = None) -> None:
+        self._backlog.append((op, key, val, rid))
         if len(self._backlog) >= self.config.ec_batch_max:
             self._flush()
         elif not self._flush_timer_armed:
@@ -203,7 +208,15 @@ class MSEventualControlet(Controlet):
         if not self._backlog:
             return
         batch, self._backlog = self._backlog, []
-        ops = [{"op": op, "key": k, "val": v} for op, k, v in batch]
+        # rid rides the batch so slaves learn which client operations
+        # are already committed — a promoted slave then answers a
+        # client's retry from its rid cache instead of re-executing.
+        ops = []
+        for op, k, v, rid in batch:
+            d: Dict[str, Optional[str]] = {"op": op, "key": k, "val": v}
+            if rid is not None:
+                d["rid"] = rid
+            ops.append(d)
         start_seq = self._seq
         for op_dict in ops:
             # retain a private copy: the window is re-served by resend
@@ -285,6 +298,13 @@ class MSEventualControlet(Controlet):
             # reorder in flight and apply a delete before its put.
             self.send(self.datalet, "apply_batch", {"ops": fresh})
             self.applied_from_master += len(fresh)
+            # learn the rids this batch carries: if we are later promoted
+            # to master, a client retrying one of these ops gets its
+            # cached ack instead of a re-execution.
+            for op_dict in fresh:
+                rid = op_dict.get("rid")
+                if rid is not None:
+                    self._remember_rid(rid)
         self._stream = (tracked_master, start_seq + len(ops))
         self._repair_pending = False
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.controlet import Controlet
+from repro.core.request import Request
 from repro.errors import BespoError
 from repro.net.message import Message
 
@@ -89,7 +90,10 @@ class MSStrongControlet(Controlet):
         if not self.is_head:
             self.redirect(msg, self.shard.head.controlet, "writes enter at the chain head")
             return
-        self._apply_and_forward(msg, op, retries=0)
+        req = self.begin_write(msg, op)
+        if req is None:
+            return  # duplicate of a completed/in-flight rid
+        self._apply_and_forward(req)
 
     def _on_chain_put(self, msg: Message) -> None:
         """A chain write arriving from our predecessor."""
@@ -101,30 +105,36 @@ class MSStrongControlet(Controlet):
             self.buffer_catchup(msg)
             self.respond(msg, "ok")
             return
-        self._apply_and_forward(msg, msg.payload["op"], retries=0)
+        # Every chain member runs the same dedup gate: rid rides the
+        # chain_put payload, so a duplicate resumed by a *new* head
+        # stops re-executing at the first member that already holds it.
+        req = self.begin_write(msg, msg.payload["op"], rid=msg.payload.get("rid"))
+        if req is None:
+            return
+        self._apply_and_forward(req)
 
-    def _apply_and_forward(self, msg: Message, op: str, retries: int) -> None:
+    def _apply_and_forward(self, req: Request) -> None:
         """Persist locally, then continue down the chain; ack upstream
         (or to the client, at the head) once downstream has committed."""
-        payload = {"key": msg.payload["key"]}
-        if op == "put":
-            payload["val"] = msg.payload["val"]
+        payload = {"key": req.msg.payload["key"]}
+        if req.op == "put":
+            payload["val"] = req.msg.payload["val"]
 
         def after_local(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if err is not None or resp is None:
                 self.stats["errors"] += 1
-                self.respond(msg, "error", {"error": f"local datalet write failed: {err}"})
+                req.fail(f"local datalet write failed: {err}")
                 return
             if resp.type == "error":
                 # e.g. delete of a missing key: surface without touching
                 # the rest of the chain beyond what already applied.
-                self.respond(msg, "error", dict(resp.payload))
+                req.finish("error", dict(resp.payload))
                 return
-            self._forward_down(msg, op, retries)
+            self._forward_down(req)
 
-        self.datalet_call(op, payload, callback=after_local)
+        self.datalet_call(req.op, payload, callback=after_local)
 
-    def _forward_down(self, msg: Message, op: str, retries: int) -> None:
+    def _forward_down(self, req: Request) -> None:
         try:
             succ = self.shard.successor(self.node_id)
         except Exception:  # noqa: BLE001 - not in our own view yet
@@ -134,31 +144,36 @@ class MSStrongControlet(Controlet):
         relaying = succ is None and self._sync_successor is not None
         succ_id = succ.controlet if succ is not None else self._sync_successor
         if succ_id is None:  # we are the tail: commit point reached
-            self.respond(msg, "ok")
+            req.ack()
             return
 
         def on_ack(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if err is not None or resp is None:
                 # Successor unresponsive: likely mid-failover. Refresh the
                 # chain view and resume from the (possibly new) successor.
-                if retries >= MAX_CHAIN_RETRIES:
+                if req.retries >= MAX_CHAIN_RETRIES:
                     if relaying and self._sync_successor == succ_id:
                         # the recovering replacement died: stop relaying
                         # and resume committing as the tail
                         self._sync_successor = None
-                        self.respond(msg, "ok")
+                        req.ack()
                         return
                     self.stats["errors"] += 1
-                    self.respond(msg, "error", {"error": "chain replication failed"})
+                    req.fail("chain replication failed")
                     return
-                self.refresh_shard(then=lambda: self._forward_down(msg, op, retries + 1))
+                req.retries += 1
+                self.refresh_shard(then=lambda: self._forward_down(req))
                 return
-            self.respond(msg, resp.type, dict(resp.payload))
+            req.finish(resp.type, dict(resp.payload))
 
+        payload = {"op": req.op, "key": req.msg.payload["key"],
+                   "val": req.msg.payload.get("val")}
+        if req.rid is not None:
+            payload["rid"] = req.rid
         self.call(
             succ_id,
             "chain_put",
-            {"op": op, "key": msg.payload["key"], "val": msg.payload.get("val")},
+            payload,
             callback=on_ack,
             timeout=self.config.replication_timeout,
         )

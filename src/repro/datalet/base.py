@@ -117,6 +117,9 @@ class DataletActor(Actor):
         self.register("restore", self._on_restore)
         self.register("stats", self._on_stats)
 
+    def metrics_group(self) -> Dict[str, float]:
+        return {f"ops_{k}": float(v) for k, v in self.ops.items()}
+
     # -- cost accounting ---------------------------------------------------
     def service_demand(self, msg: Message, costs) -> float:
         op = msg.type

@@ -141,6 +141,13 @@ class LockManagerActor(Actor):
     def service_demand(self, msg: Message, costs) -> float:
         return costs.scaled("dlm_overhead")
 
+    def metrics_group(self) -> Dict[str, float]:
+        return {
+            "grants": self.table.grants,
+            "contentions": self.table.contentions,
+            "expired": self.expired,
+        }
+
     def _on_lock(self, msg: Message) -> None:
         key = msg.payload["key"]
         mode = msg.payload.get("mode", "w")

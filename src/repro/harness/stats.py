@@ -14,7 +14,21 @@ from typing import Any, Dict
 
 from repro.harness.deploy import Deployment
 
-__all__ = ["collect_stats", "utilization_report"]
+__all__ = ["collect_registry", "collect_stats", "utilization_report"]
+
+
+def collect_registry(dep: Deployment) -> Dict[str, Any]:
+    """One-call scrape of the cluster's metrics registry.
+
+    Every actor with a ``metrics_group()`` hook (controlets, datalets,
+    DLM, shared logs, coordinator) plus every client registered at
+    construction is read *at snapshot time* — zero messages, zero
+    simulation impact, unlike :func:`collect_stats` which exercises the
+    monitoring RPC plane.  Returns the registry's ``snapshot()`` dict
+    (counters / gauges / histograms with streaming p50/p95/p99, and
+    per-actor groups).
+    """
+    return dep.cluster.metrics.snapshot()
 
 
 def collect_stats(dep: Deployment) -> Dict[str, Dict[str, Any]]:

@@ -48,11 +48,18 @@ Reply = Callable[[Optional[Message], Optional[BespoError]], None]
 
 
 class _Pending:
-    __slots__ = ("callback", "timer")
+    __slots__ = ("callback", "timer", "ctx", "span")
 
-    def __init__(self, callback: Reply, timer: Any):
+    def __init__(self, callback: Reply, timer: Any, ctx: Any = None,
+                 span: Any = None):
         self.callback = callback
         self.timer = timer
+        #: caller's RequestContext at call time, restored around the
+        #: continuation (and around timeout expiry) so retry chains keep
+        #: flowing the same request envelope without hand-threading it.
+        self.ctx = ctx
+        #: open ``rpc:*`` span when a SpanRecorder is attached.
+        self.span = span
 
 
 class Actor:
@@ -78,6 +85,15 @@ class Actor:
         self.dedup_incoming = False
         self._seen_ids: "deque[int]" = deque(maxlen=4096)
         self._seen_set: set[int] = set()
+        #: SpanRecorder when tracing is attached (SimCluster.attach_obs);
+        #: every span hook is behind an ``is not None`` check so the
+        #: untraced hot path pays one flag test and zero allocations.
+        self._obs: Any = None
+        #: RequestContext of the message/continuation being processed;
+        #: stamped onto outgoing messages so the envelope flows
+        #: client -> controlet -> replication -> datalet -> ack without
+        #: any handler threading it explicitly.
+        self._ctx_current: Any = None
 
     # ------------------------------------------------------------------
     # lifecycle (called by the transport)
@@ -119,9 +135,11 @@ class Actor:
     # ------------------------------------------------------------------
     # messaging
     # ------------------------------------------------------------------
-    def send(self, dst: str, type: str, payload: Dict[str, Any] | None = None) -> Message:
+    def send(self, dst: str, type: str, payload: Dict[str, Any] | None = None,
+             *, ctx: Any = None) -> Message:
         """Fire-and-forget message."""
-        msg = Message(type=type, payload=payload or {}, src=self.node_id, dst=dst)
+        msg = Message(type=type, payload=payload or {}, src=self.node_id, dst=dst,
+                      ctx=ctx if ctx is not None else self._ctx_current)
         self._transmit(msg)
         return msg
 
@@ -132,6 +150,8 @@ class Actor:
         payload: Dict[str, Any] | None = None,
         callback: Optional[Reply] = None,
         timeout: Optional[float] = None,
+        *,
+        ctx: Any = None,
     ) -> Message:
         """Request/response: invoke ``callback(response, error)`` later.
 
@@ -139,12 +159,19 @@ class Actor:
         dropped message (dead peer) surfaces the same way, which is how
         every failover path in this codebase notices trouble.
         """
-        msg = Message(type=type, payload=payload or {}, src=self.node_id, dst=dst)
+        if ctx is None:
+            ctx = self._ctx_current
+        msg = Message(type=type, payload=payload or {}, src=self.node_id, dst=dst,
+                      ctx=ctx)
         if callback is not None:
+            span = None
+            if self._obs is not None and ctx is not None and ctx.trace_id is not None:
+                span = self._obs.begin(ctx, f"rpc:{type}", self.node_id)
+                msg.ctx = ctx.child(span.span_id)
             timer = None
             if timeout is not None:
                 timer = self.set_timer(timeout, lambda: self._expire(msg.msg_id, dst, type))
-            self._pending[msg.msg_id] = _Pending(callback, timer)
+            self._pending[msg.msg_id] = _Pending(callback, timer, ctx, span)
         self._transmit(msg)
         return msg
 
@@ -160,13 +187,24 @@ class Actor:
         """
         fwd = Message(
             type=req.type, payload=dict(req.payload), src=req.src, dst=dst,
-            msg_id=req.msg_id, reply_to=req.reply_to,
+            msg_id=req.msg_id, reply_to=req.reply_to, ctx=req.ctx,
         )
         self._transmit(fwd)
 
     def _expire(self, msg_id: int, dst: str, type: str) -> None:
         pending = self._pending.pop(msg_id, None)
-        if pending is not None:
+        if pending is None:
+            return
+        if pending.span is not None:
+            self._obs.end(pending.span, "timeout")
+        if pending.ctx is not None:
+            prev = self._ctx_current
+            self._ctx_current = pending.ctx
+            try:
+                pending.callback(None, RequestTimeout(f"{type} to {dst} timed out"))
+            finally:
+                self._ctx_current = prev
+        else:
             pending.callback(None, RequestTimeout(f"{type} to {dst} timed out"))
 
     def _transmit(self, msg: Message) -> None:
@@ -186,7 +224,17 @@ class Actor:
             if pending is not None:
                 if pending.timer is not None:
                     pending.timer.cancel()
-                pending.callback(msg, None)
+                if pending.span is not None:
+                    self._obs.end(pending.span, msg.type)
+                if pending.ctx is not None:
+                    prev = self._ctx_current
+                    self._ctx_current = pending.ctx
+                    try:
+                        pending.callback(msg, None)
+                    finally:
+                        self._ctx_current = prev
+                else:
+                    pending.callback(msg, None)
                 return
             # Late response after timeout: drop silently.
             return
@@ -201,7 +249,15 @@ class Actor:
         if handler is None:
             self.on_unhandled(msg)
             return
-        handler(msg)
+        if msg.ctx is not None:
+            prev = self._ctx_current
+            self._ctx_current = msg.ctx
+            try:
+                handler(msg)
+            finally:
+                self._ctx_current = prev
+        else:
+            handler(msg)
 
     def on_unhandled(self, msg: Message) -> None:
         """Hook for unknown message types; default replies with an error."""

@@ -27,6 +27,12 @@ class Message:
 
     ``reply_to`` carries the ``msg_id`` of the request a response
     answers; transports use it to resume the caller's continuation.
+
+    ``ctx`` is the per-request envelope (:class:`repro.obs.context.
+    RequestContext`) stamped by the actor fabric; it rides *outside*
+    the payload so it never affects modeled wire size, payload
+    sanitization, or protocol semantics.  ``None`` for messages that
+    are not part of a client request (heartbeats, timers, gossip).
     """
 
     type: str
@@ -35,6 +41,7 @@ class Message:
     dst: str = ""
     msg_id: int = field(default_factory=lambda: next(_msg_ids))
     reply_to: int = 0
+    ctx: Any = None
 
     def size_bytes(self) -> int:
         """Estimated wire size for network modeling."""
@@ -64,6 +71,7 @@ class Message:
             src=self.dst,
             dst=self.src,
             reply_to=self.msg_id,
+            ctx=self.ctx,
         )
 
     def __repr__(self) -> str:  # compact, log-friendly

@@ -19,6 +19,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.errors import BespoError
 from repro.net.actor import Actor
 from repro.net.message import Message
+from repro.obs.metrics import MetricsRegistry
 from repro.sim import (
     DEFAULT_COSTS,
     CostModel,
@@ -94,9 +95,14 @@ class ClientPort(Actor):
         type: str,
         payload: Dict[str, Any] | None = None,
         timeout: Optional[float] = None,
+        ctx: Any = None,
     ) -> SimFuture:
         """Send a request; the returned future resolves with the response
-        :class:`Message` or raises :class:`RequestTimeout`."""
+        :class:`Message` or raises :class:`RequestTimeout`.
+
+        ``ctx`` is the client's :class:`~repro.obs.context.RequestContext`
+        (request identity + tracing); it rides the message envelope end
+        to end."""
         if self._ctx is None:
             raise BespoError(f"port {self.node_id} not attached")
         fut: SimFuture = self._ctx._cluster.sim.create_future()  # type: ignore[attr-defined]
@@ -107,7 +113,7 @@ class ClientPort(Actor):
             else:
                 fut.set_result(resp)
 
-        self.call(dst, type, payload, callback=done, timeout=timeout)
+        self.call(dst, type, payload, callback=done, timeout=timeout, ctx=ctx)
         return fut
 
 
@@ -135,6 +141,13 @@ class SimCluster:
         #: optional :class:`repro.net.sanitize.PayloadSanitizer`; see
         #: :meth:`attach_sanitizer`.
         self.sanitizer: Optional[Any] = None
+        #: optional :class:`repro.obs.trace.SpanRecorder`; see
+        #: :meth:`attach_obs`.
+        self.obs: Optional[Any] = None
+        #: always-on metrics plane; actors' live stats dicts are
+        #: registered as scrape groups in :meth:`add_actor` and read only
+        #: when a snapshot is taken (harness.stats.collect_registry).
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # topology construction
@@ -167,6 +180,16 @@ class SimCluster:
         self._actors[actor.node_id] = actor
         self._actor_host[actor.node_id] = host
         actor.attach(_NodeCtx(actor.node_id, self))
+        actor._obs = self.obs
+        # metrics scrape source: an explicit metrics_group() hook wins,
+        # else a plain live `stats` dict (controlets) is registered as-is
+        group = getattr(actor, "metrics_group", None)
+        if callable(group):
+            self.metrics.register_group(actor.node_id, group)
+        else:
+            stats = getattr(actor, "stats", None)
+            if isinstance(stats, dict):
+                self.metrics.register_group(actor.node_id, stats)
         if self.network.params.duplicate_rate > 0.0:
             # the fabric may deliver a message twice; actors dedup by
             # msg_id like a TCP receive window would
@@ -216,6 +239,25 @@ class SimCluster:
         self.sanitizer = sanitizer
         return sanitizer
 
+    def attach_obs(self, recorder: Optional[Any] = None) -> Any:
+        """Enable end-to-end span tracing on this cluster.
+
+        Installs ``recorder`` (default: a fresh
+        :class:`~repro.obs.trace.SpanRecorder` on this cluster's clock)
+        on every current and future actor.  Attach **before**
+        :meth:`start` so boot-time requests are covered.  Without a
+        recorder the fabric's span hooks are single ``is None`` tests —
+        tracing off costs no allocations on the message hot path.
+        """
+        if recorder is None:
+            from repro.obs.trace import SpanRecorder  # local: optional feature
+
+            recorder = SpanRecorder(self.sim)
+        self.obs = recorder
+        for actor in self._actors.values():
+            actor._obs = recorder
+        return recorder
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
@@ -247,6 +289,10 @@ class SimCluster:
         nbytes = msg.size_bytes()
         if self.sanitizer is not None:
             self.sanitizer.on_send(msg)
+        if self.obs is not None and msg.ctx is not None and msg.ctx.trace_id is not None:
+            net_span = self.obs.begin(msg.ctx, f"net:{msg.type}", msg.src)
+        else:
+            net_span = None
 
         def on_arrival() -> None:
             if self.sanitizer is not None:
@@ -258,12 +304,26 @@ class SimCluster:
                 # at one actor are exactly the schedule-sensitive pair the
                 # detector is after.
                 self.race_tracer.record_access(msg.dst, f"deliver:{msg.type}")
+            if net_span is not None:
+                self.obs.end(net_span, "ok")
             host = self._hosts[dst_host]
             if host.free:
                 dst_actor.deliver(msg)
                 return
             demand = self.costs.msg_cost(dpdk=host.dpdk) + dst_actor.service_demand(msg, self.costs)
-            host.cpu.submit(demand).add_done_callback(lambda _f: dst_actor.deliver(msg))
+            if net_span is not None:
+                # receiver-side dispatch: CPU queueing + service time
+                # before the handler runs (the "controlet dispatch" /
+                # "datalet service" stages of the breakdown)
+                cpu_span = self.obs.begin(msg.ctx, f"cpu:{msg.type}", msg.dst)
+
+                def dispatched(_f: Any) -> None:
+                    self.obs.end(cpu_span, "ok")
+                    dst_actor.deliver(msg)
+
+                host.cpu.submit(demand).add_done_callback(dispatched)
+            else:
+                host.cpu.submit(demand).add_done_callback(lambda _f: dst_actor.deliver(msg))
 
         self.network.send(src_host, dst_host, nbytes, on_arrival)
 

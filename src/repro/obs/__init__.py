@@ -1,0 +1,25 @@
+"""Observability plane: request contexts, span tracing, and metrics.
+
+``repro.obs`` is a leaf package — it imports nothing from ``repro.net``
+or the controlets, so every layer (client, fabric, controlets, harness,
+chaos) can depend on it without cycles.  The fabric integrates with it
+by duck-typing: an :class:`~repro.obs.trace.SpanRecorder` attached via
+``SimCluster.attach_obs`` is stored on each actor as ``_obs`` and only
+consulted behind ``is not None`` checks, so a run without tracing pays
+a single flag test per hook and allocates nothing.
+"""
+
+from repro.obs.context import RequestContext
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import Span, SpanRecorder, TRACE_FORMAT
+
+__all__ = [
+    "RequestContext",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "TRACE_FORMAT",
+]

@@ -1,0 +1,164 @@
+"""Metrics plane: counters, gauges, and streaming-percentile histograms.
+
+One :class:`MetricsRegistry` lives on every ``SimCluster`` and absorbs
+the counter dicts previously scattered across controlets, datalets, the
+coordinator, the DLM, and the shared log.  Actors keep mutating their
+own plain dicts / attributes on the hot path (zero indirection cost);
+the registry holds *references* to those live sources via
+:meth:`MetricsRegistry.register_group` and only reads them when a
+snapshot is taken (``harness.stats.collect_registry``).
+
+Histograms are log-bucketed (geometric buckets, 25% growth), giving
+streaming p50/p95/p99 with O(1) ``observe`` and bounded memory
+regardless of sample count.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Mapping, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+# Geometric bucket growth factor.  log(v)/log(GROWTH) maps a value to
+# its bucket index; 1.25 keeps relative quantile error under ~12%.
+_GROWTH = 1.25
+_LOG_GROWTH = math.log(_GROWTH)
+# Values at or below this are clamped into the bottom bucket so that
+# zero-duration samples (same-tick events) never feed math.log(0).
+_FLOOR = 1e-9
+
+
+class Counter:
+    """Monotonic counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+
+class Histogram:
+    """Log-bucketed histogram with streaming percentile estimates."""
+
+    __slots__ = ("count", "sum", "_min", "_max", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._buckets: Dict[int, int] = {}
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.sum += v
+        if self._min is None or v < self._min:
+            self._min = v
+        if self._max is None or v > self._max:
+            self._max = v
+        idx = int(math.floor(math.log(max(v, _FLOOR)) / _LOG_GROWTH))
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q`` quantile (0 < q <= 1) from the buckets."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= rank:
+                # geometric midpoint of the bucket [g^idx, g^(idx+1))
+                mid = _GROWTH ** (idx + 0.5)
+                lo = self._min if self._min is not None else mid
+                hi = self._max if self._max is not None else mid
+                return min(max(mid, lo), hi)
+        return self._max if self._max is not None else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        mean = self.sum / self.count if self.count else 0.0
+        return {
+            "count": float(self.count),
+            "sum": self.sum,
+            "mean": mean,
+            "min": self._min if self._min is not None else 0.0,
+            "max": self._max if self._max is not None else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+# A group source is either a live dict the owner keeps mutating, or a
+# zero-arg callable producing one on demand.
+GroupSource = Union[Mapping[str, float], Callable[[], Mapping[str, float]]]
+
+
+class MetricsRegistry:
+    """Get-or-create registry for counters/gauges/histograms + scrape groups."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._groups: Dict[str, GroupSource] = {}
+
+    # -- instruments -----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    # -- scrape groups ---------------------------------------------------
+    def register_group(self, prefix: str, source: GroupSource) -> None:
+        """Expose a live stats dict (or callable) under ``prefix``.
+
+        The source is read only at :meth:`snapshot` time, so owners pay
+        nothing per update — they keep bumping their own plain dicts.
+        """
+        self._groups[prefix] = source
+
+    # -- snapshot --------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        groups: Dict[str, Dict[str, float]] = {}
+        for prefix in sorted(self._groups):
+            source = self._groups[prefix]
+            data = source() if callable(source) else source
+            groups[prefix] = {k: float(v) for k, v in sorted(data.items())}
+        return {
+            "counters": {k: self._counters[k].value
+                         for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {k: self._histograms[k].snapshot()
+                           for k in sorted(self._histograms)},
+            "groups": groups,
+        }

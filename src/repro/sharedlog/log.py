@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import BespoError
 from repro.net.actor import Actor
@@ -14,22 +15,28 @@ __all__ = ["LogEntry", "SharedLog", "SharedLogActor"]
 
 @dataclass(frozen=True)
 class LogEntry:
-    """One totally-ordered record."""
+    """One totally-ordered record.
+
+    ``rid`` is the client request id the write was appended under (None
+    for unstamped writers); replaying consumers forward it so secondary
+    propagation paths (the AA-MS hybrid's slaves) inherit the identity.
+    """
 
     pos: int
     writer: str
     op: str
     key: str
     value: Optional[str]
+    rid: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {"pos": self.pos, "writer": self.writer, "op": self.op,
-                "key": self.key, "value": self.value}
+                "key": self.key, "value": self.value, "rid": self.rid}
 
     @classmethod
     def from_dict(cls, d: Dict[str, Any]) -> "LogEntry":
         return cls(int(d["pos"]), str(d["writer"]), str(d["op"]),
-                   str(d["key"]), d["value"])
+                   str(d["key"]), d["value"], d.get("rid"))
 
 
 class SharedLog:
@@ -52,8 +59,9 @@ class SharedLog:
     def base(self) -> int:
         return self._base
 
-    def append(self, writer: str, op: str, key: str, value: Optional[str]) -> LogEntry:
-        entry = LogEntry(self._next, writer, op, key, value)
+    def append(self, writer: str, op: str, key: str, value: Optional[str],
+               rid: Optional[str] = None) -> LogEntry:
+        entry = LogEntry(self._next, writer, op, key, value, rid)
         self._next += 1
         if len(self._segments[-1]) >= self._segment_size:
             self._segments.append([])
@@ -109,9 +117,17 @@ class SharedLogActor(Actor):
 
     Protocol:
 
-    * ``log_append`` {op, key, val} → ``appended`` {pos}
+    * ``log_append`` {op, key, val[, rid]} → ``appended`` {pos[, dup]}
     * ``log_fetch`` {pos, max} → ``entries`` {entries, tail}
     * ``log_trim`` {pos} → ``ok`` {dropped}
+
+    **Sequencer-side dedup**: the sequencer is the one total-order
+    point every AA+EC write passes through, so it also owns duplicate
+    suppression.  An append carrying a ``rid`` already sequenced is
+    *not* re-appended — the original position is returned with
+    ``dup: True`` so the accepting active acks without re-applying.
+    This catches client retries routed to a different active, which no
+    per-controlet cache can see.
 
     **Auto-trim** ("the duration to keep the requests in Shared Log is
     configurable", App C-C): a reader's ``log_fetch`` at position *p*
@@ -132,6 +148,11 @@ class SharedLogActor(Actor):
         self.high_watermark = high_watermark
         self._cursors: Dict[str, int] = {}
         self.auto_trims = 0
+        self.appends = 0
+        self.dup_appends = 0
+        #: rid → sequenced position, bounded FIFO (dedup window).
+        self._rid_pos: Dict[str, int] = {}
+        self._rid_order: Deque[str] = deque(maxlen=65536)
         self.register("log_append", self._on_append)
         self.register("log_fetch", self._on_fetch)
         # Operator/retention API: driven from outside the actor system
@@ -145,13 +166,36 @@ class SharedLogActor(Actor):
         return costs.scaled("sharedlog_fetch_cost")
 
     def _on_append(self, msg: Message) -> None:
+        rid = msg.payload.get("rid")
+        if rid is not None:
+            pos = self._rid_pos.get(rid)
+            if pos is not None:
+                self.dup_appends += 1
+                self.respond(msg, "appended", {"pos": pos, "dup": True})
+                return
         entry = self.log.append(
             writer=msg.src,
             op=msg.payload["op"],
             key=msg.payload["key"],
             value=msg.payload.get("val"),
+            rid=rid,
         )
+        if rid is not None:
+            if len(self._rid_order) == self._rid_order.maxlen:
+                self._rid_pos.pop(self._rid_order[0], None)
+            self._rid_order.append(rid)
+            self._rid_pos[rid] = entry.pos
+        self.appends += 1
         self.respond(msg, "appended", {"pos": entry.pos})
+
+    def metrics_group(self) -> Dict[str, float]:
+        return {
+            "appends": self.appends,
+            "dup_appends": self.dup_appends,
+            "auto_trims": self.auto_trims,
+            "tail": self.log.tail,
+            "retained": len(self.log),
+        }
 
     def _on_fetch(self, msg: Message) -> None:
         pos = msg.payload["pos"]

@@ -169,8 +169,8 @@ class BrokenChainControlet(MSStrongControlet):
     """Acks writes as soon as the head applied locally — never forwards
     down the chain, so tail reads serve stale data."""
 
-    def _forward_down(self, msg, op, retries):
-        self.respond(msg, "ok")
+    def _forward_down(self, req):
+        req.ack()
 
 
 def test_oracle_flags_broken_chain_as_non_linearizable():

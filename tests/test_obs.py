@@ -1,0 +1,280 @@
+"""Observability plane tests (PR 5): tracing, metrics, rid dedup.
+
+Pins the four load-bearing properties of the RequestContext refactor:
+
+* traces are **seed-stable**: same seed ⇒ byte-identical JSONL dumps;
+* attaching a recorder is **pure observation**: chaos digests are
+  identical with tracing on and off;
+* tracing off adds nothing the oracle can see, but request ids still
+  flow — replicas deduplicate client retries (``dup_writes``), and the
+  oracle may assume exactly-once for combos with a full dedup path;
+* the metrics registry scrapes live actor stats without a single
+  simulation message.
+"""
+
+import filecmp
+
+import pytest
+
+from repro.chaos import check_linearizable, run_combo
+from repro.chaos.history import OpRecord
+from repro.cli import main
+from repro.core.types import Consistency, Topology
+from repro.errors import BespoError
+from repro.harness import Deployment, DeploymentSpec
+from repro.harness.stats import collect_registry
+from repro.obs import RequestContext
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.trace import TRACE_FORMAT
+
+
+def build(topology=Topology.MS, consistency=Consistency.STRONG, trace=True,
+          seed=7, **kw):
+    dep = Deployment(
+        DeploymentSpec(shards=2, replicas=3, topology=topology,
+                       consistency=consistency, seed=seed, **kw)
+    )
+    recorder = dep.cluster.attach_obs() if trace else None
+    dep.start()
+    client = dep.client("c0")
+    dep.sim.run_future(client.connect())
+    return dep, client, recorder
+
+
+def drive(dep, client, ops=30):
+    for i in range(ops):
+        key = f"k{i % 6}"
+        try:
+            if i % 3 == 2:
+                dep.sim.run_future(client.get(key))
+            elif i % 7 == 6:
+                dep.sim.run_future(client.delete(key))
+            else:
+                dep.sim.run_future(client.put(key, f"v{i}"))
+        except BespoError:
+            pass  # not-yet-written keys read as absent
+    dep.sim.run_until(dep.sim.now + 1.0)
+
+
+# ---------------------------------------------------------------------------
+# tracing
+# ---------------------------------------------------------------------------
+def test_same_seed_traces_are_byte_identical(tmp_path):
+    paths = []
+    for run in range(2):
+        dep, client, recorder = build(seed=7)
+        drive(dep, client)
+        path = tmp_path / f"run{run}.jsonl"
+        recorder.dump(str(path), meta={"seed": 7})
+        paths.append(path)
+    assert filecmp.cmp(paths[0], paths[1], shallow=False)
+    first = paths[0].read_text().splitlines()[0]
+    assert TRACE_FORMAT in first
+
+
+def test_span_tree_well_formed_and_stages_present():
+    dep, client, recorder = build()
+    drive(dep, client)
+    assert recorder.validate() == []
+    names = {s.name for s in recorder.spans}
+    # client root + RPC attempt + fabric transit + receiver CPU stages
+    assert "op:put" in names and "op:get" in names
+    assert any(n.startswith("rpc:") for n in names)
+    assert any(n.startswith("net:") for n in names)
+    assert any(n.startswith("cpu:") for n in names)
+    # replication shows up under its own RPC type (MS+SC: chain_put)
+    assert "rpc:chain_put" in names
+    breakdown = recorder.breakdown()
+    assert breakdown["op:put"]["count"] >= 1
+    assert breakdown["op:put"]["p95_ms"] >= breakdown["op:put"]["p50_ms"] >= 0
+
+
+def test_format_trace_renders_nested_tree():
+    dep, client, recorder = build()
+    dep.sim.run_future(client.put("k", "v"))
+    dep.sim.run_until(dep.sim.now + 1.0)
+    root = next(s for s in recorder.spans if s.name == "op:put")
+    text = recorder.format_trace(root.trace_id)
+    lines = text.splitlines()
+    assert lines[0].startswith("op:put")
+    assert any(line.startswith("  ") for line in lines)  # children indented
+
+
+def test_tracing_off_records_nothing_but_ops_still_work():
+    dep, client, recorder = build(trace=False)
+    drive(dep, client, ops=10)
+    assert recorder is None
+    assert dep.cluster.obs is None
+    assert dep.sim.run_future(client.get("k1")) is not None
+
+
+def test_chaos_digest_invariant_under_tracing():
+    kw = dict(seed=3, duration=6.0)
+    plain = run_combo(Topology.MS, Consistency.STRONG, **kw)
+    traced = run_combo(Topology.MS, Consistency.STRONG, trace=True, **kw)
+    assert plain.digest == traced.digest
+    assert plain.recorder is None
+    assert traced.recorder is not None and traced.recorder.spans
+
+
+# ---------------------------------------------------------------------------
+# request-id dedup
+# ---------------------------------------------------------------------------
+def test_duplicate_rid_put_is_deduplicated():
+    dep, client, _ = build(trace=False)
+    port = dep.cluster.add_port("raw")
+    head = client.shard_for("k").head.controlet
+    ctx = RequestContext(origin="raw", req_id="raw.1")
+    r1 = dep.sim.run_future(
+        port.request(head, "put", {"key": "k", "val": "v1"}, timeout=5.0,
+                     ctx=ctx))
+    assert r1.type == "ok"
+    # same rid again (different value): served from the done-cache, not
+    # re-executed — the stored value must stay v1
+    r2 = dep.sim.run_future(
+        port.request(head, "put", {"key": "k", "val": "IGNORED"}, timeout=5.0,
+                     ctx=ctx))
+    assert r2.type == "ok"
+    dep.sim.run_until(dep.sim.now + 0.5)
+    assert dep.sim.run_future(client.get("k")) == "v1"
+    stats = dep.cluster.actor(head).stats
+    assert stats.get("dup_writes", 0) >= 1
+    # a fresh rid executes normally
+    ctx2 = RequestContext(origin="raw", req_id="raw.2")
+    r3 = dep.sim.run_future(
+        port.request(head, "put", {"key": "k", "val": "v2"}, timeout=5.0,
+                     ctx=ctx2))
+    assert r3.type == "ok"
+    dep.sim.run_until(dep.sim.now + 0.5)
+    assert dep.sim.run_future(client.get("k")) == "v2"
+
+
+def test_client_stamps_unique_rids_on_mutations():
+    dep, client, recorder = build()
+    dep.sim.run_future(client.put("a", "1"))
+    dep.sim.run_future(client.put("b", "2"))
+    dep.sim.run_future(client.delete("a"))
+    dep.sim.run_until(dep.sim.now + 0.5)
+    # every mutation opened a root span carrying a distinct rid
+    roots = [s for s in recorder.spans if s.name in ("op:put", "op:del")]
+    assert len(roots) == 3
+
+
+# ---------------------------------------------------------------------------
+# oracle: ghost writes vs exactly-once
+# ---------------------------------------------------------------------------
+def _timeout_retry_history():
+    """v2 was acked after one timeout retry; v3 then lands; a read sees
+    v2 again.  Legal only if the fabric may have duplicated v2."""
+    return [
+        OpRecord(op_id=1, client="c0", op="put", key="k", value="v2",
+                 invoke=0.0, response=3.0, status="ok",
+                 attempts=2, timeouts=1, req_id="c0.1"),
+        OpRecord(op_id=2, client="c0", op="put", key="k", value="v3",
+                 invoke=4.0, response=5.0, status="ok",
+                 attempts=1, timeouts=0, req_id="c0.2"),
+        OpRecord(op_id=3, client="c0", op="get", key="k", value=None,
+                 invoke=6.0, response=7.0, status="ok", result="v2"),
+    ]
+
+
+def test_oracle_allows_ghost_duplicate_without_dedup():
+    assert check_linearizable(_timeout_retry_history()).ok
+
+
+def test_oracle_exact_once_forbids_ghost_duplicate():
+    report = check_linearizable(_timeout_retry_history(), exact_once=True)
+    assert not report.ok
+
+
+def test_oracle_record_without_rid_falls_back_to_attempts():
+    # no req_id: every extra attempt is a potential duplicate even
+    # without timeouts being recorded
+    history = [
+        OpRecord(op_id=1, client="c0", op="put", key="k", value="v2",
+                 invoke=0.0, response=3.0, status="ok", attempts=2),
+        OpRecord(op_id=2, client="c0", op="put", key="k", value="v3",
+                 invoke=4.0, response=5.0, status="ok"),
+        OpRecord(op_id=3, client="c0", op="get", key="k", value=None,
+                 invoke=6.0, response=7.0, status="ok", result="v2"),
+    ]
+    assert check_linearizable(history).ok
+
+
+# ---------------------------------------------------------------------------
+# metrics plane
+# ---------------------------------------------------------------------------
+def test_histogram_percentiles_track_known_distribution():
+    h = Histogram()
+    for v in range(1, 1001):  # 1..1000 ms, uniform
+        h.observe(v / 1e3)
+    snap = h.snapshot()
+    assert snap["count"] == 1000.0
+    assert snap["min"] == pytest.approx(0.001)
+    assert snap["max"] == pytest.approx(1.0)
+    assert snap["mean"] == pytest.approx(0.5005)
+    # log buckets (25% growth) guarantee ~12% relative quantile error
+    assert snap["p50"] == pytest.approx(0.5, rel=0.15)
+    assert snap["p95"] == pytest.approx(0.95, rel=0.15)
+    assert snap["p99"] == pytest.approx(0.99, rel=0.15)
+
+
+def test_histogram_empty_and_zero_samples():
+    h = Histogram()
+    assert h.snapshot()["p50"] == 0.0
+    h.observe(0.0)  # same-tick duration must not feed log(0)
+    assert h.snapshot()["count"] == 1.0
+
+
+def test_registry_groups_scrape_live_sources():
+    reg = MetricsRegistry()
+    live = {"ops": 1}
+    reg.register_group("static", live)
+    reg.register_group("lazy", lambda: {"depth": 4})
+    live["ops"] = 7  # mutated after registration: snapshot sees it
+    snap = reg.snapshot()
+    assert snap["groups"]["static"] == {"ops": 7.0}
+    assert snap["groups"]["lazy"] == {"depth": 4.0}
+    reg.counter("sent").inc(3)
+    reg.gauge("depth").set(2)
+    snap = reg.snapshot()
+    assert snap["counters"]["sent"] == 3.0
+    assert snap["gauges"]["depth"] == 2.0
+
+
+def test_collect_registry_scrapes_cluster_without_messages():
+    dep, client, _ = build(trace=False)
+    drive(dep, client, ops=12)
+    sent_before = dep.cluster.sim.now
+    snap = collect_registry(dep)
+    assert dep.cluster.sim.now == sent_before  # zero simulation activity
+    groups = snap["groups"]
+    # every layer registered a group: client, controlets ("c<shard>.<pos>"),
+    # datalets ("d<shard>.<pos>"), coordinator
+    assert any(name.startswith("client.") for name in groups)
+    assert "c0.0" in groups and "d0.0" in groups
+    assert "coordinator" in groups
+    # controlet stats absorbed into the plane include the dedup counter
+    assert groups["c0.0"].get("puts", 0) > 0
+    # datalet op counts flow through the metrics_group hook
+    assert groups["d0.0"].get("ops_put", 0) > 0
+    client_stats = groups[f"client.{client.name}"]
+    assert client_stats["ops"] >= 12
+    # client latency histograms fed by the op path
+    assert any(name.startswith("client.c0.latency_") and v["count"] > 0
+               for name, v in snap["histograms"].items())
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+def test_trace_cli_smoke(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    rc = main(["trace", "--combo", "ms_sc", "--seed", "1", "--ops", "24",
+               "--out", str(out), "--check"])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "span tree: well-formed" in printed
+    assert "op:put" in printed
+    header = out.read_text().splitlines()[0]
+    assert TRACE_FORMAT in header

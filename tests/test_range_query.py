@@ -91,6 +91,43 @@ def test_map_not_ready_yields_clean_error():
     assert resp.type in ("range", "error")
 
 
+def test_failover_mid_scan_then_recovers():
+    """Kill a sub-scan target mid-query: the in-flight range query fails
+    cleanly (no hang), and after failover + map refresh the same range
+    succeeds with the full result set from the replacement tail."""
+    dep = Deployment(
+        DeploymentSpec(
+            shards=3, replicas=3, standbys=2,
+            topology=Topology.MS, consistency=Consistency.EVENTUAL,
+            datalet_kinds=("mt",), partitioner="range",
+            controlet_class=RangeQueryControlet,
+        )
+    )
+    dep.start()
+    client = dep.client("c0")
+    dep.sim.run_future(client.connect())
+    port = dep.cluster.add_port("raw")
+    keys = load(dep, client)
+
+    # the whole-keyspace range fans out to every shard's tail; kill one
+    # tail while the query is in flight
+    entry = dep.shard(0).head.controlet
+    fut = port.request(entry, "get_range", {"start": "a00", "end": "z99"},
+                       timeout=30.0)
+    dep.sim.run_until(dep.sim.now + 0.001)  # let sub-scans get issued
+    dep.kill_replica(1, chain_pos=len(dep.shard(1).replicas) - 1)  # tail
+    resp = dep.sim.run_future(fut)
+    # the dead sub-scan surfaces as a clean error or (if the scan beat
+    # the kill on the wire) the complete result — never a hang
+    assert resp.type in ("range", "error")
+
+    # after failover the refreshed map routes to the replacement tail
+    dep.sim.run_until(dep.sim.now + 12.0)
+    resp = ask(dep, port, entry, {"start": "a00", "end": "z99"})
+    assert resp.type == "range"
+    assert [k for k, _ in resp.payload["items"]] == sorted(keys)
+
+
 def test_plain_kv_ops_still_work_with_subclass():
     dep, client, port = build(shards=2)
     dep.sim.run_future(client.put("hello", "world"))

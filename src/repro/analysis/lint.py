@@ -32,6 +32,15 @@ historically gets broken:
     across processes (``PYTHONHASHSEED``, allocator layout); anything
     ordering or seeding off them breaks cross-run replay.  Use
     :func:`repro.hashing.stable_hash`.
+``fs-ordering``
+    Directory listing with no defined order in protocol code
+    (``os.listdir``, ``os.scandir``, ``os.walk``, ``glob.glob``/
+    ``iglob``, ``Path.iterdir``/``.glob``/``.rglob``).  Listing order
+    is filesystem-dependent, so WAL replay or durable-store iteration
+    driven by it diverges across machines; wrap the listing directly in
+    ``sorted(...)``.  (The simulated
+    :class:`~repro.sim.durable.DurableStore` iterates sorted names for
+    exactly this reason.)
 ``mutable-payload``
     A local name aliased into a sent payload (bare argument to
     ``send``/``call``/``respond``/``datalet_call``/..., or a value
@@ -128,6 +137,10 @@ _PAYLOAD_MUTATORS = {
     "update", "pop", "popitem", "setdefault", "clear",
     "append", "extend", "insert", "remove", "sort", "reverse",
 }
+#: directory listings with filesystem-dependent order.
+_FS_LISTING_OS = {"listdir", "scandir", "walk"}
+_FS_LISTING_GLOB = {"glob", "iglob"}
+_FS_LISTING_METHODS = {"iterdir", "rglob", "glob"}
 
 
 def _harvest_payload_names(node: ast.expr, out: Set[str]) -> None:
@@ -159,7 +172,7 @@ def _parse_pragmas(source: str) -> Dict[int, Set[str]]:
 class _Imports:
     """Resolve names back to the stdlib modules the rules care about."""
 
-    MODULES = {"time", "datetime", "random", "os", "uuid", "secrets"}
+    MODULES = {"time", "datetime", "random", "os", "uuid", "secrets", "glob"}
 
     def __init__(self, tree: ast.Module):
         #: local alias -> module name ("t" -> "time")
@@ -364,9 +377,13 @@ class _Linter(ast.NodeVisitor):
             ):
                 for arg in node.args:
                     if isinstance(
-                        arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                        arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp,
+                              ast.Call)
                     ):
+                        # a listing call flowing straight into sorted()
+                        # & co. cannot leak its order
                         self._blessed.add(id(arg))
+            self._check_fs_ordering(node, resolved)
             if (
                 isinstance(node.func, ast.Name)
                 and node.func.id in _ITER_WRAPPERS
@@ -379,6 +396,33 @@ class _Linter(ast.NodeVisitor):
                     "arbitrary order; wrap the set in sorted(...)",
                 )
         self.generic_visit(node)
+
+    def _check_fs_ordering(self, node: ast.Call,
+                           resolved: Optional[Tuple[str, str]]) -> None:
+        """Flag directory listings whose order the filesystem decides,
+        unless the listing is the direct argument of an order-insensitive
+        consumer (``sorted(os.listdir(p))`` is the sanctioned idiom)."""
+        if id(node) in self._blessed:
+            return
+        hit: Optional[str] = None
+        if resolved is not None:
+            module, attr = resolved
+            if module == "os" and attr in _FS_LISTING_OS:
+                hit = f"os.{attr}()"
+            elif module == "glob" and attr in _FS_LISTING_GLOB:
+                hit = f"glob.{attr}()"
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_LISTING_METHODS
+        ):
+            hit = f".{node.func.attr}()"
+        if hit is not None:
+            self._flag(
+                node, "fs-ordering",
+                f"{hit} lists files in filesystem-dependent order; WAL "
+                "replay and durable-store iteration must not depend on "
+                "it — wrap the listing directly in sorted(...)",
+            )
 
     def _check_stdlib_call(self, node: ast.Call, module: str, attr: str) -> None:
         if module == "time" and attr in _WALLCLOCK_TIME:

@@ -18,7 +18,13 @@ entirely on the simulated clock so every run is replayable from a seed:
 
 from repro.chaos.controller import ChaosController
 from repro.chaos.history import HistoryRecorder, OpRecord
-from repro.chaos.oracle import OracleReport, check_eventual, check_linearizable
+from repro.chaos.oracle import (
+    OracleReport,
+    RecoveryRecord,
+    check_eventual,
+    check_linearizable,
+    check_recovery,
+)
 from repro.chaos.schedule import FaultEvent, FaultSchedule, fault_menu, random_schedule
 from repro.chaos.runner import ComboResult, SoakReport, run_combo, run_soak
 
@@ -30,9 +36,11 @@ __all__ = [
     "HistoryRecorder",
     "OpRecord",
     "OracleReport",
+    "RecoveryRecord",
     "SoakReport",
     "check_eventual",
     "check_linearizable",
+    "check_recovery",
     "fault_menu",
     "random_schedule",
     "run_combo",

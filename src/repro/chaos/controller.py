@@ -28,10 +28,16 @@ class ChaosController:
     def __init__(self, deployment, schedule: FaultSchedule):
         # accept either a harness Deployment or a bare SimCluster
         self.cluster: SimCluster = getattr(deployment, "cluster", deployment)
+        # kept (when given a Deployment) for recover-restarts, which go
+        # through Deployment.recover_host rather than a bare host thaw
+        self.deployment = deployment if deployment is not self.cluster else None
         self.sim = self.cluster.sim
         self.schedule = schedule
         #: (sim_time, event) pairs in application order.
         self.applied: List[Tuple[float, FaultEvent]] = []
+        #: RecoveryRecords from recover-restarts, in application order —
+        #: the recovery oracle audits these after the run.
+        self.recoveries: List = []
         self._armed = False
 
     # ------------------------------------------------------------------
@@ -51,7 +57,12 @@ class ChaosController:
         if ev.kind == "crash":
             self.cluster.kill_host(ev.target)
         elif ev.kind == "restart":
-            self.cluster.restart_host(ev.target)
+            if ev.recover and self.deployment is not None:
+                rec = self.deployment.recover_host(ev.target)
+                if rec is not None:
+                    self.recoveries.append(rec)
+            else:
+                self.cluster.restart_host(ev.target)
         elif ev.kind == "partition":
             if ev.oneway:
                 net.cut_oneway(ev.target, ev.peer)

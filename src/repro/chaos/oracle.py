@@ -18,6 +18,15 @@ Two checkers, matched to what each consistency mode actually promises:
   replica and serve reads from any replica, so a session reading its
   own stale value is legitimate staleness, not a bug (see
   docs/ARCHITECTURE.md).
+
+* :func:`check_recovery` — judges crash-restart recoveries (WAL replay
+  + rejoin).  Durability floor: replay must reach the fsync watermark
+  at crash time (no synced record lost).  Validity: recovered state
+  holds only client-written values.  No resurrection: a settled delete
+  must stay deleted, and a settled write's value must survive to the
+  final replica state.  "Settled" is deliberately conservative — it
+  excludes any key with a failed/pending mutation, whose ghost could
+  legitimately land at any later time.
 """
 
 from __future__ import annotations
@@ -27,7 +36,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.history import OpRecord
 
-__all__ = ["OracleReport", "check_linearizable", "check_eventual"]
+__all__ = [
+    "OracleReport",
+    "RecoveryRecord",
+    "check_linearizable",
+    "check_eventual",
+    "check_recovery",
+]
 
 
 @dataclass
@@ -261,6 +276,200 @@ def check_eventual(
         "invalid_reads": bad_reads,
         "shards_compared": len(replica_dumps),
         "stale_session_reads": len(stale_sessions),
+    }
+    return report
+
+
+# ---------------------------------------------------------------------------
+# recovery correctness (durable crash-restart)
+# ---------------------------------------------------------------------------
+@dataclass
+class RecoveryRecord:
+    """Provenance of one durable crash-restart recovery.
+
+    Built by ``Deployment.recover_host`` at re-spawn time; the fields
+    capture both the WAL replay outcome and the fsync watermark the
+    crashed node had promised, so :func:`check_recovery` can audit that
+    no synced record was lost and no deleted key resurrected.
+    """
+
+    host: str
+    shard_id: str
+    datalet: str
+    crash_time: float
+    recover_time: float
+    #: highest seq the WAL had fsynced when the host died — the floor
+    #: replay must reach.
+    durable_seq_at_crash: int
+    #: highest seq actually applied during replay.
+    replayed_seq: int
+    snapshot_seq: int
+    records_applied: int
+    torn_tail_dropped: int
+    #: full engine state right after WAL replay, *before* catch-up.
+    recovered: Dict[str, Optional[str]] = field(default_factory=dict)
+    #: peer datalet the rejoining node catches up from (None = none live).
+    catchup_source: Optional[str] = None
+
+
+def _settled_mutations(
+    records: Sequence[OpRecord],
+) -> Tuple[Dict[str, OpRecord], Dict[str, OpRecord]]:
+    """(settled deletes, settled writes) by key.
+
+    A key's history is *settled* when its last mutation (by invocation
+    time) is acked and every other mutation on the key finished —
+    strictly before the last one began — with an ok/not_found status.
+    Any failed or still-pending mutation dissolves settledness: its
+    ghost may execute at an arbitrary later point, so nothing about the
+    key's final state can be promised.
+    """
+    by_key: Dict[str, List[OpRecord]] = {}
+    for rec in records:
+        if rec.op in ("put", "del"):
+            by_key.setdefault(rec.key, []).append(rec)
+    deletes: Dict[str, OpRecord] = {}
+    writes: Dict[str, OpRecord] = {}
+    for key in sorted(by_key):
+        muts = by_key[key]
+        if any(m.status not in ("ok", "not_found") for m in muts):
+            continue  # ghost-capable op in history: unsettled
+        last = max(muts, key=lambda m: m.invoke)
+        if last.status != "ok":
+            continue
+        others = [m for m in muts if m is not last]
+        if any(m.response is None or m.response > last.invoke for m in others):
+            continue  # concurrent with the last mutation: ambiguous
+        if last.op == "del":
+            deletes[key] = last
+        else:
+            writes[key] = last
+    return deletes, writes
+
+
+def check_recovery(
+    records: Sequence[OpRecord],
+    recoveries: Sequence[RecoveryRecord],
+    replica_dumps: Dict[str, Dict[str, Dict[str, str]]],
+    strong: bool = True,
+    synced_acks: bool = True,
+    ack_durable: bool = True,
+) -> OracleReport:
+    """Judge durable crash-restart recoveries against the history.
+
+    * **durability floor** — per recovery, WAL replay must reach the
+      fsync watermark the node held at crash time (``replayed_seq >=
+      durable_seq_at_crash``): a synced record may never be lost.
+    * **validity** — the recovered (pre-catch-up) state contains only
+      values some client actually wrote for that key.
+    * **no resurrection (per recovery)** — with ``strong`` replication
+      and ``synced_acks`` (``sync_every=1``), an acked delete was
+      applied and fsynced on every live replica before the ack, so a
+      *settled* delete acked before the crash must not reappear in the
+      replayed state.
+    * **settled final values** — after heal + quiesce, a settled delete
+      stays absent from every replica of its shard and a settled
+      write's value is what every replica holds: rejoining with
+      recovered-but-stale state must not leak into the final state.
+      Enforced only when ``ack_durable``: when an ack implies a durable
+      copy somewhere — a strong chain (every live replica applied it),
+      per-ack fsync, or a shared ordering log.  MS+EC with group commit
+      promises neither: the ack covers one in-memory replica whose
+      fsync trails it, so a crash may legally roll back the acked
+      unsynced tail — and the rejoined master's fresh incarnation
+      resyncs its slaves to that rolled-back state, exactly as a
+      production master restarting from a stale disk image does.  Those
+      losses are reported as warnings, not violations.
+    """
+    report = OracleReport()
+    written: Dict[str, set] = {}
+    for rec in records:
+        if rec.op == "put":  # any status: an unacked put may have landed
+            written.setdefault(rec.key, set()).add(rec.value)
+    deletes, writes = _settled_mutations(records)
+
+    # -- per-recovery checks --------------------------------------------
+    floor_failures = 0
+    for r in recoveries:
+        if r.replayed_seq < r.durable_seq_at_crash:
+            floor_failures += 1
+            report.violations.append(
+                f"recovery: {r.datalet} on {r.host} replayed seq "
+                f"{r.replayed_seq} < durable seq {r.durable_seq_at_crash} "
+                f"at crash — a synced record was lost"
+            )
+        for key in sorted(r.recovered):
+            val = r.recovered[key]
+            if val is not None and val not in written.get(key, ()):
+                report.violations.append(
+                    f"recovery: {r.datalet} replayed {key!r}={val!r}, "
+                    f"never written by any client"
+                )
+        if strong and synced_acks:
+            for key in sorted(set(r.recovered) & set(deletes)):
+                d = deletes[key]
+                if d.response is not None and d.response <= r.crash_time:
+                    report.violations.append(
+                        f"recovery: {r.datalet} resurrected {key!r} — "
+                        f"deleted (acked {d.response:.3f}) before crash "
+                        f"({r.crash_time:.3f}), yet present after replay"
+                    )
+
+    # -- settled final state across every replica -----------------------
+    # which shard owns a key is recovered from the dumps themselves:
+    # a settled write's key must be held (with the settled value) by
+    # every replica of the shard where it appears, and appear somewhere.
+    final_state: List[str] = []
+    key_shard: Dict[str, str] = {}
+    for shard_id in sorted(replica_dumps):
+        for replica_id in sorted(replica_dumps[shard_id]):
+            dump = replica_dumps[shard_id][replica_id]
+            for key in sorted(set(dump) & set(deletes)):
+                final_state.append(
+                    f"recovery: shard {shard_id} replica {replica_id} "
+                    f"resurrected settled-deleted key {key!r}"
+                )
+            for key in dump:
+                key_shard.setdefault(key, shard_id)
+    every_shard_dumped = replica_dumps and all(
+        replica_dumps[s] for s in replica_dumps
+    )
+    for key in sorted(writes):
+        want = writes[key].value
+        shard_id = key_shard.get(key)
+        if shard_id is None:
+            if every_shard_dumped:
+                final_state.append(
+                    f"recovery: settled write {key!r}={want!r} absent from "
+                    f"every replica — acked write lost"
+                )
+            continue
+        for replica_id in sorted(replica_dumps[shard_id]):
+            got = replica_dumps[shard_id][replica_id].get(key)
+            if got != want:
+                final_state.append(
+                    f"recovery: shard {shard_id} replica {replica_id} "
+                    f"holds {key!r}={got!r}, settled write was {want!r}"
+                )
+    if ack_durable:
+        report.violations.extend(final_state)
+    else:
+        # acks carried no durable copy (MS+EC group commit): a crash may
+        # legally roll back the acked unsynced tail cluster-wide, so the
+        # divergence is informative, not a correctness failure
+        report.warnings.extend(
+            f"{msg} (legal: acks not durable under group commit)"
+            for msg in final_state
+        )
+
+    report.stats = {
+        "recoveries": len(recoveries),
+        "torn_tails": sum(r.torn_tail_dropped for r in recoveries),
+        "records_replayed": sum(r.records_applied for r in recoveries),
+        "settled_deletes": len(deletes),
+        "settled_writes": len(writes),
+        "floor_failures": floor_failures,
+        "final_state_issues": len(final_state),
     }
     return report
 

@@ -28,7 +28,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.controller import ChaosController
 from repro.chaos.history import HistoryRecorder
-from repro.chaos.oracle import OracleReport, check_eventual, check_linearizable
+from repro.chaos.oracle import (
+    OracleReport,
+    check_eventual,
+    check_linearizable,
+    check_recovery,
+)
 from repro.chaos.schedule import FaultSchedule, random_schedule
 from repro.core.types import Consistency, Topology
 from repro.errors import BespoError
@@ -126,12 +131,22 @@ def run_combo(
     detect_races: bool = False,
     sanitize: bool = False,
     trace: bool = False,
+    durable: bool = False,
+    restarts: bool = False,
 ) -> ComboResult:
-    """Run one seeded chaotic soak of one combo and judge the history."""
+    """Run one seeded chaotic soak of one combo and judge the history.
+
+    ``durable=True`` gives every datalet a WAL on its host's durable
+    store; ``restarts=True`` additionally draws crash + recover-restart
+    pairs (WAL replay + stale rejoin) into the random schedule and runs
+    the recovery oracle over the resulting recoveries.
+    """
     from repro.harness.deploy import Deployment, DeploymentSpec  # local: avoid cycle
 
     topology = Topology(topology)
     consistency = Consistency(consistency)
+    if restarts and not durable:
+        durable = True  # a recover-restart without a WAL has nothing to replay
     spec_kwargs = dict(
         shards=shards,
         replicas=replicas,
@@ -139,6 +154,7 @@ def run_combo(
         consistency=consistency,
         seed=seed,
         standbys=replicas + 1,  # headroom for every scheduled crash
+        durable=durable,
     )
     spec_kwargs.update(spec_overrides or {})
     dep = Deployment(DeploymentSpec(**spec_kwargs))
@@ -180,8 +196,15 @@ def run_combo(
     ]
     if schedule is None:
         schedule = random_schedule(
-            seed, data_hosts, duration, topology=topology, consistency=consistency
+            seed,
+            data_hosts,
+            duration,
+            topology=topology,
+            consistency=consistency,
+            failure_timeout=dep.spec.control.failure_timeout,
+            restarts=restarts,
         )
+    schedule.validate(failure_timeout=dep.spec.control.failure_timeout)
 
     keyspace = [f"k{n}" for n in range(keys)]
     load_end = chaos_start + duration
@@ -262,11 +285,37 @@ def run_combo(
         report = check_linearizable(recorder.records, exact_once=exact_once)
     else:
         report = check_eventual(recorder.records, replica_dumps)
+    recoveries = list(controller.recoveries)
+    if durable:
+        strong = consistency is Consistency.STRONG
+        synced_acks = dep.spec.wal_sync_every == 1
+        # an ack implies a durable copy somewhere except under MS+EC
+        # group commit: there the ack covers one in-memory replica whose
+        # fsync trails it, so a crash may roll back the acked tail and a
+        # rejoining master resyncs its slaves to the rolled-back state
+        ack_durable = strong or synced_acks or topology is Topology.AA
+        recovery_report = check_recovery(
+            recorder.records,
+            recoveries,
+            replica_dumps,
+            strong=strong,
+            synced_acks=synced_acks,
+            ack_durable=ack_durable,
+        )
+        report.violations.extend(recovery_report.violations)
+        report.warnings.extend(recovery_report.warnings)
+        for k, v in recovery_report.stats.items():
+            report.stats[f"recovery_{k}"] = v
 
     h = hashlib.sha256()
     h.update(schedule.digest().encode())
     h.update(controller.digest().encode())
     h.update(recorder.digest().encode())
+    for r in recoveries:
+        h.update(
+            f"recovery|{r.host}|{r.datalet}|{r.replayed_seq}|"
+            f"{r.records_applied}|{r.torn_tail_dropped}\n".encode()
+        )
     for shard_id in sorted(replica_dumps):
         for datalet in sorted(replica_dumps[shard_id]):
             for k in sorted(replica_dumps[shard_id][datalet]):
@@ -280,6 +329,9 @@ def run_combo(
         "faults": len(controller.applied),
         "failovers": dep.coordinator.failovers,
     }
+    if durable:
+        stats["recoveries"] = len(recoveries)
+        stats["torn_tails"] = sum(r.torn_tail_dropped for r in recoveries)
     if sanitizer is not None:
         stats["sanitized_sends"] = sanitizer.sends
         stats["payload_violations"] = len(sanitizer.violations)

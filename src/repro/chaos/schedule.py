@@ -11,10 +11,17 @@ Fault kinds
 -----------
 
 ``crash``/``restart``
-    Kill / revive a whole host (controlet + datalet).  Random schedules
-    always pair them, with downtime comfortably above the coordinator's
-    ``failure_timeout`` so the node is swept and replaced before it
-    thaws — a thawed zombie must re-confirm membership (it never wins).
+    Kill / revive a whole host (controlet + datalet).  A plain restart
+    *thaws* the frozen process (in-memory state intact; it must fence
+    and re-confirm membership — it never wins), so random schedules
+    pair it with downtime comfortably above the coordinator's
+    ``failure_timeout``: the node is swept and replaced first.  A
+    restart with ``recover=True`` is the durable fault class instead:
+    the host's actors are torn down at crash time and *re-spawned from
+    the host's DurableStore* (WAL replay, then the protocol's catch-up
+    path) — modeling a power-cycled node rejoining with
+    recovered-but-stale state.  Recover-restarts may (and usually do)
+    come back *inside* the detection window.
 ``partition``/``heal``
     Cut / restore traffic between two hosts.  ``oneway=True`` drops
     only ``target -> peer`` (an asymmetric partition: the classic
@@ -50,6 +57,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.config import ControlConfig
 from repro.core.types import Consistency, Topology
 from repro.errors import ConfigError
 from repro.sim.rng import RngRegistry
@@ -67,10 +75,19 @@ KINDS = (
     "reorder",
 )
 
-#: minimum crash downtime: past the coordinator's default
-#: ``failure_timeout`` (3s) plus margin, so a crashed node is always
-#: swept and replaced before its restart (no stale-rejoin ambiguity).
-MIN_DOWNTIME = 5.0
+#: the coordinator's *actual* default detection window, read from the
+#: config dataclass rather than restated as a comment-level constant —
+#: deployments with a custom ``failure_timeout`` pass theirs to
+#: :func:`random_schedule` / :meth:`FaultSchedule.validate`.
+DEFAULT_FAILURE_TIMEOUT = ControlConfig().failure_timeout
+
+#: margin past the detection window for thaw-style crash/restart pairs,
+#: so a crashed node is always swept and replaced before it thaws (no
+#: stale-rejoin ambiguity).
+DOWNTIME_MARGIN = 2.0
+
+#: minimum thaw-crash downtime under the default config.
+MIN_DOWNTIME = DEFAULT_FAILURE_TIMEOUT + DOWNTIME_MARGIN
 
 
 @dataclass(frozen=True)
@@ -84,10 +101,17 @@ class FaultEvent:
     factor: float = 1.0
     rate: float = 0.0
     oneway: bool = False
+    #: restart flavor: ``False`` thaws the frozen process (in-memory
+    #: state intact, must fence), ``True`` tears the host's actors down
+    #: and re-spawns them from the host's DurableStore (WAL replay +
+    #: catch-up) — the durable crash-restart fault class.
+    recover: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ConfigError(f"unknown fault kind {self.kind!r}")
+        if self.recover and self.kind != "restart":
+            raise ConfigError("recover=True is only meaningful for restart events")
         if self.at < 0:
             raise ConfigError(f"fault time must be >= 0, got {self.at}")
         if self.kind in ("partition", "heal", "latency_spike") and self.peer is None:
@@ -102,6 +126,8 @@ class FaultEvent:
 
     def describe(self) -> str:
         bits = [f"{self.at:.3f}", self.kind]
+        if self.recover:
+            bits.append("recover")
         if self.target:
             bits.append(self.target)
         if self.peer:
@@ -135,19 +161,74 @@ class FaultSchedule:
         for ev in self.events:
             h.update(
                 f"{ev.at:.9f}|{ev.kind}|{ev.target}|{ev.peer}|"
-                f"{ev.factor:.9f}|{ev.rate:.9f}|{ev.oneway}\n".encode()
+                f"{ev.factor:.9f}|{ev.rate:.9f}|{ev.oneway}|{ev.recover}\n".encode()
             )
         return h.hexdigest()
 
     def describe(self) -> str:
         return "\n".join(ev.describe() for ev in self.events)
 
+    def validate(self, failure_timeout: Optional[float] = None) -> None:
+        """Check crash/restart pairing invariants; raise ConfigError.
 
-def fault_menu(topology: Topology, consistency: Consistency) -> Tuple[str, ...]:
-    """The fault kinds a random schedule may draw for one combo."""
+        * a ``restart`` must follow a ``crash`` of the same target (and
+          each crash may be restarted at most once);
+        * no host is crashed twice without an intervening restart;
+        * a *thaw* restart (``recover=False``) must leave downtime
+          strictly greater than the coordinator's ``failure_timeout`` —
+          otherwise the crash is undetectable and the thawed node races
+          its own replacement;
+        * a *recover* restart only needs positive downtime (rejoining
+          inside the detection window is exactly the durable fault
+          class being exercised).
+        """
+        timeout = DEFAULT_FAILURE_TIMEOUT if failure_timeout is None else failure_timeout
+        crashed_at: dict = {}
+        for ev in self.events:
+            if ev.kind == "crash":
+                if ev.target in crashed_at:
+                    raise ConfigError(
+                        f"host {ev.target} crashed again at {ev.at:.3f} "
+                        f"while still down (crashed at {crashed_at[ev.target]:.3f})"
+                    )
+                crashed_at[ev.target] = ev.at
+            elif ev.kind == "restart":
+                if ev.target not in crashed_at:
+                    raise ConfigError(
+                        f"restart of {ev.target} at {ev.at:.3f} without a "
+                        f"preceding crash"
+                    )
+                downtime = ev.at - crashed_at.pop(ev.target)
+                if downtime <= 0:
+                    raise ConfigError(
+                        f"restart of {ev.target} at {ev.at:.3f} needs "
+                        f"positive downtime, got {downtime:.3f}"
+                    )
+                if not ev.recover and downtime <= timeout:
+                    raise ConfigError(
+                        f"thaw restart of {ev.target} after {downtime:.3f}s "
+                        f"is inside the {timeout:.3f}s detection window; "
+                        f"use recover=True for inside-window restarts"
+                    )
+
+
+def fault_menu(
+    topology: Topology,
+    consistency: Consistency,
+    restarts: bool = False,
+) -> Tuple[str, ...]:
+    """The fault kinds a random schedule may draw for one combo.
+
+    ``restarts=True`` adds the durable ``restart`` fault (crash +
+    inside-window recover-restart from the DurableStore); valid for
+    every combo, but only meaningful when the deployment runs with
+    WAL-backed datalets.
+    """
     topology = Topology(topology)
     consistency = Consistency(consistency)
     menu = ["crash", "latency_spike", "slow_node"]
+    if restarts:
+        menu.append("restart")
     if not (topology is Topology.AA and consistency is Consistency.STRONG):
         menu.append("partition")
     if consistency is Consistency.EVENTUAL:
@@ -165,6 +246,9 @@ def random_schedule(
     events_per_10s: float = 4.0,
     spike_factor: float = 10.0,
     slow_factor: float = 4.0,
+    failure_timeout: Optional[float] = None,
+    restarts: bool = False,
+    max_restarts: int = 2,
 ) -> FaultSchedule:
     """Draw a reproducible random schedule for one combo.
 
@@ -172,11 +256,20 @@ def random_schedule(
     never targets the coordinator, DLM, shared-log or client hosts
     (those model managed infrastructure; the paper's failure
     experiments kill storage nodes).
+
+    ``failure_timeout`` is the deployment's actual detection window
+    (defaults to the config default): thaw-crash downtime is derived
+    from it, so a non-default config still produces valid schedules.
+    ``restarts=True`` additionally draws crash + recover-restart pairs
+    with *short* downtime (inside the detection window), exercising
+    WAL replay and stale-rejoin catch-up; at most ``max_restarts``.
     """
     if len(hosts) < 2:
         raise ConfigError("need at least two hosts to schedule faults")
     if duration <= 0:
         raise ConfigError("duration must be positive")
+    timeout = DEFAULT_FAILURE_TIMEOUT if failure_timeout is None else failure_timeout
+    min_down = timeout + DOWNTIME_MARGIN
     # Pure function of the run seed, evaluated before the simulation
     # starts.  Drawing from a *named* registry stream (rather than
     # random.Random(seed) directly) keeps the schedule decoupled from
@@ -184,9 +277,10 @@ def random_schedule(
     # never perturb the schedule, and vice versa.
     rng = RngRegistry(seed).stream("chaos.schedule")
     hosts = sorted(hosts)
-    menu = fault_menu(topology, consistency)
+    menu = fault_menu(topology, consistency, restarts=restarts)
     events: List[FaultEvent] = []
     crashes = 0
+    restarts_drawn = 0
     crashed_until = {h: 0.0 for h in hosts}
     n = max(2, int(duration * events_per_10s / 10.0))
     for _ in range(n):
@@ -197,11 +291,26 @@ def random_schedule(
             if crashes >= max_crashes or len(up) < 2:
                 continue  # keep a majority of the fleet breathing
             target = rng.choice(up)
-            downtime = MIN_DOWNTIME + rng.uniform(0.0, 3.0)
+            downtime = min_down + rng.uniform(0.0, 3.0)
             crashed_until[target] = at + downtime
             crashes += 1
             events.append(FaultEvent(at=at, kind="crash", target=target))
             events.append(FaultEvent(at=at + downtime, kind="restart", target=target))
+        elif kind == "restart":
+            # durable crash-restart: the node power-cycles and comes
+            # back *inside* the detection window, recovering from its
+            # DurableStore (WAL replay) and catching up from peers
+            up = [h for h in hosts if crashed_until[h] <= at]
+            if restarts_drawn >= max_restarts or len(up) < 2:
+                continue
+            target = rng.choice(up)
+            downtime = rng.uniform(0.4, max(0.8, 0.5 * timeout))
+            crashed_until[target] = at + downtime
+            restarts_drawn += 1
+            events.append(FaultEvent(at=at, kind="crash", target=target))
+            events.append(
+                FaultEvent(at=at + downtime, kind="restart", target=target, recover=True)
+            )
         elif kind == "partition":
             a, b = rng.sample(hosts, 2)
             oneway = rng.random() < 0.5

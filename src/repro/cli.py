@@ -107,6 +107,17 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--trace", action="store_true",
                        help="attach the span recorder; oracle violations are "
                        "printed with the offending requests' full span trees")
+    chaos.add_argument("--durable", action="store_true",
+                       help="give every datalet a write-ahead log on its "
+                       "host's durable store (fsync before ack)")
+    chaos.add_argument("--restart", action="store_true",
+                       help="durable crash-restart chaos: schedules also draw "
+                       "short-downtime power cycles that recover nodes from "
+                       "their WAL (implies --durable) and the recovery "
+                       "oracle judges every recovery")
+    chaos.add_argument("--wal-sync-every", type=int, default=1,
+                       help="fsync after this many appends (1 = every ack; "
+                       ">1 = group commit, crash may lose the unsynced tail)")
 
     trace = sub.add_parser(
         "trace",
@@ -348,6 +359,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             detect_races=args.detect_races,
             sanitize=args.sanitize,
             trace=args.trace,
+            durable=args.durable or args.restart,
+            restarts=args.restart,
+            spec_overrides=(
+                {"wal_sync_every": args.wal_sync_every}
+                if args.wal_sync_every != 1
+                else None
+            ),
         )
     except ConfigError as e:
         print(f"chaos: {e}", file=sys.stderr)
@@ -369,6 +387,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"({n_tied} tied event groups examined)")
     if args.trace:
         _print_violation_traces(report)
+    if args.durable or args.restart:
+        n_rec = sum(r.stats.get("recoveries", 0) for r in report.results)
+        n_torn = sum(r.stats.get("torn_tails", 0) for r in report.results)
+        print(f"durable recovery: {n_rec} crash-restart recoveries "
+              f"({n_torn} torn WAL tails dropped)")
     print(f"({len(report.results)} runs in {time.time() - t0:.1f}s wall)")  # lint: allow[wallclock]
     return 0 if report.ok else 1
 

@@ -49,6 +49,7 @@ class Controlet(Actor):
         recovery_source: Optional[str] = None,
         datalet_colocated: bool = True,
         backup_coordinators: Optional[List[str]] = None,
+        rejoin: bool = False,
     ):
         super().__init__(node_id)
         self.shard = shard
@@ -69,6 +70,13 @@ class Controlet(Actor):
         #: datalets").
         self.recovery_source = recovery_source
         self.recovered = recovery_source is None
+        #: True when this controlet was re-spawned on its *old* host
+        #: after a durable crash-restart (WAL recovery): it was a shard
+        #: member once, so membership is *confirmed* rather than polled
+        #: for — and if the coordinator already swept us, recovery is
+        #: abandoned (a replacement pair owns the slot now).
+        self.rejoining = rejoin
+        self._recovery_abandoned = False
         #: replication messages that arrived while we were still copying
         #: state from the recovery source; drained (in arrival order)
         #: once the snapshot is restored.  See :meth:`sync_recover`.
@@ -119,6 +127,11 @@ class Controlet(Actor):
     # lifecycle
     # ------------------------------------------------------------------
     def on_start(self) -> None:
+        if self.rejoining:
+            # recovered-but-stale state: fence client ops until the
+            # coordinator confirms we are still a shard member
+            self.retired = True
+            self._confirm_membership()
         self._heartbeat(stagger=True)
         if self.recovery_source is not None and not self.recovered:
             self._recover()
@@ -154,6 +167,11 @@ class Controlet(Actor):
                 self._install_shard(shard, resp.payload.get("epoch"))
                 self.retired = False
                 self.on_shard_changed()
+            elif self.rejoining:
+                # we came back from disk but the coordinator already
+                # swept us — a replacement pair owns the slot.  Stop
+                # recovering; this process stays a fenced zombie.
+                self.abandon_recovery()
             elif not self.recovered:
                 # mid-recovery replacement: not joined yet — keep
                 # polling until the coordinator adds us.
@@ -188,11 +206,26 @@ class Controlet(Actor):
             delay += self.loop_phase("heartbeat", delay)
         self.set_timer(delay, self._heartbeat)
 
+    def abandon_recovery(self) -> None:
+        """Give up on (re)joining: stay fenced forever.  Retry timers
+        already armed re-check the flag and fizzle."""
+        self._recovery_abandoned = True
+        self.retired = True
+
     def _recover(self) -> None:
         """Copy a snapshot from a surviving datalet into our own, then
-        report readiness to the coordinator."""
+        report readiness to the coordinator.
+
+        The restore carries ``reset=True``: a rejoining node holds
+        recovered-but-stale state, and adopting the source's snapshot
+        on top of it would resurrect keys deleted while we were down.
+        """
+        if self._recovery_abandoned:
+            return
 
         def on_snapshot(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if self._recovery_abandoned:
+                return
             if err is not None or resp is None or resp.type != "snapshot":
                 # source died mid-recovery: the coordinator will notice
                 # our missing recovery_done and may relaunch; retry once
@@ -202,7 +235,7 @@ class Controlet(Actor):
             self.call(
                 self.datalet,
                 "restore",
-                {"data": resp.payload["data"]},
+                {"data": resp.payload["data"], "reset": True},
                 callback=lambda r, e: self._recovery_done(e),
                 timeout=self.config.replication_timeout * 10,
             )
@@ -216,6 +249,8 @@ class Controlet(Actor):
         )
 
     def _recovery_done(self, err: Optional[BespoError]) -> None:
+        if self._recovery_abandoned:
+            return
         if err is not None:
             self.set_timer(self.config.replication_timeout, self._recover)
             return
@@ -255,6 +290,8 @@ class Controlet(Actor):
         buffered via :meth:`buffer_catchup` and replayed after
         :meth:`on_sync_state` adopts the cursor.
         """
+        if self._recovery_abandoned:
+            return
         src = self.source_controlet()
         if src is None or src == self.node_id:
             # The source was repaired out of the shard (it died while we
@@ -284,12 +321,16 @@ class Controlet(Actor):
             )
 
         def on_state(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if self._recovery_abandoned:
+                return
             if err is not None or resp is None or resp.type != "sync_state":
                 retry()
                 return
             state = dict(resp.payload)
 
             def restored(r: Optional[Message], e: Optional[BespoError]) -> None:
+                if self._recovery_abandoned:
+                    return
                 if e is not None:
                     retry()
                     return
@@ -298,7 +339,8 @@ class Controlet(Actor):
                 self.on_catchup_drain(self.drain_catchup())
 
             self.datalet_call(
-                "restore", {"data": state.get("data", {})}, callback=restored
+                "restore", {"data": state.get("data", {}), "reset": True},
+                callback=restored,
             )
 
         self.call(

@@ -44,6 +44,13 @@ class MSEventualControlet(Controlet):
         self._flush_timer_armed = False
         #: next sequence number to assign to a propagated op.
         self._seq = 0
+        #: stream identity slaves track sequence numbers against.
+        #: Normally our node id; a durable *rejoin* of the master mints
+        #: a fresh incarnation (see :meth:`on_start`) because the old
+        #: counters died with the process — continuing as the same
+        #: stream would make every new batch look like a stale
+        #: duplicate to the slaves' cursors.
+        self._stream_id = self.node_id
         #: recent ops window for resends: (seq, op_dict).
         self._retained: Deque[Tuple[int, Dict[str, Optional[str]]]] = deque(
             maxlen=RETAIN_LIMIT
@@ -52,11 +59,24 @@ class MSEventualControlet(Controlet):
         self.resends_served = 0
         self.snapshot_syncs_served = 0
         # -- slave state --------------------------------------------------
-        #: (master_id, next expected sequence).
+        #: (stream identity, next expected sequence).
         self._stream: Tuple[Optional[str], int] = (None, 0)
         self._repair_pending = False
         self.applied_from_master = 0
         self.gaps_detected = 0
+        if self.rejoining and self._view_says_head():
+            # A rejoining EC *master* is the authority for acked data:
+            # its WAL holds acked-but-never-propagated writes that no
+            # slave can supply, so a peer pull (which reset-restores)
+            # would silently drop durable acks.  Recover from local
+            # state alone; slaves resync against the fresh incarnation.
+            self.recovery_source = None
+            self.recovered = True
+            # seq 0 is never assigned/retained: a slave resyncing the
+            # new incarnation from 0 misses the retained window and
+            # falls through to the snapshot path — which is what
+            # carries the recovered unpropagated writes back out.
+            self._seq = 1
         self.register("replicate", self._on_replicate)
         self.register("resend_request", self._on_resend_request)
         # NB: "sync_snapshot" is deliberately NOT registered — it only
@@ -70,7 +90,20 @@ class MSEventualControlet(Controlet):
     # ------------------------------------------------------------------
     # periodic anti-entropy
     # ------------------------------------------------------------------
+    def _view_says_head(self) -> bool:
+        """Whether our spawn-time shard view names us as master."""
+        try:
+            return self.shard.head.controlet == self.node_id
+        except Exception:  # noqa: BLE001 - empty view during transitions
+            return False
+
     def on_start(self) -> None:
+        if self.rejoining and self._view_says_head():
+            # Mint the fresh incarnation for this boot.  Sim time is
+            # deterministic and strictly increasing across rejoins of
+            # the same node, so the identity is both unique and
+            # reproducible run-to-run.
+            self._stream_id = f"{self.node_id}@{self.now():.6f}"
         super().on_start()
         # An immediate first tick is useless (nothing replicated yet);
         # arm with a stable phase so this loop and the heartbeat — same
@@ -98,16 +131,19 @@ class MSEventualControlet(Controlet):
         def on_seq(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if resp is None or resp.type != "seq_info":
                 return
-            probed_master = resp.payload["master"]
+            probed_stream = resp.payload.get("stream", resp.payload["master"])
             master_seq = int(resp.payload["seq"])
             tracked, next_seq = self._stream
-            if probed_master != tracked:
-                # unfamiliar numbering: resync from its first op (the
-                # replicate/adoption path would do the same)
+            if probed_stream != tracked:
+                # unfamiliar numbering — a new master, or the old one
+                # rebooted into a fresh incarnation: resync from its
+                # first op (the replicate/adoption path would do the
+                # same).  Repairs are addressed to the *actor* we
+                # probed; the stream identity is not routable.
                 if master_seq > 0:
-                    self._request_repair(probed_master, 0)
+                    self._request_repair(master_id, 0)
             elif master_seq > next_seq:
-                self._request_repair(probed_master, next_seq)
+                self._request_repair(master_id, next_seq)
 
         # Timeout strictly inside the tick period: a full-period timeout
         # expires at the exact timestamp of the *next* tick whenever the
@@ -122,7 +158,9 @@ class MSEventualControlet(Controlet):
         )
 
     def _on_seq_probe(self, msg: Message) -> None:
-        self.respond(msg, "seq_info", {"master": self.node_id, "seq": self._seq})
+        self.respond(msg, "seq_info", {
+            "master": self.node_id, "stream": self._stream_id, "seq": self._seq,
+        })
 
     # ------------------------------------------------------------------
     # hole-free recovery (replacement slave)
@@ -141,7 +179,7 @@ class MSEventualControlet(Controlet):
         first, then snapshot.  Re-applying overlap is idempotent; a
         skipped op would be a lost write."""
         if self.is_head:
-            master, seq = self.node_id, self._seq
+            master, seq = self._stream_id, self._seq
         else:
             master, seq = self._stream
 
@@ -227,6 +265,7 @@ class MSEventualControlet(Controlet):
         for peer in self.peers():
             self.send(peer.controlet, "replicate", {
                 "master": self.node_id,
+                "stream": self._stream_id,
                 "start_seq": start_seq,
                 "ops": [dict(op) for op in ops],
             })
@@ -243,6 +282,7 @@ class MSEventualControlet(Controlet):
             self.resends_served += 1
             self.respond(msg, "replicate", {
                 "master": self.node_id,
+                "stream": self._stream_id,
                 "start_seq": from_seq if ops else self._seq,
                 "ops": ops,
             })
@@ -255,6 +295,7 @@ class MSEventualControlet(Controlet):
             self.snapshot_syncs_served += 1
             self.respond(msg, "sync_snapshot", {
                 "master": self.node_id,
+                "stream": self._stream_id,
                 "data": resp.payload["data"],
                 "seq": self._seq,
             })
@@ -271,22 +312,24 @@ class MSEventualControlet(Controlet):
             self.buffer_catchup(msg)
             return
         master = msg.payload["master"]
+        stream = msg.payload.get("stream", master)
         start_seq = int(msg.payload["start_seq"])
         ops = msg.payload["ops"]
-        tracked_master, next_seq = self._stream
-        if master != tracked_master:
-            # New master (failover/transition): we cannot assume our
-            # state covers its history below start_seq — batches it
-            # flushed before we started listening are simply gone from
-            # our perspective.  Conservatively resync from its first
-            # op; overlap re-applies are idempotent and the master
-            # falls back to a snapshot if its window rolled past.
-            tracked_master, next_seq = master, 0
+        tracked_stream, next_seq = self._stream
+        if stream != tracked_stream:
+            # New stream (failover, or the same master rebooted into a
+            # fresh incarnation): we cannot assume our state covers its
+            # history below start_seq — batches it flushed before we
+            # started listening are simply gone from our perspective.
+            # Conservatively resync from its first op; overlap
+            # re-applies are idempotent and the master falls back to a
+            # snapshot if its window rolled past.
+            tracked_stream, next_seq = stream, 0
         if start_seq > next_seq:
             # gap: batches were lost (partition, drop).  Ask for a
             # resend and discard this batch — the resend covers it.
             self.gaps_detected += 1
-            self._stream = (tracked_master, next_seq)
+            self._stream = (tracked_stream, next_seq)
             self._request_repair(master, next_seq)
             return
         skip = next_seq - start_seq
@@ -305,7 +348,7 @@ class MSEventualControlet(Controlet):
                 rid = op_dict.get("rid")
                 if rid is not None:
                     self._remember_rid(rid)
-        self._stream = (tracked_master, start_seq + len(ops))
+        self._stream = (tracked_stream, start_seq + len(ops))
         self._repair_pending = False
 
     def _request_repair(self, master: str, from_seq: int) -> None:
@@ -331,10 +374,16 @@ class MSEventualControlet(Controlet):
         )
 
     def _on_sync_snapshot(self, msg: Message) -> None:
-        """Full-state fallback: load the master's snapshot and fast-
-        forward the stream cursor."""
-        self.send(self.datalet, "restore", {"data": msg.payload["data"]})
-        self._stream = (msg.payload["master"], int(msg.payload["seq"]))
+        """Full-state fallback: adopt the master's snapshot wholesale
+        and fast-forward the stream cursor.  ``reset`` matters: the
+        snapshot is the master's *entire* state, so any local key it
+        lacks was deleted there — keeping it would resurrect deletes."""
+        self.send(self.datalet, "restore",
+                  {"data": msg.payload["data"], "reset": True})
+        self._stream = (
+            msg.payload.get("stream", msg.payload["master"]),
+            int(msg.payload["seq"]),
+        )
         self._repair_pending = False
 
     # ------------------------------------------------------------------

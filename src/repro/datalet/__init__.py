@@ -20,10 +20,13 @@ from repro.datalet.hashtable import HashTableEngine
 from repro.datalet.log import LogEngine
 from repro.datalet.lsm import LSMEngine, SSTable
 from repro.datalet.ports import RedisEngine, SSDBEngine
+from repro.datalet.wal import ReplayResult, WriteAheadLog
 
 __all__ = [
     "Engine",
     "DataletActor",
+    "WriteAheadLog",
+    "ReplayResult",
     "HashTableEngine",
     "BTreeEngine",
     "LogEngine",

@@ -75,10 +75,23 @@ class Engine(ABC):
         """Full copy of live data (sent to a standby during failover)."""
         return dict(self.items())
 
-    def restore(self, data: Dict[str, str]) -> None:
-        """Bulk-load a snapshot into an empty or existing engine."""
+    def restore(self, data: Dict[str, str], reset: bool = False) -> None:
+        """Bulk-load a snapshot into an empty or existing engine.
+
+        ``reset=True`` clears existing state first, making the engine
+        *exactly* the snapshot — required when a rejoining node with
+        recovered-but-stale state adopts a peer's authoritative copy
+        (a plain bulk-load would resurrect its stale keys).
+        """
+        if reset:
+            self.clear()
         for k, v in data.items():
             self.put(k, v)
+
+    def clear(self) -> None:
+        """Remove every live key (default: delete one by one)."""
+        for k in sorted(k for k, _ in self.items()):
+            self.delete(k)
 
     def stats(self) -> Dict[str, float]:
         """Engine-specific internals (levels, garbage ratio, ...)."""
@@ -103,10 +116,17 @@ class DataletActor(Actor):
     ========= ============================== =========================
     """
 
-    def __init__(self, node_id: str, engine: Engine):
+    def __init__(self, node_id: str, engine: Engine, wal=None):
         super().__init__(node_id)
         self.engine = engine
         self.kind = engine.kind
+        #: optional :class:`~repro.datalet.wal.WriteAheadLog`.  When
+        #: set, every mutation is logged (and fsynced per the WAL's
+        #: group-commit policy) *before* it is acknowledged, and the
+        #: log is compacted into a snapshot periodically.  The extra
+        #: CPU shows up in :meth:`service_demand` — durability is not
+        #: free (the durability-tax benchmark measures exactly this).
+        self.wal = wal
         self.ops = {"put": 0, "get": 0, "del": 0, "scan": 0}
         self.register("put", self._on_put)
         self.register("get", self._on_get)
@@ -118,13 +138,31 @@ class DataletActor(Actor):
         self.register("stats", self._on_stats)
 
     def metrics_group(self) -> Dict[str, float]:
-        return {f"ops_{k}": float(v) for k, v in self.ops.items()}
+        out = {f"ops_{k}": float(v) for k, v in self.ops.items()}
+        if self.wal is not None:
+            out.update(self.wal.stats())
+        return out
 
     # -- cost accounting ---------------------------------------------------
+    def _wal_cost(self, costs, mutations: int) -> float:
+        """CPU charge for logging ``mutations`` ops: per-record append
+        plus the fsync, amortized across the group-commit window (the
+        charge is deterministic regardless of where in the window this
+        message lands)."""
+        if self.wal is None or mutations <= 0:
+            return 0.0
+        per_op = costs.scaled("wal_append_cost") + (
+            costs.scaled("wal_fsync_cost") / self.wal.sync_every
+        )
+        return per_op * mutations
+
     def service_demand(self, msg: Message, costs) -> float:
         op = msg.type
         if op in ("put", "get", "del"):
-            return costs.datalet_cost(self.kind, op)
+            base = costs.datalet_cost(self.kind, op)
+            if op in ("put", "del"):
+                base += self._wal_cost(costs, 1)
+            return base
         if op == "scan":
             limit = msg.payload.get("limit") or 100
             try:
@@ -132,16 +170,33 @@ class DataletActor(Actor):
             except KeyError:
                 return 0.0
         if op == "apply_batch":
-            return sum(
+            return self._wal_cost(costs, len(msg.payload["ops"])) + sum(
                 costs.datalet_cost(self.kind, "put" if e["op"] == "put" else "del")
                 for e in msg.payload["ops"]
             )
         return 0.0
 
     # -- handlers ------------------------------------------------------
+    def _log_mutation(self, op: str, key: str, value: Optional[str] = None) -> None:
+        """WAL the mutation before it is acknowledged.
+
+        The append syncs per the WAL's group-commit policy, so with
+        ``sync_every=1`` every ack implies the record is on disk.
+        """
+        if self.wal is not None:
+            self.wal.append(op, key, value)
+
+    def _maybe_compact(self) -> None:
+        """Fold the log into a snapshot when due.  Called *after* the
+        mutation is applied, so the snapshot's data matches its seq."""
+        if self.wal is not None and self.wal.wants_snapshot:
+            self.wal.install_snapshot(self.engine.snapshot())
+
     def _on_put(self, msg: Message) -> None:
+        self._log_mutation("put", msg.payload["key"], msg.payload["val"])
         self.engine.put(msg.payload["key"], msg.payload["val"])
         self.ops["put"] += 1
+        self._maybe_compact()
         self.respond(msg, "ok")
 
     def _on_get(self, msg: Message) -> None:
@@ -155,11 +210,17 @@ class DataletActor(Actor):
 
     def _on_del(self, msg: Message) -> None:
         self.ops["del"] += 1
+        if self.wal is not None and not self.engine.contains(msg.payload["key"]):
+            # nothing to durably remove; don't burn a log record
+            self.respond(msg, "error", {"error": "not_found", "key": msg.payload["key"]})
+            return
+        self._log_mutation("del", msg.payload["key"])
         try:
             self.engine.delete(msg.payload["key"])
         except KeyNotFound:
             self.respond(msg, "error", {"error": "not_found", "key": msg.payload["key"]})
             return
+        self._maybe_compact()
         self.respond(msg, "ok")
 
     def _on_scan(self, msg: Message) -> None:
@@ -183,21 +244,32 @@ class DataletActor(Actor):
         for entry in msg.payload["ops"]:
             try:
                 if entry["op"] == "put":
+                    self._log_mutation("put", entry["key"], entry["val"])
                     self.engine.put(entry["key"], entry["val"])
                     self.ops["put"] += 1
                 else:
+                    if self.wal is not None and not self.engine.contains(entry["key"]):
+                        continue
+                    self._log_mutation("del", entry["key"])
                     self.engine.delete(entry["key"])
                     self.ops["del"] += 1
                 applied += 1
             except KeyNotFound:
                 pass
+        self._maybe_compact()
         self.respond(msg, "ok", {"applied": applied})
 
     def _on_snapshot(self, msg: Message) -> None:
         self.respond(msg, "snapshot", {"data": self.engine.snapshot()})
 
     def _on_restore(self, msg: Message) -> None:
-        self.engine.restore(msg.payload["data"])
+        reset = bool(msg.payload.get("reset", False))
+        data = msg.payload["data"]
+        self.engine.restore({k: data[k] for k in sorted(data)}, reset=reset)
+        if self.wal is not None:
+            # an adopted snapshot is a new durable baseline: everything
+            # the log held is superseded (or, for a reset, stale)
+            self.wal.install_snapshot(self.engine.snapshot())
         self.respond(msg, "ok")
 
     def _on_stats(self, msg: Message) -> None:

@@ -1,0 +1,282 @@
+"""Write-ahead log + snapshot persistence for datalet engines.
+
+The durability layer under a :class:`~repro.datalet.base.DataletActor`:
+every mutation is appended to a per-datalet record log *before* it is
+acknowledged, the log is periodically compacted into a snapshot, and
+after a crash-restart the engine is rebuilt by replaying snapshot +
+surviving log records (``Deployment.recover_host``).
+
+Storage model
+-------------
+
+The WAL writes through two files of a host's
+:class:`~repro.sim.durable.DurableStore` (which survives actor
+teardown and applies seeded power-loss damage on crash):
+
+``<name>.log``
+    append-only records, one per line::
+
+        {"k": <key>, "o": "put"|"del", "s": <seq>, "v": <value|null>}|<crc8>
+
+    JSON is dumped with sorted keys and no whitespace, so the byte
+    encoding — and therefore every digest over it — is deterministic.
+    The checksum is the crc32 of the JSON body, hex, zero-padded.
+
+``<name>.snap``
+    one snapshot record ``{"data": {...}, "s": <seq>}|<crc8>`` holding
+    the full engine state as of sequence ``s``.  Written with the
+    durable store's atomic-replace (commit-on-sync), so a crash mid
+    -snapshot keeps the previous snapshot intact.
+
+Replay is **torn-tail tolerant**: a parse/checksum failure on the last
+line of the log is an interrupted append — the tail is dropped and
+counted.  The same failure *followed by valid records* is media
+corruption and raises :class:`~repro.errors.WalCorruption`: replaying
+past a hole would silently reorder history.
+
+Sequence numbers are absolute and monotonic across snapshots, so a log
+that survived a crash between "snapshot committed" and "log truncated"
+replays correctly: records with ``seq <= snapshot.seq`` are skipped
+(idempotent replay), the rest apply in order.
+
+Determinism: snapshots restore keys in sorted order and log records
+apply in file order; no wall clock, no unseeded randomness, no dict
+-order dependence — the lint rules for ``datalet/`` enforce this.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import WalCorruption
+from repro.sim.durable import DurableStore
+
+__all__ = ["WriteAheadLog", "ReplayResult"]
+
+#: compact a log into a snapshot after this many appends (default).
+DEFAULT_SNAPSHOT_EVERY = 256
+
+
+def _encode(obj: dict) -> bytes:
+    body = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode()) & 0xFFFFFFFF
+    return f"{body}|{crc:08x}\n".encode()
+
+
+def _decode(line: bytes) -> Optional[dict]:
+    """Parse one checksummed line; None = damaged (torn or corrupt)."""
+    try:
+        text = line.decode()
+        body, crc_hex = text.rsplit("|", 1)
+        if zlib.crc32(body.encode()) & 0xFFFFFFFF != int(crc_hex, 16):
+            return None
+        obj = json.loads(body)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return obj if isinstance(obj, dict) else None
+
+
+@dataclass
+class ReplayResult:
+    """What one :meth:`WriteAheadLog.replay` recovered."""
+
+    snapshot_seq: int       # seq the snapshot covered (0 = no snapshot)
+    applied_seq: int        # highest record seq applied (>= snapshot_seq)
+    records_applied: int    # log records replayed on top of the snapshot
+    torn_tail_dropped: int  # damaged trailing log lines discarded
+    restored_keys: int      # keys loaded from the snapshot
+
+
+class WriteAheadLog:
+    """Seq-numbered, checksummed, torn-tail-tolerant record log."""
+
+    def __init__(
+        self,
+        store: DurableStore,
+        name: str,
+        sync_every: int = 1,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+    ):
+        self.store = store
+        self.name = name
+        #: fsync after this many appends (1 = sync before every ack;
+        #: >1 = group commit, trading durability for throughput).
+        self.sync_every = max(1, int(sync_every))
+        self.snapshot_every = max(1, int(snapshot_every))
+        self._log = store.file(f"{name}.log")
+        self._snap = store.file(f"{name}.snap")
+        #: next sequence number to assign.
+        self.seq = 0
+        #: highest seq guaranteed on disk (covered by snapshot or a
+        #: synced log record) — the fsync point the oracle audits.
+        self.durable_seq = 0
+        self._unsynced = 0
+        self._since_snapshot = 0
+        self.appends = 0
+        self.syncs = 0
+        self.snapshots = 0
+        self._adopt_existing()
+
+    def _adopt_existing(self) -> None:
+        """Continue the sequence of whatever already survives on disk
+        (re-opening after a crash-restart)."""
+        snap_seq, _, _ = self._read_snapshot()
+        tail_seq, _, _ = self._scan_log(snap_seq)
+        self.seq = max(snap_seq, tail_seq)
+        self.durable_seq = self.seq
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def append(self, op: str, key: str, value: Optional[str] = None) -> int:
+        """Log one mutation; returns its sequence number.
+
+        The record is in the page cache until :meth:`sync` (called
+        automatically every ``sync_every`` appends); only synced
+        records are guaranteed to survive a crash.
+        """
+        self.seq += 1
+        self.appends += 1
+        rec = {"s": self.seq, "o": op, "k": key,
+               "v": value if op == "put" else None}
+        self._log.append(_encode(rec))
+        self._unsynced += 1
+        self._since_snapshot += 1
+        if self._unsynced >= self.sync_every:
+            self.sync()
+        return self.seq
+
+    def sync(self) -> None:
+        """fsync the log: everything appended so far becomes durable."""
+        self._log.sync()
+        self.durable_seq = self.seq
+        self._unsynced = 0
+        self.syncs += 1
+
+    @property
+    def wants_snapshot(self) -> bool:
+        """True once enough appends accumulated to warrant compaction —
+        check this before building the (O(n)) snapshot dict."""
+        return self._since_snapshot >= self.snapshot_every
+
+    def maybe_snapshot(self, data: Dict[str, str]) -> bool:
+        """Compact if enough appends accumulated since the last one."""
+        if self._since_snapshot < self.snapshot_every:
+            return False
+        self.install_snapshot(data)
+        return True
+
+    def install_snapshot(self, data: Dict[str, str]) -> None:
+        """Write ``data`` as the new baseline at the current seq and
+        truncate the log.
+
+        Ordering matters for crash safety: the snapshot commits first
+        (atomic replace + sync), then the log truncates.  A crash in
+        between leaves snapshot(seq=n) plus a log of records <= n —
+        replay skips them by sequence number.
+        """
+        self._snap.replace(_encode({"s": self.seq, "data": dict(data)}))
+        self._snap.sync()
+        self._log.replace(b"")
+        self._log.sync()
+        self.durable_seq = self.seq
+        self._unsynced = 0
+        self._since_snapshot = 0
+        self.snapshots += 1
+
+    # ------------------------------------------------------------------
+    # recovery path
+    # ------------------------------------------------------------------
+    def _read_snapshot(self) -> Tuple[int, Dict[str, str], bool]:
+        """(seq, data, damaged): the newest intact snapshot on disk."""
+        raw = self._snap.read()
+        if not raw:
+            return 0, {}, False
+        obj = _decode(raw.rstrip(b"\n"))
+        if obj is None or "data" not in obj:
+            # a damaged snapshot can only be a torn replace that the
+            # durable store failed to roll back; treat as absent
+            return 0, {}, True
+        return int(obj["s"]), dict(obj["data"]), False
+
+    def _scan_log(self, min_seq: int) -> Tuple[int, list, int]:
+        """(last_seq, records beyond min_seq in order, torn lines)."""
+        raw = self._log.read()
+        lines = raw.split(b"\n") if raw else []
+        if lines and lines[-1] == b"":
+            lines.pop()
+        records = []
+        last_seq = 0
+        torn = 0
+        for i, line in enumerate(lines):
+            obj = _decode(line)
+            if obj is None or "s" not in obj:
+                if i == len(lines) - 1:
+                    torn += 1
+                    break
+                raise WalCorruption(
+                    f"wal {self.name!r}: damaged record at line {i + 1} "
+                    f"of {len(lines)} (not a torn tail)"
+                )
+            seq = int(obj["s"])
+            if seq <= last_seq:
+                raise WalCorruption(
+                    f"wal {self.name!r}: sequence went backwards at line "
+                    f"{i + 1} ({seq} after {last_seq})"
+                )
+            last_seq = seq
+            if seq > min_seq:
+                records.append(obj)
+        return last_seq, records, torn
+
+    def replay(self, engine) -> ReplayResult:
+        """Rebuild ``engine`` from snapshot + log (deterministic order).
+
+        Uses the engine's existing ``restore`` contract for the
+        snapshot (keys in sorted order), then applies log records in
+        file order.  Deletes of absent keys are tolerated — a delete
+        may be logged for a key whose put predates the snapshot window.
+        """
+        from repro.errors import KeyNotFound  # local: avoid heavy import at module load
+
+        snap_seq, data, _damaged = self._read_snapshot()
+        engine.restore({k: data[k] for k in sorted(data)})
+        last_seq, records, torn = self._scan_log(snap_seq)
+        applied = 0
+        top = snap_seq
+        for rec in records:
+            if rec.get("o") == "put":
+                engine.put(rec["k"], rec["v"])
+            else:
+                try:
+                    engine.delete(rec["k"])
+                except KeyNotFound:
+                    pass
+            applied += 1
+            top = int(rec["s"])
+        # adopt the surviving sequence so post-recovery appends continue it
+        self.seq = max(self.seq, top)
+        self.durable_seq = max(self.durable_seq, top)
+        return ReplayResult(
+            snapshot_seq=snap_seq,
+            applied_seq=top,
+            records_applied=applied,
+            torn_tail_dropped=torn,
+            restored_keys=len(data),
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        return {
+            "wal_seq": float(self.seq),
+            "wal_durable_seq": float(self.durable_seq),
+            "wal_appends": float(self.appends),
+            "wal_syncs": float(self.syncs),
+            "wal_snapshots": float(self.snapshots),
+            "wal_log_bytes": float(self._log.size),
+        }

@@ -59,3 +59,9 @@ class ProtocolError(BespoError):
 
 class SimulationError(BespoError):
     """The discrete-event kernel was used incorrectly (e.g. negative delay)."""
+
+
+class WalCorruption(BespoError):
+    """A write-ahead log is damaged beyond its torn tail: a checksum or
+    sequence error *followed by valid records* — media corruption, not
+    an interrupted append — so replay refuses to guess."""

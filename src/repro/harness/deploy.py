@@ -84,6 +84,19 @@ class DeploymentSpec:
     #: Must be a subclass of the matching pre-built controlet so the
     #: topology/consistency protocol still fits.
     controlet_class: Optional[type] = None
+    #: give every datalet a write-ahead log on its host's DurableStore:
+    #: mutations are logged (and fsynced per ``wal_sync_every``) before
+    #: they are acked, and a crashed host can be *recovered* from disk
+    #: via :meth:`Deployment.recover_host` instead of replaced.
+    durable: bool = False
+    #: fsync after this many appends (1 = sync every ack; >1 = group
+    #: commit — faster, but a crash may lose the unsynced tail).
+    wal_sync_every: int = 1
+    #: compact the log into a snapshot after this many appends.
+    wal_snapshot_every: int = 256
+    #: how much of the unsynced suffix a crash destroys
+    #: ("partial" | "all" | "none"), see :class:`~repro.sim.durable.DurableStore`.
+    durable_loss: str = "partial"
 
     def __post_init__(self) -> None:
         if self.shards < 1 or self.replicas < 1:
@@ -107,9 +120,14 @@ class Deployment:
             costs=spec.costs, net_params=spec.net_params, seed=spec.seed
         )
         self.sim = self.cluster.sim
+        self.cluster.durable_loss = spec.durable_loss
         self._gen = itertools.count(1)  # transition generation counter
         self._standby_counter = itertools.count()
         self._standbys: List[str] = []
+        #: host -> (shard_id, replica) for every controlet-datalet pair
+        #: placed on its own host — the lookup recover_host uses to
+        #: re-spawn a crashed pair from the host's DurableStore.
+        self._host_pairs: Dict[str, Tuple[str, Replica]] = {}
         self.map = ClusterMap()
 
         # --- infrastructure actors ------------------------------------
@@ -199,6 +217,20 @@ class Deployment:
     def _make_engine(self, kind: str):
         return make_engine(kind, **self.spec.engine_kwargs.get(kind, {}))
 
+    def _make_wal(self, host: str, datalet_id: str):
+        """A write-ahead log on ``host``'s durable store (None unless
+        the spec asks for durability)."""
+        if not self.spec.durable:
+            return None
+        from repro.datalet.wal import WriteAheadLog
+
+        return WriteAheadLog(
+            self.cluster.durable_store(host),
+            datalet_id,
+            sync_every=self.spec.wal_sync_every,
+            snapshot_every=self.spec.wal_snapshot_every,
+        )
+
     def _make_controlet(
         self,
         node_id: str,
@@ -207,6 +239,7 @@ class Deployment:
         recovery_source: Optional[str] = None,
         start_cursor_at_tail: bool = False,
         datalet_colocated: bool = True,
+        rejoin: bool = False,
     ) -> Controlet:
         cls = self.spec.controlet_class or CONTROLET_CLASSES[(shard.topology, shard.consistency)]
         # Each controlet gets a private copy of the shard view: the
@@ -229,6 +262,7 @@ class Deployment:
             recovery_source=recovery_source,
             datalet_colocated=datalet_colocated,
             backup_coordinators=[n for n in self.coordinator_names() if n != active],
+            rejoin=rejoin,
             **kwargs,
         )
 
@@ -250,9 +284,14 @@ class Deployment:
         if replica.host not in self.cluster._hosts:
             self.cluster.add_host(replica.host, cpus=self.spec.host_cpus, dpdk=self.spec.dpdk)
         self.cluster.add_actor(
-            DataletActor(replica.datalet, self._make_engine(replica.datalet_kind)),
+            DataletActor(
+                replica.datalet,
+                self._make_engine(replica.datalet_kind),
+                wal=self._make_wal(replica.host, replica.datalet),
+            ),
             host=replica.host,
         )
+        self._host_pairs[replica.host] = (shard.shard_id, replica)
         if self._controlet_hosts:
             ctl_host = self._controlet_hosts[next(self._ctl_rr) % len(self._controlet_hosts)]
             colocated = False
@@ -289,8 +328,14 @@ class Deployment:
             datalet_kind=kind,
         )
         self.cluster.add_actor(
-            DataletActor(replica.datalet, self._make_engine(kind)), host=host
+            DataletActor(
+                replica.datalet,
+                self._make_engine(kind),
+                wal=self._make_wal(host, replica.datalet),
+            ),
+            host=host,
         )
+        self._host_pairs[host] = (shard.shard_id, replica)
         self.cluster.add_actor(
             self._make_controlet(
                 replica.controlet,
@@ -380,6 +425,95 @@ class Deployment:
         host = self.replica_host(shard_index, chain_pos)
         self.cluster.kill_host(host)
         return host
+
+    def recover_host(self, host: str):
+        """Power-cycle a crashed replica host back up *from disk*.
+
+        Unlike a thaw (``cluster.restart_host``), the old actor objects
+        are torn down for good: a fresh engine is rebuilt by WAL replay
+        from the host's DurableStore (which took seeded power-loss
+        damage at crash time), then a fresh controlet rejoins in
+        recovery mode and catches up from a surviving peer — so the
+        node returns with recovered-but-stale state, exactly the
+        durable crash-restart fault class.
+
+        Returns a :class:`~repro.chaos.oracle.RecoveryRecord` (or None
+        after falling back to a plain thaw for hosts without a durable
+        pair registration).
+        """
+        from repro.chaos.oracle import RecoveryRecord  # local: avoid import cycle
+
+        pair = self._host_pairs.get(host)
+        if pair is None or not self.spec.durable:
+            self.cluster.restart_host(host)
+            return None
+        shard_id, replica = pair
+        crash_time = self.sim.now
+        store = self.cluster.durable_store(host)
+        if store.last_crash_at >= 0.0:  # -1.0 = the store never crashed
+            crash_time = store.last_crash_at
+
+        # the fsync watermark the dead datalet had promised — captured
+        # from the old WAL object before it is forgotten
+        old = self.cluster.actors.get(replica.datalet)
+        durable_seq = 0
+        if old is not None and getattr(old, "wal", None) is not None:
+            durable_seq = old.wal.durable_seq
+
+        # tear down the dead pair (a remote controlet on a shared ctl
+        # host did not die with the datalet and is left alone)
+        self.cluster.remove_actor(replica.datalet)
+        ctl_died = (
+            replica.controlet in self.cluster.actors
+            and self.cluster.host_of(replica.controlet) == host
+        )
+        if ctl_died:
+            self.cluster.remove_actor(replica.controlet)
+        self.cluster.restart_host(host)
+
+        # rebuild the engine from snapshot + surviving log records
+        engine = self._make_engine(replica.datalet_kind)
+        wal = self._make_wal(host, replica.datalet)
+        replayed = wal.replay(engine)
+        recovered = dict(engine.snapshot())
+        self.cluster.add_actor(DataletActor(replica.datalet, engine, wal=wal), host=host)
+
+        # pick a live peer to catch up from (None: recover solo)
+        shard = self.map.shards.get(shard_id)
+        source = None
+        if shard is not None:
+            for r in shard.ordered():
+                if r.host != host and self.cluster.is_host_alive(r.host):
+                    source = r.datalet
+                    break
+        if ctl_died:
+            self.cluster.add_actor(
+                self._make_controlet(
+                    replica.controlet,
+                    shard if shard is not None else ShardInfo(
+                        shard_id, self.spec.topology, self.spec.consistency, [replica]
+                    ),
+                    replica.datalet,
+                    recovery_source=source,
+                    start_cursor_at_tail=True,
+                    rejoin=True,
+                ),
+                host=host,
+            )
+        return RecoveryRecord(
+            host=host,
+            shard_id=shard_id,
+            datalet=replica.datalet,
+            crash_time=crash_time,
+            recover_time=self.sim.now,
+            durable_seq_at_crash=durable_seq,
+            replayed_seq=replayed.applied_seq,
+            snapshot_seq=replayed.snapshot_seq,
+            records_applied=replayed.records_applied,
+            torn_tail_dropped=replayed.torn_tail_dropped,
+            recovered=recovered,
+            catchup_source=source,
+        )
 
     def request_transition(
         self, topology: Topology, consistency: Consistency, client_name: str = "admin"

@@ -23,6 +23,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.sim import (
     DEFAULT_COSTS,
     CostModel,
+    DurableStore,
     Network,
     NetworkParams,
     RngRegistry,
@@ -148,6 +149,13 @@ class SimCluster:
         #: registered as scrape groups in :meth:`add_actor` and read only
         #: when a snapshot is taken (harness.stats.collect_registry).
         self.metrics = MetricsRegistry()
+        #: per-host durable stores (created on first use); owned by the
+        #: cluster — NOT by actors — so a crash-restart can tear a
+        #: host's actors down and re-spawn fresh ones that recover from
+        #: the surviving store.  ``kill_host`` applies power-loss damage.
+        self._durable: Dict[str, DurableStore] = {}
+        #: loss policy for unsynced bytes on crash (see sim.durable).
+        self.durable_loss = "partial"
 
     # ------------------------------------------------------------------
     # topology construction
@@ -259,6 +267,21 @@ class SimCluster:
         return recorder
 
     # ------------------------------------------------------------------
+    # durable storage
+    # ------------------------------------------------------------------
+    def durable_store(self, host: str) -> DurableStore:
+        """The (lazily created) durable store of ``host``."""
+        store = self._durable.get(host)
+        if store is None:
+            store = DurableStore(
+                host,
+                self.rng.stream(f"durable.{host}"),
+                unsynced_loss=self.durable_loss,
+            )
+            self._durable[host] = store
+        return store
+
+    # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
     def actor(self, node_id: str) -> Actor:
@@ -340,13 +363,37 @@ class SimCluster:
 
     def kill_host(self, host: str) -> None:
         """Crash a whole VM: every colocated actor dies and the network
-        drops its traffic (paper's node-failure experiments)."""
+        drops its traffic (paper's node-failure experiments).  The
+        host's durable store (if any) takes power-loss damage: staged
+        writes vanish and the unsynced suffix of every file is torn per
+        the loss policy — fsynced bytes always survive."""
         h = self._hosts.get(host)
         if h is None:
             raise BespoError(f"unknown host {host!r}")
         self.network.kill(host)
         for node_id in h.actors:
             self.kill_actor(node_id)
+        store = self._durable.get(host)
+        if store is not None:
+            store.on_crash(self.sim.now)
+
+    def remove_actor(self, node_id: str) -> None:
+        """Tear an actor down completely so a fresh instance may be
+        added under the same id (crash-restart respawn).  Unlike
+        :meth:`kill_actor` this forgets the object: its in-memory state
+        is gone for good — recovery must come from durable storage."""
+        actor = self._actors.pop(node_id, None)
+        if actor is None:
+            return
+        if actor.alive:
+            actor.alive = False
+            actor.on_stop()
+        host = self._actor_host.pop(node_id, None)
+        if host is not None and host in self._hosts:
+            try:
+                self._hosts[host].actors.remove(node_id)
+            except ValueError:
+                pass
 
     def restart_host(self, host: str) -> None:
         """Bring a crashed VM back: network traffic resumes and every

@@ -12,6 +12,7 @@ Public surface:
 """
 
 from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.durable import DurableFile, DurableStore
 from repro.sim.kernel import Process, SimFuture, Simulator, TimerHandle
 from repro.sim.network import Network, NetworkParams
 from repro.sim.resources import Pipe, Server
@@ -28,5 +29,7 @@ __all__ = [
     "NetworkParams",
     "CostModel",
     "DEFAULT_COSTS",
+    "DurableFile",
+    "DurableStore",
     "RngRegistry",
 ]

@@ -58,6 +58,16 @@ class CostModel:
     sharedlog_append_cost: float = 10 * US
     sharedlog_fetch_cost: float = 6 * US
 
+    #: WAL durability costs (charged per mutating datalet op when the
+    #: deployment enables write-ahead logging).  The append is a
+    #: serialize + page-cache write; the fsync is the flush that makes
+    #: an acked write crash-proof and is what the durability-tax
+    #: benchmark measures.  With group commit (``wal_sync_every`` > 1)
+    #: the fsync cost is amortized across the group — see
+    #: ``DataletActor.service_demand``.
+    wal_append_cost: float = 4 * US
+    wal_fsync_cost: float = 80 * US
+
     #: (datalet_kind, op) -> (base_cost, per_item_cost_for_scans).
     #: In-memory structures (ht/mt/redis) cost ~10-45 us; persistent
     #: engines (lsm/log/ssdb) include media costs, which is what spreads

@@ -108,6 +108,90 @@ def test_random_schedule_input_validation():
 
 
 # ---------------------------------------------------------------------------
+# durable recover-restarts (crash + inside-window rejoin from disk)
+# ---------------------------------------------------------------------------
+def test_recover_flag_only_valid_on_restart():
+    ev = FaultEvent(at=1.0, kind="restart", target="node0.0", recover=True)
+    assert "recover" in ev.describe()
+    with pytest.raises(ConfigError):
+        FaultEvent(at=1.0, kind="crash", target="node0.0", recover=True)
+    # the flag is part of schedule identity
+    plain = FaultSchedule(events=[FaultEvent(at=1.0, kind="restart", target="node0.0")])
+    durable = FaultSchedule(events=[ev])
+    assert plain.digest() != durable.digest()
+
+
+def test_fault_menu_restarts_opt_in():
+    for combo in ((Topology.MS, Consistency.STRONG), (Topology.AA, Consistency.EVENTUAL)):
+        assert "restart" not in fault_menu(*combo)
+        assert "restart" in fault_menu(*combo, restarts=True)
+
+
+def test_validate_crash_restart_pairing():
+    crash = FaultEvent(at=1.0, kind="crash", target="node0.0")
+    # restart without a preceding crash
+    with pytest.raises(ConfigError):
+        FaultSchedule(events=[FaultEvent(at=2.0, kind="restart", target="node0.0")]).validate()
+    # double crash without an intervening restart
+    with pytest.raises(ConfigError):
+        FaultSchedule(events=[crash, FaultEvent(at=2.0, kind="crash", target="node0.0")]).validate()
+    # non-positive downtime
+    with pytest.raises(ConfigError):
+        FaultSchedule(events=[crash, FaultEvent(at=1.0, kind="restart", target="node0.0")]).validate()
+
+
+def test_validate_thaw_restart_must_exceed_detection_window():
+    def sched(downtime, recover):
+        return FaultSchedule(events=[
+            FaultEvent(at=1.0, kind="crash", target="node0.0"),
+            FaultEvent(at=1.0 + downtime, kind="restart", target="node0.0",
+                       recover=recover),
+        ])
+
+    # a thaw inside the window races its own replacement: rejected
+    with pytest.raises(ConfigError):
+        sched(1.0, recover=False).validate()
+    # ... against the *configured* window, not a hard-coded constant
+    sched(1.0, recover=False).validate(failure_timeout=0.5)
+    with pytest.raises(ConfigError):
+        sched(6.0, recover=False).validate(failure_timeout=6.5)
+    # a recover-restart inside the window is the durable fault class
+    sched(1.0, recover=True).validate()
+
+
+def test_random_schedule_restarts_come_back_inside_window():
+    seen = 0
+    for seed in range(1, 10):
+        sched = random_schedule(seed, HOSTS, 30.0, restarts=True,
+                                consistency=Consistency.EVENTUAL)
+        sched.validate()
+        last_crash = {}
+        for ev in sched.events:  # events are sorted by time
+            if ev.kind == "crash":
+                last_crash[ev.target] = ev.at
+            elif ev.kind == "restart" and ev.recover:
+                seen += 1
+                downtime = ev.at - last_crash[ev.target]
+                assert 0.0 < downtime < MIN_DOWNTIME
+    assert seen > 0  # the menu actually draws them
+
+
+def test_random_schedule_downtime_follows_configured_timeout():
+    """Satellite fix: the thaw-downtime floor derives from the actual
+    failure_timeout, not a baked-in default."""
+    big = 9.0
+    for seed in range(1, 6):
+        sched = random_schedule(seed, HOSTS, 40.0, failure_timeout=big)
+        sched.validate(failure_timeout=big)
+        last_crash = {}
+        for ev in sched.events:
+            if ev.kind == "crash":
+                last_crash[ev.target] = ev.at
+            elif ev.kind == "restart" and not ev.recover:
+                assert ev.at - last_crash[ev.target] > big
+
+
+# ---------------------------------------------------------------------------
 # controller
 # ---------------------------------------------------------------------------
 def build(**kw):

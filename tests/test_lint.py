@@ -368,6 +368,60 @@ def test_github_annotation_escapes_newlines():
 
 
 # ---------------------------------------------------------------------------
+# fs-ordering (WAL replay / durable-store iteration must not depend on
+# filesystem listing order)
+# ---------------------------------------------------------------------------
+def test_fs_ordering_flags_unsorted_listings():
+    src = """
+        import glob
+        import os
+        def f(p):
+            return os.listdir(p), os.scandir(p), glob.glob("*.log")
+    """
+    assert rules(lint(src, "datalet/wal.py")) == ["fs-ordering"] * 3
+
+
+def test_fs_ordering_flags_path_methods():
+    src = """
+        def f(p):
+            for entry in p.iterdir():
+                yield entry
+            return list(p.rglob("*.snap"))
+    """
+    assert rules(lint(src, "sim/durable.py")) == ["fs-ordering"] * 2
+
+
+def test_fs_ordering_sorted_wrapper_is_the_sanctioned_idiom():
+    src = """
+        import os
+        def f(p):
+            return sorted(os.listdir(p))
+    """
+    assert rules(lint(src, "datalet/wal.py")) == []
+
+
+def test_fs_ordering_only_in_protocol_code():
+    src = """
+        import os
+        def f(p):
+            return os.listdir(p)
+    """
+    assert rules(lint(src, "analysis/report.py")) == []
+    assert rules(lint(src, "core/x.py")) == ["fs-ordering"]
+
+
+def test_fs_ordering_pragma_escape():
+    src = """
+        import os
+        def f(p):
+            return os.listdir(p)  # lint: allow[fs-ordering]
+    """
+    findings = lint(src, "datalet/wal.py")
+    assert rules(findings) == []
+    assert [f.rule for f in findings if f.suppressed] == ["fs-ordering"]
+
+
+# ---------------------------------------------------------------------------
 # whole tree + CLI
 # ---------------------------------------------------------------------------
 def test_package_tree_is_clean():

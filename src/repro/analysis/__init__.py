@@ -11,7 +11,11 @@ relies on but nothing else enforces:
   registered-but-never-sent, expected-response-missing);
 * :mod:`repro.analysis.races` — opt-in runtime detector for
   same-timestamp events whose order over one actor is fixed only by
-  heap insertion sequence, plus a tie-order perturbation helper.
+  heap insertion sequence, plus a tie-order perturbation helper;
+* :mod:`repro.analysis.commitpoints` — static commit-point analysis of
+  the write paths (ack-before-durable / ack-before-replication), whose
+  waiver table doubles as the per-combo durability contract consumed by
+  the chaos runner and the recovery-aware model checker.
 
 On top of those sit the model-checking modules (imported directly, not
 re-exported here, so ``import repro.analysis`` stays light):
@@ -33,6 +37,15 @@ from __future__ import annotations
 from pathlib import Path
 from typing import List, Optional
 
+from repro.analysis.commitpoints import (
+    CONTRACTS,
+    CommitContract,
+    Waiver,
+    ack_durable_for,
+    analyze_sources,
+    analyze_tree,
+    contract_for,
+)
 from repro.analysis.conformance import ProtocolModel, check_sources, check_tree
 from repro.analysis.findings import (
     FINDINGS_SCHEMA,
@@ -69,6 +82,13 @@ __all__ = [
     "ProtocolModel",
     "check_sources",
     "check_tree",
+    "CONTRACTS",
+    "CommitContract",
+    "Waiver",
+    "ack_durable_for",
+    "analyze_sources",
+    "analyze_tree",
+    "contract_for",
     "RaceDetector",
     "RaceReport",
     "PerturbationResult",
@@ -90,6 +110,7 @@ def run_lint(root: Optional[Path] = None, conformance: bool = True) -> List[Find
     over one package tree; returns every finding, suppressed included."""
     root = package_root() if root is None else Path(root)
     findings = lint_tree(root)
+    findings.extend(analyze_tree(root))
     if conformance:
         findings.extend(check_tree(root).findings())
     return findings

@@ -36,6 +36,23 @@ the full-budget pass.  Once every scripted op has resolved the history
 is judged and — for the STRONG combos — the state becomes a leaf:
 nothing downstream can change an already-recorded history.
 
+**Recovery-aware exploration** (durable scenarios): a crash is no
+longer a leaf-shaped dead end.  While the restart budget lasts, every
+crashed data host offers a ``restart`` transition that runs the real
+``Deployment.recover_host`` — WAL replay against whatever the crash
+left synced, then the rejoin protocol — *inside* the explored
+interleaving.  A completed history with recoveries (or with restarts
+still possible) is therefore not final: the subtree keeps delivering
+and restarting until the durable endgame settles, and at each quiet
+endpoint the PR-6 recovery oracle (:func:`~repro.chaos.oracle.
+check_recovery`) judges the durability floor, replay validity,
+no-resurrection and — gated by the *statically derived* per-combo
+commit-point contract (:func:`~repro.analysis.commitpoints.
+ack_durable_for`) — settled-final-state.  The oracle runs on a probe
+replay that first quiesces (heal + timers), mirroring the chaos
+harness: a mid-catch-up replica is not a violation, a lost acked write
+after settling is.
+
 States are never snapshotted (protocol code holds lambdas and closures
 deepcopy cannot soundly clone); backtracking rebuilds the run from the
 root and replays the decision prefix — decisions are indices into the
@@ -60,6 +77,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
+from repro.analysis.commitpoints import ack_durable_for
 from repro.analysis.statespace import (
     CheckScenario,
     CheckerClient,
@@ -75,7 +93,7 @@ from repro.analysis.summaries import (
     datalet_footprint,
 )
 from repro.datalet.base import DataletActor
-from repro.chaos.oracle import check_eventual, check_linearizable
+from repro.chaos.oracle import check_eventual, check_linearizable, check_recovery
 from repro.core.types import Consistency
 from repro.errors import BespoError
 
@@ -98,7 +116,8 @@ class CounterTrace:
     scenario: Dict
     decisions: List[int]
     events: List[str]
-    kind: str       # "structural" | "deadlock" | "consistency" | "convergence"
+    kind: str       # "structural" | "deadlock" | "consistency" |
+                    # "convergence" | "recovery"
     violation: str
 
     def to_json(self) -> str:
@@ -205,10 +224,16 @@ class Explorer:
         self.visited: Dict[str, List[FrozenSet]] = {}
         self._sc_checked: set = set()   # recorder digests already judged
         self._ec_checked: set = set()   # fingerprints quiesce-checked
+        self._rec_checked: set = set()  # fingerprints recovery-checked
         self.result = ExploreResult(scenario=scenario.to_dict())
         self._stopped = False
         self._start = 0.0
         self._eventual = scenario.consistency is Consistency.EVENTUAL
+        #: the statically proven commit-point contract for this combo:
+        #: whether an ack implies a durable copy under this fsync cadence
+        self._ack_durable = ack_durable_for(
+            scenario.combo, scenario.wal_sync_every
+        )
 
     # -- plumbing --------------------------------------------------------
     def _fresh(self) -> CheckerRun:
@@ -273,7 +298,7 @@ class Explorer:
     def _independent(self, key_a: Tuple, key_b: Tuple, run: CheckerRun) -> bool:
         # key = ("deliver", src, dst, type, digest, is_reply, occ)
         if key_a[0] != "deliver" or key_b[0] != "deliver":
-            return False  # advance/crash conflict with everything
+            return False  # advance/crash/restart conflict with everything
         dst_a, dst_b = key_a[2], key_b[2]
         host_a = run.cluster._actor_host.get(dst_a)
         host_b = run.cluster._actor_host.get(dst_b)
@@ -339,6 +364,38 @@ class Explorer:
             return "; ".join(report.violations)
         return None
 
+    def _recovery_violation(
+        self, run: CheckerRun, decisions: List[int]
+    ) -> Optional[str]:
+        """Judge the path's recoveries with the PR-6 oracle.
+
+        Runs on a *probe* replay that quiesces first (the in-hand run
+        may still have to expand restart children), so a replica caught
+        mid-rejoin is settled — not misread as a lost write — before
+        the durability floor / no-resurrection / settled-final-state
+        checks fire.  ``ack_durable`` comes from the static commit-point
+        contract, not a heuristic: MS+EC under group commit legally
+        rolls back acked unsynced tails, every other combo must not.
+        """
+        fingerprint = run.fingerprint()
+        if fingerprint in self._rec_checked:
+            return None
+        self._rec_checked.add(fingerprint)
+        self.result.oracle_checks += 1
+        probe = self._replay(decisions)
+        probe.quiesce(QUIESCE_TIME)
+        report = check_recovery(
+            probe.recorder.records,
+            probe.recoveries,
+            probe.replica_dumps(),
+            strong=not self._eventual,
+            synced_acks=self.scenario.wal_sync_every == 1,
+            ack_durable=self._ack_durable,
+        )
+        if report.violations:
+            return "; ".join(report.violations)
+        return None
+
     # -- the search --------------------------------------------------------
     def run(self) -> ExploreResult:
         self._start = time.monotonic()  # lint: allow[wallclock] search budget
@@ -377,15 +434,44 @@ class Explorer:
             if violation is not None:
                 self._record(decisions, "consistency", violation)
                 return
-            if not self._eventual:
-                # a judged STRONG history is final: no later delivery or
-                # timer can change what the clients already observed
-                return
-            if run.done_and_quiet():
-                violation = self._convergence_violation(run, run.fingerprint())
+            # the durable endgame: can a restart still happen, and is
+            # there a settled (quiet) state to judge recoveries at?
+            restartable = (
+                run.restart_budget > 0 and bool(run.crashed_data_hosts())
+            )
+            quiet = not run.cluster.pending
+            if run.recoveries and quiet:
+                violation = self._recovery_violation(run, decisions)
                 if violation is not None:
-                    self._record(decisions, "convergence", violation)
-                return
+                    self._record(decisions, "recovery", violation)
+                    return
+            if not self._eventual:
+                if not restartable and (quiet or not run.recoveries):
+                    # a judged STRONG history is final once its durable
+                    # endgame is too: no restart can still run, and any
+                    # recoveries were judged at this quiet state
+                    return
+                # otherwise keep exploring: pending deliveries drain
+                # toward the quiet recovery check, and each remaining
+                # restart opens a distinct recovered end state
+            elif run.done_and_quiet():
+                fingerprint = run.fingerprint()
+                if not restartable:
+                    violation = self._convergence_violation(run, fingerprint)
+                    if violation is not None:
+                        self._record(decisions, "convergence", violation)
+                    return
+                # restarts remain, so this state is not a leaf: check
+                # convergence on a probe replay (the check quiesces its
+                # run, and the in-hand one must stay replayable for the
+                # restart children expanded below)
+                if fingerprint not in self._ec_checked:
+                    violation = self._convergence_violation(
+                        self._replay(decisions), fingerprint
+                    )
+                    if violation is not None:
+                        self._record(decisions, "convergence", violation)
+                        return
             # EC with messages still parked: keep delivering toward quiet
 
         fingerprint = run.fingerprint()
@@ -397,7 +483,9 @@ class Explorer:
         self.result.states += 1
 
         events = run.enabled()
-        progress = [e for e in events if e.kind in ("deliver", "advance")]
+        progress = [
+            e for e in events if e.kind in ("deliver", "advance", "restart")
+        ]
         if not progress:
             if run.sim.armed_events():
                 # timers remain but the advance budget is spent: the
@@ -467,10 +555,10 @@ def explore(
 ) -> ExploreResult:
     """Exhaustively explore ``scenario`` within the given budgets.
 
-    Two passes: first *delay-bounded* (zero advances, zero crashes —
-    pure message-reorder bugs surface here within a tiny space, and a
-    crash is unobservable without the timers that detect it), then the
-    full scenario.  A counterexample from either pass carries its own
+    Two passes: first *delay-bounded* (zero advances, zero crashes,
+    zero restarts — pure message-reorder bugs surface here within a
+    tiny space, and a crash is unobservable without the timers that
+    detect it), then the full scenario.  A counterexample from either pass carries its own
     scenario dict, so :func:`replay_trace` replays it faithfully.
     """
     if summaries is None:
@@ -482,7 +570,7 @@ def explore(
         ).run()
     start = time.monotonic()  # lint: allow[wallclock] search budget
     quick = Explorer(
-        replace(scenario, advance_budget=0, crashes=0),
+        replace(scenario, advance_budget=0, crashes=0, restarts=0),
         max_states=max_states, max_depth=max_depth,
         time_budget=time_budget, summaries=summaries,
     ).run()
@@ -558,7 +646,21 @@ def replay_trace(trace: CounterTrace) -> ReplayResult:
                 "or armed timer remains"
             )
     if violation is None and run.clients_done():
-        if scenario.consistency is Consistency.EVENTUAL:
+        if trace.kind == "recovery":
+            # same probe semantics as the explorer: settle first, then
+            # judge the recoveries under the static commit-point contract
+            run.quiesce(QUIESCE_TIME)
+            report = check_recovery(
+                run.recorder.records,
+                run.recoveries,
+                run.replica_dumps(),
+                strong=scenario.consistency is not Consistency.EVENTUAL,
+                synced_acks=scenario.wal_sync_every == 1,
+                ack_durable=ack_durable_for(
+                    scenario.combo, scenario.wal_sync_every
+                ),
+            )
+        elif scenario.consistency is Consistency.EVENTUAL:
             if trace.kind == "convergence":
                 run.quiesce(QUIESCE_TIME)
                 report = check_eventual(run.recorder.records, run.replica_dumps())

@@ -18,7 +18,8 @@ of nondeterminism.  This module provides the substrate:
   :class:`~repro.chaos.history.HistoryRecorder` for the PR-1 oracles.
 * :class:`CheckerRun` — one rooted execution: boot, then a sequence of
   *transitions* (deliver pending message #i / advance virtual time by
-  one kernel event / crash a data host), each enumerated
+  one kernel event / crash a data host / restart a crashed host through
+  the real ``Deployment.recover_host`` WAL replay), each enumerated
   deterministically so a run is replayable from its decision indices
   alone.
 * :func:`CheckerRun.fingerprint` — the state abstraction: canonical
@@ -28,6 +29,11 @@ of nondeterminism.  This module provides the substrate:
   labels with deadline offsets, host liveness and the remaining fault
   budget.  Periodic timers show up as relative deadlines, so an idle
   cluster cycles back to a seen fingerprint and exploration closes.
+  With durable scenarios the digest also folds every host's
+  :class:`~repro.sim.durable.DurableStore` — per-file content and fsync
+  watermark — plus the restart budget and recovery provenance: two
+  interleavings that differ only in what survived on disk must never
+  merge, because their recoveries differ.
 
 Channel abstraction: identical in-flight non-reply messages coalesce
 (at most one copy of each (src, dst, type, payload) is pending at a
@@ -43,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.chaos.history import HistoryRecorder
+from repro.chaos.oracle import RecoveryRecord
 from repro.core.config import ControlConfig
 from repro.core.ms_sc import MSStrongControlet
 from repro.core.types import Consistency, Topology
@@ -61,6 +68,7 @@ __all__ = [
     "EarlyAckMSStrongControlet",
     "EnabledEvent",
     "INJECTIONS",
+    "UnsyncedAckMSStrongControlet",
     "parse_combo",
 ]
 
@@ -113,7 +121,37 @@ class EarlyAckMSStrongControlet(MSStrongControlet):
             )
 
 
-INJECTIONS: Dict[str, type] = {"early-ack": EarlyAckMSStrongControlet}
+class UnsyncedAckMSStrongControlet(MSStrongControlet):
+    """Known-bad build: every chain member *defers* its local durable
+    apply onto a timer and continues down the chain (acking, at the
+    tail) immediately — the ack-before-durable bug class the commit
+    point analyzer exists for.
+
+    Under the colocated controlet/datalet pairing the apply would
+    otherwise land synchronously within the same transition, so the
+    timer is what opens the cross-step window: crash the host after the
+    ack but before its timer fires and the acked write was never
+    logged, so WAL replay cannot bring it back.  With ``ms-sc``'s
+    ``ack_durable`` contract that is a durability-floor violation the
+    recovery-aware checker must find (and statically, the tail ack has
+    no durable effect ahead of it — only a deferred one).  Inject via
+    ``CheckScenario(inject="unsynced-ack")``.
+    """
+
+    def _apply_and_forward(self, req) -> None:
+        payload = {"key": req.msg.payload["key"]}
+        if req.op == "put":
+            payload["val"] = req.msg.payload["val"]
+        # BUG: the durable apply rides a timer; the ack path below does
+        # not wait for it, so a crash in between loses an acked write.
+        self.set_timer(0.01, lambda: self.datalet_call(req.op, payload))
+        self._forward_down(req)
+
+
+INJECTIONS: Dict[str, type] = {
+    "early-ack": EarlyAckMSStrongControlet,
+    "unsynced-ack": UnsyncedAckMSStrongControlet,
+}
 
 
 # ---------------------------------------------------------------------------
@@ -128,6 +166,20 @@ class CheckScenario:
     clients: int = 1
     ops_per_client: int = 3
     crashes: int = 1        # fault budget (host crashes)
+    #: crash-*restart* budget: a crashed data host may be brought back
+    #: through the real ``Deployment.recover_host`` (WAL replay +
+    #: rejoin) as an explored transition.  Requires ``durable``.
+    restarts: int = 0
+    #: run with a durable WAL under every datalet (crash damage then
+    #: follows ``durable_loss``; recovery replays the synced prefix).
+    durable: bool = False
+    #: fsync cadence of those WALs (1 = every append, the synced-acks
+    #: regime; >1 = group commit, where MS+EC legally loses acked tails).
+    wal_sync_every: int = 1
+    #: crash damage policy for unsynced bytes.  Default "all" (drop the
+    #: whole unsynced suffix): the deterministic worst case, so
+    #: counterexamples never hinge on torn-tail RNG draws.
+    durable_loss: str = "all"
     seed: int = 0
     boot_time: float = 0.5
     op_timeout: float = 3.0
@@ -163,9 +215,16 @@ class CheckScenario:
 
     def label(self) -> str:
         tag = f"+{self.inject}" if self.inject else ""
+        extra = ""
+        if self.durable:
+            extra = (
+                f" restarts={self.restarts}"
+                f" wal_sync_every={self.wal_sync_every}"
+            )
         return (
             f"{self.combo}{tag} nodes={self.nodes} clients={self.clients} "
-            f"ops={self.ops_per_client} crashes={self.crashes} seed={self.seed}"
+            f"ops={self.ops_per_client} crashes={self.crashes}{extra} "
+            f"seed={self.seed}"
         )
 
     def ops_for(self, client_index: int) -> List[Tuple[str, str, Optional[str]]]:
@@ -197,6 +256,10 @@ class CheckScenario:
             "clients": self.clients,
             "ops_per_client": self.ops_per_client,
             "crashes": self.crashes,
+            "restarts": self.restarts,
+            "durable": self.durable,
+            "wal_sync_every": self.wal_sync_every,
+            "durable_loss": self.durable_loss,
             "seed": self.seed,
             "boot_time": self.boot_time,
             "op_timeout": self.op_timeout,
@@ -443,7 +506,7 @@ class CheckerClient(Actor):
 class EnabledEvent:
     """One transition the explorer may take from the current state."""
 
-    kind: str          # "deliver" | "advance" | "crash"
+    kind: str          # "deliver" | "advance" | "crash" | "restart"
     index: int         # pending-list index for deliver; -1 otherwise
     key: Tuple         # canonical identity (stable across replays)
     describe: str
@@ -459,6 +522,11 @@ class CheckerRun:
             raise BespoError(
                 f"unknown injection {scenario.inject!r} (have {sorted(INJECTIONS)})"
             )
+        if scenario.restarts and not scenario.durable:
+            raise BespoError(
+                "restart transitions need durable=True: recovery replays "
+                "the WAL, and without one there is nothing to recover from"
+            )
         spec = DeploymentSpec(
             shards=1,
             replicas=scenario.nodes,
@@ -468,6 +536,9 @@ class CheckerRun:
             seed=scenario.seed,
             control=scenario.control_config(),
             controlet_class=inject_cls,
+            durable=scenario.durable,
+            wal_sync_every=scenario.wal_sync_every,
+            durable_loss=scenario.durable_loss,
         )
         self.cluster = CheckerCluster(
             seed=scenario.seed, coalesce=scenario.coalesce_inflight
@@ -491,7 +562,11 @@ class CheckerRun:
             self.cluster.add_actor(client, host=name)
             self.clients.append(client)
         self.crash_budget = scenario.crashes
+        self.restart_budget = scenario.restarts
         self.advances_left = scenario.advance_budget
+        #: provenance of every recover_host run on this path, in
+        #: transition order — the recovery oracle's input.
+        self.recoveries: List[RecoveryRecord] = []
         self.steps = 0
 
     # -- lifecycle -------------------------------------------------------
@@ -515,6 +590,16 @@ class CheckerRun:
             for replica in self.dep.map.shards[sid].ordered():
                 hosts.add(replica.host)
         return sorted(h for h in hosts if self.cluster.is_host_alive(h))
+
+    def crashed_data_hosts(self) -> List[str]:
+        """Crashed hosts that still own a shard slot — restart targets.
+        Keyed off the deployment's host→replica pairing rather than the
+        current map, so a host repaired *out* of the shard (standby
+        promotion) can still power back on and attempt a rejoin."""
+        return sorted(
+            h for h in self.dep._host_pairs
+            if not self.cluster.is_host_alive(h)
+        )
 
     def enabled(self) -> List[EnabledEvent]:
         events: List[EnabledEvent] = []
@@ -558,6 +643,18 @@ class CheckerRun:
                     key=("crash", host),
                     describe=f"crash {host}",
                 ))
+        # restarts stay enabled *after* the history completes (unlike
+        # crashes): a post-history recovery still changes the final
+        # durable state the recovery oracle judges — lost-everywhere vs
+        # caught-up-from-a-live-peer are different verdicts.
+        if self.restart_budget > 0:
+            for host in self.crashed_data_hosts():
+                events.append(EnabledEvent(
+                    kind="restart",
+                    index=-1,
+                    key=("restart", host),
+                    describe=f"restart {host}",
+                ))
         return events
 
     def execute(self, event: EnabledEvent) -> None:
@@ -570,6 +667,16 @@ class CheckerRun:
         elif event.kind == "crash":
             self.crash_budget -= 1
             self.cluster.crash_host(event.key[1])
+        elif event.kind == "restart":
+            self.restart_budget -= 1
+            record = self.dep.recover_host(event.key[1])
+            if record is not None:
+                self.recoveries.append(record)
+            # Drain the zero-time respawn cascade (on_restart hooks,
+            # actor start callbacks scheduled via call_soon) atomically
+            # with the transition; messages it sends park in pending as
+            # usual, and later-deadline timers stay armed.
+            self.sim.run_until(self.sim.now)
         else:  # pragma: no cover - enum guarded above
             raise BespoError(f"unknown transition kind {event.kind!r}")
 
@@ -614,6 +721,33 @@ class CheckerRun:
             # with more budget left has strictly more futures, so it must
             # not be pruned against a lower-budget visit
             "advances_left": self.advances_left,
+            "restarts_left": self.restart_budget,
+            # what survived on disk: per host, each durable file's full
+            # content plus its fsync watermark.  Interleavings that agree
+            # on actor state but differ in synced prefixes have different
+            # recoveries ahead of them and must not merge.
+            "durable": {
+                host: {
+                    name: (
+                        self.cluster._durable[host].file(name).read().hex(),
+                        self.cluster._durable[host].file(name).synced_size,
+                    )
+                    for name in self.cluster._durable[host].files()
+                }
+                for host in sorted(self.cluster._durable)
+            },
+            # recovery provenance already accrued on this path: the
+            # per-recovery oracle checks (floor, validity, resurrection)
+            # read it at the leaf, so it is part of the judged state
+            "recoveries": [
+                (
+                    r.host,
+                    r.durable_seq_at_crash,
+                    r.replayed_seq,
+                    sorted(r.recovered.items()),
+                )
+                for r in self.recoveries
+            ],
         }
         return canonical_digest(state)
 

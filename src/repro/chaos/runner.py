@@ -34,7 +34,11 @@ from repro.chaos.oracle import (
     check_linearizable,
     check_recovery,
 )
-from repro.chaos.schedule import FaultSchedule, random_schedule
+from repro.chaos.schedule import (
+    FaultSchedule,
+    random_schedule,
+    rolling_restart_schedule,
+)
 from repro.core.types import Consistency, Topology
 from repro.errors import BespoError
 
@@ -133,6 +137,7 @@ def run_combo(
     trace: bool = False,
     durable: bool = False,
     restarts: bool = False,
+    rolling_restart: bool = False,
 ) -> ComboResult:
     """Run one seeded chaotic soak of one combo and judge the history.
 
@@ -140,11 +145,17 @@ def run_combo(
     store; ``restarts=True`` additionally draws crash + recover-restart
     pairs (WAL replay + stale rejoin) into the random schedule and runs
     the recovery oracle over the resulting recoveries.
+    ``rolling_restart=True`` replaces the random schedule with a
+    deterministic :func:`~repro.chaos.schedule.rolling_restart_schedule`
+    power-cycling every data host in sequence (implies both of the
+    above).
     """
     from repro.harness.deploy import Deployment, DeploymentSpec  # local: avoid cycle
 
     topology = Topology(topology)
     consistency = Consistency(consistency)
+    if rolling_restart:
+        restarts = True  # every host recovers; the recovery oracle must judge it
     if restarts and not durable:
         durable = True  # a recover-restart without a WAL has nothing to replay
     spec_kwargs = dict(
@@ -195,15 +206,18 @@ def run_combo(
         r.host for shard in dep.map.shards.values() for r in shard.ordered()
     ]
     if schedule is None:
-        schedule = random_schedule(
-            seed,
-            data_hosts,
-            duration,
-            topology=topology,
-            consistency=consistency,
-            failure_timeout=dep.spec.control.failure_timeout,
-            restarts=restarts,
-        )
+        if rolling_restart:
+            schedule = rolling_restart_schedule(data_hosts)
+        else:
+            schedule = random_schedule(
+                seed,
+                data_hosts,
+                duration,
+                topology=topology,
+                consistency=consistency,
+                failure_timeout=dep.spec.control.failure_timeout,
+                restarts=restarts,
+            )
     schedule.validate(failure_timeout=dep.spec.control.failure_timeout)
 
     keyspace = [f"k{n}" for n in range(keys)]
@@ -289,11 +303,18 @@ def run_combo(
     if durable:
         strong = consistency is Consistency.STRONG
         synced_acks = dep.spec.wal_sync_every == 1
-        # an ack implies a durable copy somewhere except under MS+EC
-        # group commit: there the ack covers one in-memory replica whose
-        # fsync trails it, so a crash may roll back the acked tail and a
-        # rejoining master resyncs its slaves to the rolled-back state
-        ack_durable = strong or synced_acks or topology is Topology.AA
+        # Ack-durability is read from the static commit-point contract
+        # (repro.analysis.commitpoints.CONTRACTS) instead of a local
+        # heuristic, so the oracle and the `repro lint` waiver table can
+        # never drift apart.  Today the only waived combo is MS+EC under
+        # group commit (wal_sync_every > 1): the ack covers one
+        # in-memory replica whose fsync trails it, so a crash may roll
+        # back the acked tail and a rejoining master resyncs its slaves
+        # to the rolled-back state.
+        from repro.analysis.commitpoints import ack_durable_for  # local: avoid cycle
+
+        combo = f"{topology.value}-{'sc' if strong else 'ec'}"
+        ack_durable = ack_durable_for(combo, dep.spec.wal_sync_every)
         recovery_report = check_recovery(
             recorder.records,
             recoveries,

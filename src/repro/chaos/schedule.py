@@ -62,7 +62,13 @@ from repro.core.types import Consistency, Topology
 from repro.errors import ConfigError
 from repro.sim.rng import RngRegistry
 
-__all__ = ["FaultEvent", "FaultSchedule", "fault_menu", "random_schedule"]
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "fault_menu",
+    "random_schedule",
+    "rolling_restart_schedule",
+]
 
 KINDS = (
     "crash",
@@ -234,6 +240,42 @@ def fault_menu(
     if consistency is Consistency.EVENTUAL:
         menu.extend(["duplicate", "reorder"])
     return tuple(menu)
+
+
+def rolling_restart_schedule(
+    hosts: Sequence[str],
+    start: float = 1.0,
+    downtime: float = 0.5,
+    stagger: float = 2.0,
+) -> FaultSchedule:
+    """One crash + recover-restart per host, strictly one at a time.
+
+    The classic operational rolling restart: every data host
+    power-cycles in sequence, recovering from its DurableStore (WAL
+    replay, then the protocol's stale-rejoin catch-up) while the rest
+    of the fleet keeps serving.  Deterministic — no RNG draws — so a
+    rolling-restart soak's digest depends only on ``(seed, spec)`` like
+    every other schedule.  ``stagger`` spaces the crash times so at
+    most one host is ever down (requires ``stagger > downtime``);
+    downtime is deliberately *inside* the detection window, which is
+    exactly the durable fault class (``recover=True``).
+    """
+    if not hosts:
+        raise ConfigError("need at least one host for a rolling restart")
+    if downtime <= 0:
+        raise ConfigError("downtime must be positive")
+    if stagger <= downtime:
+        raise ConfigError(
+            "stagger must exceed downtime so only one host is down at a time"
+        )
+    events: List[FaultEvent] = []
+    for i, host in enumerate(sorted(hosts)):
+        at = start + i * stagger
+        events.append(FaultEvent(at=at, kind="crash", target=host))
+        events.append(
+            FaultEvent(at=at + downtime, kind="restart", target=host, recover=True)
+        )
+    return FaultSchedule(events=events)
 
 
 def random_schedule(

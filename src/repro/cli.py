@@ -115,6 +115,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        "short-downtime power cycles that recover nodes from "
                        "their WAL (implies --durable) and the recovery "
                        "oracle judges every recovery")
+    chaos.add_argument("--rolling-restart", action="store_true",
+                       help="replace the random schedule with a deterministic "
+                       "rolling restart: every data host power-cycles in "
+                       "sequence, one at a time, recovering from its WAL "
+                       "(implies --durable; the recovery oracle judges every "
+                       "recovery)")
     chaos.add_argument("--wal-sync-every", type=int, default=1,
                        help="fsync after this many appends (1 = every ack; "
                        ">1 = group commit, crash may lose the unsynced tail)")
@@ -150,11 +156,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="exhaustive small-scope model check of one combo",
         description="Run the real controlet/coordinator code under a "
         "controlled scheduler and explore EVERY interleaving of message "
-        "deliveries, timer advances and crashes within the declared "
-        "scope bounds (nodes, ops, crash and advance budgets).  Client "
-        "histories are judged by the chaos oracles at every terminal "
-        "state; violations come with a minimal decision trace that "
-        "--replay re-executes deterministically.",
+        "deliveries, timer advances, crashes and (with --restart) "
+        "WAL-recovery restarts within the declared scope bounds (nodes, "
+        "ops, crash/restart and advance budgets).  Client histories are "
+        "judged by the chaos oracles at every terminal state — the "
+        "recovery oracle too when restarts happened; violations come "
+        "with a minimal decision trace that --replay re-executes "
+        "deterministically.",
     )
     check.add_argument("--combo", choices=("ms-sc", "ms-ec", "aa-sc", "aa-ec"),
                        default="ms-sc")
@@ -165,10 +173,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="operations per client (alternating put/get on one key)")
     check.add_argument("--crashes", type=int, default=1,
                        help="crash fault budget per schedule")
+    check.add_argument("--restart", "--restarts", dest="restarts", type=int,
+                       nargs="?", const=1, default=0, metavar="N",
+                       help="restart budget per schedule: crashed hosts may "
+                       "power back on mid-interleaving through the real "
+                       "WAL-replay + stale-rejoin recovery path (implies "
+                       "--durable; budget 1 when given without a value)")
+    check.add_argument("--durable", action="store_true",
+                       help="WAL-backed datalets on per-host durable stores; "
+                       "durable contents fold into the state fingerprints")
+    check.add_argument("--wal-sync-every", type=int, default=1,
+                       help="fsync cadence for --durable (1 = every append; "
+                       ">1 = group commit, crash loses the unsynced tail)")
     check.add_argument("--seed", type=int, default=0)
     check.add_argument("--inject", default=None, metavar="DEFECT",
-                       help="seed a named known-bad build (e.g. early-ack) "
-                       "to demonstrate counterexample discovery")
+                       help="seed a named known-bad build (early-ack, or "
+                       "unsynced-ack for the ack-before-durable defect the "
+                       "recovery oracle catches under --restart) to "
+                       "demonstrate counterexample discovery")
     check.add_argument("--advance-budget", type=int, default=40,
                        help="scope bound on timer/clock advances per path")
     check.add_argument("--lazy-network", action="store_true",
@@ -359,8 +381,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             detect_races=args.detect_races,
             sanitize=args.sanitize,
             trace=args.trace,
-            durable=args.durable or args.restart,
+            durable=args.durable or args.restart or args.rolling_restart,
             restarts=args.restart,
+            rolling_restart=args.rolling_restart,
             spec_overrides=(
                 {"wal_sync_every": args.wal_sync_every}
                 if args.wal_sync_every != 1
@@ -387,7 +410,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"({n_tied} tied event groups examined)")
     if args.trace:
         _print_violation_traces(report)
-    if args.durable or args.restart:
+    if args.durable or args.restart or args.rolling_restart:
         n_rec = sum(r.stats.get("recoveries", 0) for r in report.results)
         n_torn = sum(r.stats.get("torn_tails", 0) for r in report.results)
         print(f"durable recovery: {n_rec} crash-restart recoveries "
@@ -517,6 +540,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
         clients=args.clients,
         ops_per_client=args.ops,
         crashes=args.crashes,
+        restarts=args.restarts,
+        durable=args.durable or args.restarts > 0,
+        wal_sync_every=args.wal_sync_every,
         seed=args.seed,
         advance_budget=args.advance_budget,
         eager_network=not args.lazy_network,

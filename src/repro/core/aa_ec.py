@@ -11,7 +11,7 @@ its own.  Reads are local.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.controlet import Controlet
 from repro.errors import BespoError
@@ -39,6 +39,10 @@ class AAEventualControlet(Controlet):
         #: (via snapshot) or belongs to the previous service generation.
         self._start_at_tail = start_cursor_at_tail
         self.applied_from_log = 0
+        #: replayed batches waiting for the datalet, in log order; see
+        #: :meth:`_pump_applies` for why they must be serialized.
+        self._apply_queue: List[list] = []
+        self._apply_busy = False
         self._draining: Optional[Dict[str, object]] = None
         self._fetch_armed = False
         self.register("log_sync_pull", self._on_log_sync_pull)
@@ -218,8 +222,29 @@ class AAEventualControlet(Controlet):
             self.cursor = pos + 1
             ops.append({"op": d["op"], "key": d["key"], "val": d["value"]})
         if ops:
-            self.send(self.datalet, "apply_batch", {"ops": ops})  # fire-and-forget: EC
+            self._apply_queue.append(ops)
             self.applied_from_log += len(ops)
+            self._pump_applies()
+
+    def _pump_applies(self) -> None:
+        """At most one replay apply_batch in flight to the datalet.
+
+        Fire-and-forget sends are not enough: the host CPU is a
+        multi-slot server, so a small batch chasing a large one (exactly
+        the shape a recovering node's catch-up produces — one big
+        backlog batch, then the fresh tail) can finish service first and
+        apply log entries out of order, permanently diverging this
+        replica.  Found by the rolling-restart chaos schedule."""
+        if self._apply_busy or not self._apply_queue:
+            return
+        self._apply_busy = True
+        ops = self._apply_queue.pop(0)
+
+        def applied(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            self._apply_busy = False
+            self._pump_applies()
+
+        self.datalet_call("apply_batch", {"ops": ops}, callback=applied)
 
     # ------------------------------------------------------------------
     # transition support
@@ -257,5 +282,7 @@ class AAEventualControlet(Controlet):
             "start_at_tail": self._start_at_tail,
             "fetch_armed": self._fetch_armed,
             "draining": self._draining is not None,
+            "apply_queue": len(self._apply_queue),
+            "apply_busy": self._apply_busy,
         })
         return s

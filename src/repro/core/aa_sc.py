@@ -78,6 +78,11 @@ class AAStrongControlet(Controlet):
             # DLM lock is released only after *all* replicas acked, so
             # a later same-key write cannot overtake this one.
             self.buffer_catchup(msg)
+            # Not the client commit point: the writer settles only
+            # after *all* replicas ack under the DLM lock, so the write
+            # is durable on the live fan-out; the buffer replays after
+            # restore (combo aa-sc).
+            # lint: allow[ack-before-durable]
             self.respond(msg, "ok")
             return
         op = msg.payload["op"]

@@ -64,6 +64,11 @@ class MSEventualControlet(Controlet):
         self._repair_pending = False
         self.applied_from_master = 0
         self.gaps_detected = 0
+        #: replicated batches waiting for the datalet, in stream order;
+        #: serialized for the same reason as AA+EC log replay (see
+        #: :meth:`_pump_applies`).
+        self._apply_queue: List[list] = []
+        self._apply_busy = False
         if self.rejoining and self._view_says_head():
             # A rejoining EC *master* is the authority for acked data:
             # its WAL holds acked-but-never-propagated writes that no
@@ -338,8 +343,10 @@ class MSEventualControlet(Controlet):
         fresh = ops[skip:]
         if fresh:
             # one ordered apply_batch per batch — per-op messages could
-            # reorder in flight and apply a delete before its put.
-            self.send(self.datalet, "apply_batch", {"ops": fresh})
+            # reorder in flight and apply a delete before its put — and
+            # at most one batch in flight (see _pump_applies).
+            self._apply_queue.append(fresh)
+            self._pump_applies()
             self.applied_from_master += len(fresh)
             # learn the rids this batch carries: if we are later promoted
             # to master, a client retrying one of these ops gets its
@@ -350,6 +357,25 @@ class MSEventualControlet(Controlet):
                     self._remember_rid(rid)
         self._stream = (tracked_stream, start_seq + len(ops))
         self._repair_pending = False
+
+    def _pump_applies(self) -> None:
+        """At most one replicated apply_batch in flight to the datalet.
+
+        The host CPU is a multi-slot server: a small batch chasing a
+        large one (a repair resend followed by the fresh tail) could
+        finish service first and apply stream ops out of order,
+        permanently diverging this slave.  Same defect class the
+        rolling-restart chaos schedule exposed in AA+EC log replay."""
+        if self._apply_busy or not self._apply_queue:
+            return
+        self._apply_busy = True
+        ops = self._apply_queue.pop(0)
+
+        def applied(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            self._apply_busy = False
+            self._pump_applies()
+
+        self.datalet_call("apply_batch", {"ops": ops}, callback=applied)
 
     def _request_repair(self, master: str, from_seq: int) -> None:
         if self._repair_pending:
@@ -409,5 +435,7 @@ class MSEventualControlet(Controlet):
             ] if self._retained else None,
             "stream": list(self._stream),
             "repair_pending": self._repair_pending,
+            "apply_queue": len(self._apply_queue),
+            "apply_busy": self._apply_busy,
         })
         return s

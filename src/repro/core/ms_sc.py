@@ -54,8 +54,27 @@ class MSStrongControlet(Controlet):
         """We are the recovery source: start relaying every subsequent
         chain write to the replacement *before* snapshotting.  Datalet
         message ordering then guarantees snapshot ∪ relayed writes
-        covers everything committed here."""
-        self._sync_successor = msg.payload["controlet"]
+        covers everything committed here.
+
+        The relay is armed only when the puller sits *downstream* of us
+        (a replacement tail — the invariant ``on_shard_changed`` later
+        discharges).  A node power-cycling back into its old upstream
+        slot before the coordinator noticed the crash (head restart:
+        found by the recovery-aware model checker) must not be relayed
+        to: chain writes already flow through it to us, so the relay
+        would bounce every write back up the chain forever."""
+        puller = msg.payload["controlet"]
+        upstream = False
+        try:
+            order = [r.controlet for r in self.shard.ordered()]
+            upstream = (
+                puller in order
+                and order.index(puller) <= order.index(self.node_id)
+            )
+        except Exception:  # noqa: BLE001 - sparse or stale view
+            upstream = False
+        if not upstream:
+            self._sync_successor = puller
 
         def with_snap(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if err is not None or resp is None or resp.type != "snapshot":
@@ -103,6 +122,11 @@ class MSStrongControlet(Controlet):
             # the write survives in the chain even if we die; we replay
             # the buffer right after the snapshot restore.
             self.buffer_catchup(msg)
+            # Not the client commit point: the predecessor already
+            # applied-and-logged before forwarding, so the write is
+            # durable upstream; the buffer replays after the snapshot
+            # restore (combo ms-sc).
+            # lint: allow[ack-before-durable]
             self.respond(msg, "ok")
             return
         # Every chain member runs the same dedup gate: rid rides the

@@ -1,0 +1,149 @@
+"""Recovery-aware model checking: crash is no longer a leaf.
+
+These tests cover the restart half of the durability analysis layer:
+bounded crash+restart interleavings run the real
+``Deployment.recover_host`` (WAL replay + rejoin) inside exploration,
+durable on-disk state is folded into the state fingerprint, and a
+recovery oracle judges post-recovery replicas under the static
+commit-point contract from ``repro.analysis.commitpoints``.
+
+The static half of the same seeded defect lives in
+``test_commitpoints.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.explore import CounterTrace, explore, replay_trace
+from repro.analysis.statespace import CheckerRun, CheckScenario
+from repro.analysis.summaries import build_summaries
+from repro.errors import BespoError
+
+
+@pytest.fixture(scope="module")
+def summaries():
+    return build_summaries()
+
+
+# ---------------------------------------------------------------------------
+# scenario plumbing
+# ---------------------------------------------------------------------------
+def test_restart_scenario_round_trips_through_dict():
+    s = CheckScenario(combo="ms-ec", nodes=2, ops_per_client=1,
+                      crashes=1, restarts=1, durable=True,
+                      wal_sync_every=4, durable_loss="all",
+                      advance_budget=6)
+    assert CheckScenario.from_dict(s.to_dict()) == s
+    assert "restarts=1" in s.label()
+    assert "wal_sync_every=4" in s.label()
+
+
+def test_restarts_require_durable():
+    with pytest.raises(BespoError):
+        CheckerRun(CheckScenario(restarts=1))
+
+
+# ---------------------------------------------------------------------------
+# durable state is part of the fingerprint
+# ---------------------------------------------------------------------------
+def _booted(combo="ms-ec"):
+    run = CheckerRun(CheckScenario(
+        combo=combo, nodes=2, ops_per_client=1,
+        crashes=1, restarts=1, durable=True, advance_budget=6,
+    ))
+    run.boot()
+    return run
+
+
+def test_identical_durable_runs_share_fingerprint():
+    a = _booted()
+    b = _booted()
+    assert a.cluster._durable, "durable scenario booted without stores"
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_unsynced_append_diverges_fingerprint():
+    """Two states that agree on every actor but differ in what reached
+    disk have different recoveries ahead of them — they must not merge."""
+    a = _booted()
+    b = _booted()
+    host = sorted(b.cluster._durable)[0]
+    store = b.cluster._durable[host]
+    store.file(sorted(store.files())[0]).append(b"ghost-record")
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_sync_watermark_diverges_fingerprint():
+    """Same bytes on disk, different fsync watermark: a crash now loses
+    different suffixes, so the states must stay distinct."""
+    a = _booted()
+    b = _booted()
+    for run in (a, b):
+        host = sorted(run.cluster._durable)[0]
+        store = run.cluster._durable[host]
+        store.file(sorted(store.files())[0]).append(b"tail-record")
+    host = sorted(b.cluster._durable)[0]
+    store = b.cluster._durable[host]
+    store.file(sorted(store.files())[0]).sync()
+    assert a.fingerprint() != b.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# healthy builds close with restarts in scope
+# ---------------------------------------------------------------------------
+def _restart_scenario(combo, **kw):
+    base = dict(combo=combo, nodes=2, ops_per_client=1,
+                crashes=1, restarts=1, durable=True, advance_budget=6)
+    base.update(kw)
+    return CheckScenario(**base)
+
+
+@pytest.mark.parametrize("combo", ["ms-ec", "aa-ec"])
+def test_healthy_restart_exploration_closes(summaries, combo):
+    result = explore(_restart_scenario(combo), summaries=summaries)
+    assert result.ok, result.describe()
+    assert result.fixpoint, result.describe()
+    assert result.states > 0
+
+
+def test_ms_sc_restart_closes_no_rejoin_livelock(summaries):
+    """Regression for the head-restart-in-place livelock: before the
+    fix, a restarted head re-entering the chain inside the detection
+    window left the tail's sync pull armed at its own upstream and
+    chain_puts bounced forever — exploration never reached a fixpoint."""
+    result = explore(
+        _restart_scenario("ms-sc"), max_states=20000, summaries=summaries,
+    )
+    assert result.ok, result.describe()
+    assert result.fixpoint, result.describe()
+
+
+# ---------------------------------------------------------------------------
+# seeded must-fail: ack before fsync in a STRONG combo
+# ---------------------------------------------------------------------------
+def test_unsynced_ack_yields_replayable_recovery_counterexample(summaries):
+    """The dynamic half of the seeded defect: an MS+SC head that acks
+    before its datalet WAL append is synced.  A crash+restart
+    interleaving must surface a settled write lost across recovery, and
+    the counterexample must replay deterministically."""
+    scenario = CheckScenario(
+        combo="ms-sc", nodes=2, ops_per_client=1,
+        crashes=2, restarts=2, durable=True, advance_budget=6,
+        inject="unsynced-ack",
+    )
+    result = explore(scenario, summaries=summaries)
+    assert not result.ok, result.describe()
+    ce = result.counterexample
+    assert ce.kind == "recovery", ce.violation
+    assert "recovery" in ce.violation
+    assert ce.decisions
+
+    # round-trips through the JSON wire format (`repro check --save`)
+    rt = CounterTrace.from_json(ce.to_json())
+    assert rt == ce
+    assert json.loads(ce.to_json())["schema"] == "repro.check.trace/1"
+
+    replay = replay_trace(rt)
+    assert replay.reproduced, replay.describe()
+    assert replay.violation == ce.violation

@@ -1,0 +1,118 @@
+"""Cross-PR bench regression guard.
+
+Compares the consolidated summary of this PR's benchmark run
+(``BENCH_PR8.json``) against the frozen ``BENCH_PR5.json`` baseline:
+
+* every tier-1 *throughput* figure's peak may not regress more than
+  10% (latency/feature figures are excluded — their leaves mix units
+  where "lower" can be better);
+* the observability off-switch must stay effectively free: the
+  ``obs_overhead`` off-mode overhead gate is 2%;
+* the PR 8 headline must hold: the batched AA+EC write path at least
+  1.5x its coalescing-disabled self.
+
+Exit status 0 = all gates pass; 1 = regression (details on stdout).
+
+Usage::
+
+    python benchmarks/bench_guard.py [CURRENT [BASELINE]]
+
+defaulting to ``BENCH_PR8.json`` / ``BENCH_PR5.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: figures whose numeric peak is a throughput claim (QPS-dominated
+#: payloads); a >10% drop in any of these fails the guard.
+THROUGHPUT_FIGURES = (
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig11",
+    "fig12",
+    "ablation_sharedlog",
+    "ablation_mapping",
+)
+
+MAX_REGRESSION = 0.10
+OBS_OFF_GATE = 0.02
+HEADLINE_SPEEDUP = 1.5
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _load(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def check(current_path: Path, baseline_path: Path) -> int:
+    current = _load(current_path)["figures"]
+    baseline = _load(baseline_path)["figures"]
+    failures = []
+
+    for fig in THROUGHPUT_FIGURES:
+        if fig not in current or fig not in baseline:
+            failures.append(f"{fig}: missing from "
+                            f"{'current' if fig not in current else 'baseline'}"
+                            " summary")
+            continue
+        cur, base = current[fig].get("max"), baseline[fig].get("max")
+        if not base:
+            continue
+        ratio = cur / base
+        verdict = "OK"
+        if ratio < 1.0 - MAX_REGRESSION:
+            verdict = f"FAIL (>{MAX_REGRESSION:.0%} regression)"
+            failures.append(f"{fig}: peak {base:.1f} -> {cur:.1f} "
+                            f"({ratio:.2f}x)")
+        print(f"  {fig:<22} peak {base:>10.1f} -> {cur:>10.1f}  "
+              f"{ratio:5.2f}x  {verdict}")
+
+    obs_path = RESULTS_DIR / "obs_overhead.json"
+    if obs_path.exists():
+        off = float(_load(obs_path)["off_overhead"])
+        verdict = "OK" if off <= OBS_OFF_GATE else "FAIL"
+        print(f"  obs-off overhead       {off:+.2%} (gate {OBS_OFF_GATE:.0%})"
+              f"  {verdict}")
+        if off > OBS_OFF_GATE:
+            failures.append(f"obs-off overhead {off:.2%} exceeds "
+                            f"{OBS_OFF_GATE:.0%} gate")
+    else:
+        failures.append(f"missing {obs_path} (run benchmarks/test_obs_overhead.py)")
+
+    pr8_path = RESULTS_DIR / "pr8_batching.json"
+    if pr8_path.exists():
+        speedup = float(_load(pr8_path)["aa_ec_speedup"])
+        verdict = "OK" if speedup >= HEADLINE_SPEEDUP else "FAIL"
+        print(f"  aa-ec batching speedup {speedup:.2f}x "
+              f"(gate {HEADLINE_SPEEDUP:.1f}x)  {verdict}")
+        if speedup < HEADLINE_SPEEDUP:
+            failures.append(f"aa-ec batching speedup {speedup:.2f}x below "
+                            f"{HEADLINE_SPEEDUP:.1f}x")
+    else:
+        failures.append(f"missing {pr8_path} (run benchmarks/test_pr8_batching.py)")
+
+    if failures:
+        print("\nbench guard: FAIL")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench guard: PASS")
+    return 0
+
+
+def main(argv: list) -> int:
+    current = Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "BENCH_PR8.json"
+    baseline = Path(argv[2]) if len(argv) > 2 else REPO_ROOT / "BENCH_PR5.json"
+    print(f"bench guard: {current.name} vs {baseline.name}")
+    return check(current, baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -27,11 +27,13 @@ from repro.workloads import YCSB_A, YCSB_B
 
 
 def run_with_control(control: ControlConfig, mix, replicas=3, shards=4,
-                     topology=Topology.MS, consistency=Consistency.EVENTUAL):
+                     topology=Topology.MS, consistency=Consistency.EVENTUAL,
+                     durable=False, wal_sync_every=1):
     dep = Deployment(
         DeploymentSpec(
             shards=shards, replicas=replicas, topology=topology,
             consistency=consistency, costs=bench_costs(), control=control,
+            durable=durable, wal_sync_every=wal_sync_every,
         )
     )
     dep.start()
@@ -66,8 +68,11 @@ def test_ablation_chain_length(benchmark):
 
 def test_ablation_sharedlog_vs_gossip(benchmark):
     """Ordered shared log (BESPOKV AA+EC) vs unordered peer gossip
-    (Dynomite model): the ordering service costs some throughput and
-    buys convergence (demonstrated in tests/test_baselines.py)."""
+    (Dynomite model): the ordering service used to cost ~5% throughput
+    for its convergence guarantee (demonstrated in
+    tests/test_baselines.py); sequencer group commit amortizes the
+    ordering round-trip across concurrent writes, so the ordered path
+    now matches or beats the unordered baseline."""
 
     def run():
         ours = bespokv_run(Topology.AA, Consistency.EVENTUAL, 8, YCSB_A)
@@ -78,12 +83,14 @@ def test_ablation_sharedlog_vs_gossip(benchmark):
     tax = 1 - out["sharedlog_qps"] / out["gossip_qps"]
     print_table("Ablation: AA+EC ordering service",
                 ["variant", "kQPS"],
-                [["shared log (ordered)", f"{out['sharedlog_qps'] / 1e3:.2f}"],
+                [["shared log (ordered, group commit)",
+                  f"{out['sharedlog_qps'] / 1e3:.2f}"],
                  ["peer gossip (unordered)", f"{out['gossip_qps'] / 1e3:.2f}"],
                  ["ordering tax", f"{tax:.0%}"]])
     save_result("ablation_sharedlog", {**out, "tax": tax})
-    # gossip is faster (it does less), but the tax is bounded
-    assert out["gossip_qps"] > out["sharedlog_qps"] * 0.95
+    # group commit pays for the ordering service: convergence now comes
+    # at no throughput cost vs the unordered baseline
+    assert out["sharedlog_qps"] > out["gossip_qps"] * 0.95
     assert tax < 0.6, f"ordering tax {tax:.0%} looks broken"
 
 
@@ -120,20 +127,36 @@ def test_ablation_controlet_mapping(benchmark):
 
 
 def test_ablation_ec_batching(benchmark):
-    """MS+EC propagation batch interval sweep on the write-heavy mix."""
+    """Batch size × WAL sync granularity sweep on the write-heavy mix,
+    durable MS+EC.  The old interval-only sweep showed ~10% spread —
+    the propagation *interval* only shifts when the same messages go
+    out.  Hot-path coalescing caps (accept apply_batch + replicate
+    frames) change how many messages and fsyncs each op costs, so this
+    sweep actually discriminates."""
 
     def run():
         out = {}
-        for interval in (0.001, 0.01, 0.05):
-            control = ControlConfig(ec_batch_interval=interval)
-            out[interval] = run_with_control(control, YCSB_A).qps
+        for cap in (1, 4, 16):
+            control = ControlConfig(
+                group_commit_max=cap, chain_batch_max=cap,
+                replicate_batch_max=max(cap, 1) * 16, ec_batch_max=cap,
+            )
+            for sync_every in (1, 8):
+                qps = run_with_control(
+                    control, YCSB_A, durable=True,
+                    wal_sync_every=sync_every,
+                ).qps
+                out[f"batch{cap}_sync{sync_every}"] = qps
         return out
 
     out = benchmark.pedantic(run, rounds=1, iterations=1)
-    print_table("Ablation: EC propagation batch interval",
-                ["interval (s)", "MS+EC 50%GET kQPS"],
-                [[i, f"{q / 1e3:.2f}"] for i, q in out.items()])
-    save_result("ablation_batching", {str(k): v for k, v in out.items()})
-    # batching should not *hurt* much as the interval grows (fewer,
-    # larger propagation messages) — monotone-ish within 15% noise
-    assert out[0.05] > out[0.001] * 0.85
+    print_table("Ablation: batch cap x WAL sync_every (durable MS+EC)",
+                ["config", "50%GET kQPS"],
+                [[k, f"{q / 1e3:.2f}"] for k, q in out.items()])
+    spread = max(out.values()) / min(out.values())
+    save_result("ablation_batching", {**out, "spread": spread})
+    # the knobs must discriminate: coalescing (batch16) has to beat the
+    # per-op path (batch1) clearly at the same sync granularity...
+    assert out["batch16_sync1"] > out["batch1_sync1"] * 1.3
+    # ...and the full sweep shows a real spread, not 10% noise
+    assert spread > 1.3, f"spread {spread:.2f} does not discriminate"

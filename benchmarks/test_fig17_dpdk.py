@@ -27,7 +27,11 @@ def run_variant(dpdk: bool):
             costs=bench_costs(),
             net_params=dpdk_net_params() if dpdk else SOCKET_NET_PARAMS,
             dpdk=dpdk,
-            control=ControlConfig(),
+            # per-op protocol: this figure isolates the per-message
+            # network-stack cost, which hot-path coalescing would dilute
+            # (fewer, larger frames shrink the stack's share of each op)
+            control=ControlConfig(group_commit_max=1, chain_batch_max=1,
+                                  replicate_batch_max=1, ec_batch_max=1),
         )
     )
     dep.start()

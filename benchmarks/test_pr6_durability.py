@@ -24,6 +24,7 @@ import pathlib
 from conftest import save_result
 
 from bench_lib import bench_control, bench_costs, emit_summary, print_table, run_load
+from repro.core.config import ControlConfig
 from repro.core.types import Consistency, Topology
 from repro.harness import Deployment, DeploymentSpec
 from repro.workloads import OpMix
@@ -36,10 +37,11 @@ RECOVER_AFTER = 0.5  # inside the 3 s detection window
 
 def durable_deployment(seed=11, shards=1, **kw):
     kw.setdefault("durable", True)
+    kw.setdefault("control", bench_control())
     spec = DeploymentSpec(
         shards=shards, replicas=3,
         topology=Topology.MS, consistency=Consistency.STRONG,
-        costs=bench_costs(), control=bench_control(),
+        costs=bench_costs(),
         standbys=1, seed=seed, **kw,
     )
     dep = Deployment(spec)
@@ -91,8 +93,16 @@ def time_to_full_strength(durable_restart, seed=11):
 
 
 def put_throughput(durable, sync_every=1, seed=0):
+    # per-op protocol: the tax sweep isolates the WAL fsync *policy*;
+    # with hot-path coalescing on, the accept pump already groups WAL
+    # commits per frame, flattening the sync_every axis this figure
+    # measures (the batch-cap x sync_every interplay is
+    # test_ablations.py::test_ablation_ec_batching's job)
+    control = ControlConfig(group_commit_max=1, chain_batch_max=1,
+                            replicate_batch_max=1, ec_batch_max=1)
     dep = durable_deployment(
-        seed=seed, shards=2, durable=durable, wal_sync_every=sync_every
+        seed=seed, shards=2, durable=durable, wal_sync_every=sync_every,
+        control=control,
     )
     result = run_load(dep, OpMix(put=1.0), duration=1.0, keys=500)
     return result.qps

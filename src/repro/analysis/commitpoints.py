@@ -86,13 +86,15 @@ __all__ = [
 
 #: message types that carry a client write through the system — the
 #: handler entry points this pass traces.
-WRITE_CHAIN_TYPES = {"put", "del", "chain_put", "peer_apply", "replicate",
-                     "apply_batch"}
+WRITE_CHAIN_TYPES = {"put", "del", "chain_put", "chain_put_batch",
+                     "peer_apply", "replicate", "apply_batch"}
 
 #: message types whose send/call constitutes replication fan-out.
-#: ``log_append`` is also durable: the shared log actor is an ordered
-#: durable medium, not a crashable data host in the fault model.
-REPL_TYPES = {"chain_put", "replicate", "peer_apply", "log_append"}
+#: ``log_append``/``log_append_batch`` are also durable: the shared log
+#: actor is an ordered durable medium, not a crashable data host in the
+#: fault model.
+REPL_TYPES = {"chain_put", "chain_put_batch", "replicate", "peer_apply",
+              "log_append", "log_append_batch"}
 
 #: classes (by name-based ancestry) the pass analyzes; anything else —
 #: e.g. the baseline ``P2PNode`` — is out of the durability contract.
@@ -583,14 +585,18 @@ class _Tracer:
             t = _const_str(_arg_or_kw(node, 1, "type"))
             effect = None
             if t in REPL_TYPES:
-                kinds = {"repl", "durable"} if t == "log_append" else {"repl"}
+                kinds = ({"repl", "durable"}
+                         if t in ("log_append", "log_append_batch")
+                         else {"repl"})
                 effect = self._effect(ctx, frame, node, kinds, f"call({t})")
             return self._after_emit(node, ctx, frame, effect)
         if attr == "send":
             t = _const_str(_arg_or_kw(node, 1, "type"))
             tgt = _arg_or_kw(node, 0, "target")
             if t in REPL_TYPES:
-                kinds = {"repl", "durable"} if t == "log_append" else {"repl"}
+                kinds = ({"repl", "durable"}
+                         if t in ("log_append", "log_append_batch")
+                         else {"repl"})
                 self._effect(ctx, frame, node, kinds, f"send({t})")
             elif (isinstance(tgt, ast.Attribute) and tgt.attr == "datalet"
                     and isinstance(tgt.value, ast.Name)
@@ -608,6 +614,39 @@ class _Tracer:
         if attr in ("register", "emit", "forward", "transmit", "now",
                     "loop_phase"):
             return [(ctx, "fell")]
+        if attr == "_enqueue_down":
+            # The ms-sc link pump has two completions, both modeled:
+            #
+            # * a successor exists — the entry rides an awaited
+            #   ``chain_put_batch`` call downstream (one frame in
+            #   flight per link) and ``done`` fires only once the
+            #   chain suffix acked; semantically
+            #   ``self.call(succ, "chain_put_batch", entry,
+            #   callback=done)``.
+            # * this node is the tail — ``done`` fires immediately
+            #   with no replication effect at all, so any ack inside
+            #   it must already be covered by the caller's own durable
+            #   effects (the local apply).  Skipping this fork would
+            #   hide injections that defer the apply and ack at the
+            #   tail.
+            cb_node = _arg_or_kw(node, 1, "done")
+            cb = (self._resolve_callable(cb_node, ctx, frame)
+                  if cb_node is not None else None)
+            tail_ctx = ctx.clone()
+            effect = self._effect(ctx, frame, node, {"repl"},
+                                  "enqueue_down(chain_put_batch)")
+            if cb is None:
+                return [(ctx, "fell")]
+            results = []
+            sub = replace(frame, file=cb.file,
+                          covered=frame.covered | {effect.eid},
+                          awaited_durable=True)
+            for c, st in self._walk_callable(cb, ctx, sub):
+                results.append((c, "fell" if st == "return" else st))
+            tail_sub = replace(frame, file=cb.file)
+            for c, st in self._walk_callable(cb, tail_ctx, tail_sub):
+                results.append((c, "fell" if st == "return" else st))
+            return results
         # generic same-class helper: inline with parameter binding
         fn, file = _resolve(self.classes, frame.cls, attr)
         if fn is None:

@@ -68,6 +68,7 @@ __all__ = [
     "EarlyAckMSStrongControlet",
     "EnabledEvent",
     "INJECTIONS",
+    "PartialBatchAckMSStrongControlet",
     "UnsyncedAckMSStrongControlet",
     "parse_combo",
 ]
@@ -147,10 +148,57 @@ class UnsyncedAckMSStrongControlet(MSStrongControlet):
         self.set_timer(0.01, lambda: self.datalet_call(req.op, payload))
         self._forward_down(req)
 
+    def datalet_call(self, type, payload, callback=None, datalet=None):
+        if type != "apply_batch":
+            super().datalet_call(type, payload, callback=callback,
+                                 datalet=datalet)
+            return
+        # BUG: the coalesced frame's durable apply rides a timer while a
+        # forged success resumes the pump immediately, so every member
+        # continues down the chain (and the tail acks) before anything
+        # was logged here — the batched shape of the same defect.
+        issue = super().datalet_call
+        self.set_timer(0.01, lambda: issue(type, payload))
+        if callback is not None:
+            ops = payload["ops"]
+            forged = Message(type="ok", payload={
+                "applied": len(ops), "results": ["ok"] * len(ops),
+            })
+            callback(forged, None)
+
+
+class PartialBatchAckMSStrongControlet(MSStrongControlet):
+    """Known-bad build: the head acknowledges a batch member as soon as
+    its *local* apply lands, detaching the ack from the coalesced
+    ``chain_put_batch`` frame that is supposed to carry it down the
+    chain — the batching bug class where an ack outruns its own frame.
+
+    The entry still rides the link pump, but the completion callback is
+    severed (frame errors are swallowed too), so the client sees "ok"
+    while the suffix may not have committed: a strong read at the tail
+    returns the pre-write value of an acked key, and a head crash before
+    the frame drains loses the acked write.  Both the chaos/linearizability
+    oracle (dynamically) and the commit-point analyzer (statically: the
+    ack does not await the ``enqueue_down`` replication effect) must
+    flag it.  Inject via ``CheckScenario(inject="partial-batch-ack")``.
+    """
+
+    def _forward_down(self, req) -> None:
+        if not self.is_head:
+            super()._forward_down(req)
+            return
+        entry: Dict[str, Any] = {"op": req.op, "key": req.msg.payload["key"],
+                                 "val": req.msg.payload.get("val")}
+        if req.rid is not None:
+            entry["rid"] = req.rid
+        req.ack()  # BUG: batch member acked before its frame commits
+        self._enqueue_down(entry, lambda err: None)
+
 
 INJECTIONS: Dict[str, type] = {
     "early-ack": EarlyAckMSStrongControlet,
     "unsynced-ack": UnsyncedAckMSStrongControlet,
+    "partial-batch-ack": PartialBatchAckMSStrongControlet,
 }
 
 

@@ -124,6 +124,11 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--wal-sync-every", type=int, default=1,
                        help="fsync after this many appends (1 = every ack; "
                        ">1 = group commit, crash may lose the unsynced tail)")
+    chaos.add_argument("--batch", type=int, default=None, metavar="N",
+                       help="cap every hot-path batch at N (sequencer group "
+                       "commit, chain frames, replicate frames); 1 disables "
+                       "coalescing — the unbatched soak the batching tier "
+                       "compares against")
 
     trace = sub.add_parser(
         "trace",
@@ -367,6 +372,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         [combo_by_flag[c] for c in args.combo] if args.combo else list(ALL_COMBOS)
     )
     seeds = args.seed or [1]
+    spec_overrides = {}
+    if args.wal_sync_every != 1:
+        spec_overrides["wal_sync_every"] = args.wal_sync_every
+    if args.batch is not None:
+        from repro.core.config import ControlConfig
+
+        spec_overrides["control"] = ControlConfig(
+            group_commit_max=args.batch,
+            chain_batch_max=args.batch,
+            replicate_batch_max=args.batch,
+        )
     # wall-clock soak duration for the operator, not simulated time
     t0 = time.time()  # lint: allow[wallclock]
     try:
@@ -384,11 +400,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             durable=args.durable or args.restart or args.rolling_restart,
             restarts=args.restart,
             rolling_restart=args.rolling_restart,
-            spec_overrides=(
-                {"wal_sync_every": args.wal_sync_every}
-                if args.wal_sync_every != 1
-                else None
-            ),
+            spec_overrides=spec_overrides or None,
         )
     except ConfigError as e:
         print(f"chaos: {e}", file=sys.stderr)

@@ -1,7 +1,8 @@
-"""Client library (paper Table II) and the hot-key shadow-replication
-extension (App C-C)."""
+"""Client library (paper Table II), the hot-key shadow-replication
+extension (App C-C), and the adaptive pipelining wrapper."""
 
 from repro.client.hotkey import HotKeyReplicatingClient
 from repro.client.kv import KVClient
+from repro.client.pipeline import PipelinedClient
 
-__all__ = ["KVClient", "HotKeyReplicatingClient"]
+__all__ = ["KVClient", "HotKeyReplicatingClient", "PipelinedClient"]

@@ -1,0 +1,202 @@
+"""Client-side request pipelining with adaptive window sizing.
+
+A closed-loop client session issues one op at a time, so its throughput
+is capped at ``1 / RTT`` no matter how much capacity the cluster has.
+:class:`PipelinedClient` lifts that cap the way real KV client
+libraries do: up to ``window`` operations are kept in flight
+concurrently over the same :class:`~repro.client.kv.KVClient`, and the
+window adapts to observed tail latency.
+
+Adaptive sizing (AIMD)
+----------------------
+
+A periodic controller reads the client's own latency histograms out of
+the cluster :class:`~repro.obs.metrics.MetricsRegistry`
+(``client.<name>.latency_<op>``, the same series ``repro bench``
+reports) and compares the worst p99 against ``target_p99``:
+
+* p99 at or under target — the cluster is keeping up; grow the window
+  by one (additive increase, up to ``window_max``).
+* p99 over target — queueing is building somewhere; halve the window
+  (multiplicative decrease, down to ``window_min``).
+
+Both the latency measurements and the controller's timer run on the
+simulation's virtual clock, so a seeded run adapts — and therefore
+schedules every op — bit-for-bit identically across repeats.
+
+The window trajectory is observable: ``client.<name>.pipeline_window``
+(gauge, current size) and ``client.<name>.pipeline_depth`` (histogram,
+in-flight ops sampled at each issue) land in the same registry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Deque, List, Optional
+
+from collections import deque
+
+from repro.client.kv import KVClient
+from repro.errors import BespoError
+from repro.sim import SimFuture
+
+__all__ = ["PipelinedClient"]
+
+#: ops whose latency series the controller watches.
+_WATCHED_OPS = ("put", "get", "del")
+
+
+class PipelinedClient:
+    """Windowed pipelining wrapper over one :class:`KVClient`.
+
+    Ops submitted while the window is full queue in FIFO order; each
+    completion immediately issues the next queued op, so the pipe stays
+    exactly ``window`` deep under load (no think time, no barriers).
+    """
+
+    def __init__(
+        self,
+        client: KVClient,
+        window: int = 4,
+        window_min: int = 1,
+        window_max: int = 64,
+        target_p99: float = 0.05,
+        adjust_interval: float = 0.5,
+        adaptive: bool = True,
+    ):
+        if not (1 <= window_min <= window <= window_max):
+            raise BespoError(
+                f"need 1 <= window_min <= window <= window_max, got "
+                f"{window_min}/{window}/{window_max}"
+            )
+        self.client = client
+        self.sim = client.sim
+        self.window = window
+        self.window_min = window_min
+        self.window_max = window_max
+        self.target_p99 = target_p99
+        self.adjust_interval = adjust_interval
+        self._queue: Deque[tuple] = deque()
+        self._inflight = 0
+        self._drain_waiters: List[SimFuture] = []
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.grows = 0
+        self.shrinks = 0
+        self._stopped = False
+        self._timer = None
+        metrics = client.cluster.metrics
+        self._window_gauge = metrics.gauge(
+            f"client.{client.name}.pipeline_window")
+        self._depth_hist = metrics.histogram(
+            f"client.{client.name}.pipeline_depth")
+        self._window_gauge.set(self.window)
+        metrics.register_group(
+            f"client.{client.name}.pipeline",
+            lambda: {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "window": self.window,
+                "grows": self.grows,
+                "shrinks": self.shrinks,
+            },
+        )
+        if adaptive:
+            self._arm_tuner()
+
+    # ------------------------------------------------------------------
+    # pipelined KV surface
+    # ------------------------------------------------------------------
+    def put(self, key: str, val: str, **kw: Any) -> SimFuture:
+        return self._submit(lambda: self.client.put(key, val, **kw))
+
+    def get(self, key: str, **kw: Any) -> SimFuture:
+        return self._submit(lambda: self.client.get(key, **kw))
+
+    def delete(self, key: str, **kw: Any) -> SimFuture:
+        return self._submit(lambda: self.client.delete(key, **kw))
+
+    def _submit(self, start: Callable[[], SimFuture]) -> SimFuture:
+        if self._stopped:
+            raise BespoError("pipeline stopped")
+        fut = self.sim.create_future()
+        self.submitted += 1
+        self._queue.append((start, fut))
+        self._pump()
+        return fut
+
+    def _pump(self) -> None:
+        while self._queue and self._inflight < self.window:
+            start, fut = self._queue.popleft()
+            self._inflight += 1
+            self._depth_hist.observe(float(self._inflight))
+            inner = start()
+
+            def done(f: SimFuture, _fut=fut) -> None:
+                self._inflight -= 1
+                self.completed += 1
+                exc = f.exception()
+                if exc is not None:
+                    self.failed += 1
+                    _fut.set_exception(exc)
+                else:
+                    _fut.set_result(f.result())
+                self._pump()
+
+            inner.add_done_callback(done)
+        if not self._queue and self._inflight == 0:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for w in waiters:
+                w.set_result(None)
+
+    def drain(self) -> SimFuture:
+        """Future resolving once every submitted op has completed."""
+        fut = self.sim.create_future()
+        if not self._queue and self._inflight == 0:
+            fut.set_result(None)
+        else:
+            self._drain_waiters.append(fut)
+        return fut
+
+    def stop(self) -> None:
+        """Disarm the tuner and refuse further submissions (queued and
+        in-flight ops still run to completion)."""
+        self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # AIMD controller
+    # ------------------------------------------------------------------
+    def _arm_tuner(self) -> None:
+        self._timer = self.sim.call_later(self.adjust_interval, self._tune)
+
+    def _worst_p99(self) -> Optional[float]:
+        metrics = self.client.cluster.metrics
+        worst: Optional[float] = None
+        for op in _WATCHED_OPS:
+            hist = metrics.histogram(f"client.{self.client.name}.latency_{op}")
+            if hist.count == 0:
+                continue
+            p99 = hist.percentile(0.99)
+            if worst is None or p99 > worst:
+                worst = p99
+        return worst
+
+    def _tune(self) -> None:
+        if self._stopped:
+            return
+        p99 = self._worst_p99()
+        if p99 is not None:
+            if p99 <= self.target_p99:
+                if self.window < self.window_max:
+                    self.window += 1
+                    self.grows += 1
+                    self._pump()  # a wider window may admit queued ops now
+            elif self.window > self.window_min:
+                self.window = max(self.window_min, self.window // 2)
+                self.shrinks += 1
+            self._window_gauge.set(self.window)
+        self._arm_tuner()

@@ -11,9 +11,10 @@ its own.  Reads are local.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.controlet import Controlet
+from repro.core.request import Request
 from repro.errors import BespoError
 from repro.net.message import Message
 
@@ -43,6 +44,13 @@ class AAEventualControlet(Controlet):
         #: :meth:`_pump_applies` for why they must be serialized.
         self._apply_queue: List[list] = []
         self._apply_busy = False
+        #: accepted writes waiting for the sequencer, in arrival order;
+        #: drained in group-commit batches by :meth:`_pump_orders` with
+        #: at most one sequenced batch in flight per controlet.
+        self._order_queue: List[Tuple[Request, str, str, Optional[str]]] = []
+        self._order_busy = False
+        self.group_commits = 0
+        self.group_commit_ops = 0
         self._draining: Optional[Dict[str, object]] = None
         self._fetch_armed = False
         self.register("log_sync_pull", self._on_log_sync_pull)
@@ -134,45 +142,87 @@ class AAEventualControlet(Controlet):
         req = self.begin_write(msg, op)
         if req is None:
             return
+        # Group commit: writes arriving while a sequenced batch is in
+        # flight accumulate here and go out together, amortizing the
+        # sequencer round-trip (one ``log_append_batch`` instead of N
+        # ``log_append``s) without changing arrival order.
+        self._order_queue.append((req, op, key, val))
+        self._pump_orders()
+
+    def _pump_orders(self) -> None:
+        """At most one sequenced batch in flight per controlet.
+
+        One-in-flight is what preserves per-key FIFO for writes accepted
+        at the same active: batch N is fully sequenced before batch N+1
+        leaves, so the log order of two same-key writes matches their
+        arrival order here (the PR 7 pump pattern, applied to ordering
+        round-trips instead of datalet applies)."""
+        if self._order_busy or not self._order_queue:
+            return
+        self._order_busy = True
+        take = max(1, self.config.group_commit_max)
+        batch = self._order_queue[:take]
+        del self._order_queue[:take]
+        entries = []
+        for req, op, key, val in batch:
+            entry = {"op": op, "key": key, "val": val}
+            if req.rid is not None:
+                entry["rid"] = req.rid
+            entries.append(entry)
+        self.group_commits += 1
+        self.group_commit_ops += len(batch)
+        if self._metrics is not None:
+            self._metrics.histogram("batch.group_commit_size").observe(len(batch))
 
         def on_appended(resp: Optional[Message], err: Optional[BespoError]) -> None:
-            if err is not None or resp is None or resp.type != "appended":
-                self.stats["errors"] += 1
-                req.fail(f"shared log append failed: {err}")
+            self._order_busy = False
+            if err is not None or resp is None or resp.type != "appended_batch":
+                self.stats["errors"] += len(batch)
+                for req, _op, _key, _val in batch:
+                    req.fail(f"shared log append failed: {err}")
+                self._pump_orders()
                 return
-            if resp.payload.get("dup"):
-                # The sequencer has this rid already: the original
-                # attempt owns the log slot and replay delivers the
-                # value.  Do NOT apply locally — a late second apply
-                # here could overwrite newer replayed state on this
-                # replica only, diverging it from its peers.
-                req.ack()
+            results = resp.payload["results"]
+            fresh: List[Tuple[Request, str]] = []
+            ops = []
+            for (req, op, key, val), r in zip(batch, results):
+                if r.get("dup"):
+                    # The sequencer has this rid already: the original
+                    # attempt owns the log slot and replay delivers the
+                    # value.  Do NOT apply locally — a late second apply
+                    # here could overwrite newer replayed state on this
+                    # replica only, diverging it from its peers.
+                    req.ack()
+                    continue
+                fresh.append((req, op))
+                ops.append({"op": op, "key": key, "val": val})
+            if not fresh:
+                self._pump_orders()
                 return
-            payload = {"key": key}
-            if op == "put":
-                payload["val"] = val
 
             def after_local(dresp: Optional[Message], derr: Optional[BespoError]) -> None:
-                if derr is not None or dresp is None:
-                    self.stats["errors"] += 1
-                    req.fail(f"local apply failed: {derr}")
-                    return
-                if op == "del" and dresp.type == "error":
-                    # Our replica may simply not have replayed the put
-                    # yet; the log entry *is* the delete, so ack anyway.
-                    req.ack()
-                    return
-                req.finish(dresp.type, dict(dresp.payload))
+                if derr is not None or dresp is None or dresp.type == "error":
+                    self.stats["errors"] += len(fresh)
+                    for req, _op in fresh:
+                        req.fail(f"local apply failed: {derr}")
+                else:
+                    # apply_batch tolerates deletes of absent keys (our
+                    # replica may simply not have replayed the put yet;
+                    # the log entry *is* the delete), so every member is
+                    # applied-or-moot here: ack them all.
+                    for req, _op in fresh:
+                        req.ack()
+                self._pump_orders()
 
-            self.datalet_call(op, payload, callback=after_local)
+            # One ordered apply_batch for the whole group: same
+            # serialization the replay path uses, so accept-time applies
+            # cannot interleave out of log order on a multi-slot CPU.
+            self.datalet_call("apply_batch", {"ops": ops}, callback=after_local)
 
-        append = {"op": op, "key": key, "val": val}
-        if req.rid is not None:
-            append["rid"] = req.rid
         self.call(
             self.sharedlog,
-            "log_append",
-            append,
+            "log_append_batch",
+            {"entries": entries},
             callback=on_appended,
             timeout=self.config.replication_timeout,
         )
@@ -272,6 +322,17 @@ class AAEventualControlet(Controlet):
             timeout=self.config.replication_timeout,
         )
 
+    def _batch_metrics(self):
+        ops = self.group_commit_ops
+        return {
+            "group_commits": float(self.group_commits),
+            "group_commit_ops": float(ops),
+            # >1.0 means the sequencer round-trip is being amortized
+            "coalesce_ratio": (
+                ops / self.group_commits if self.group_commits else 0.0
+            ),
+        }
+
     # ------------------------------------------------------------------
     # model-checker introspection
     # ------------------------------------------------------------------
@@ -284,5 +345,7 @@ class AAEventualControlet(Controlet):
             "draining": self._draining is not None,
             "apply_queue": len(self._apply_queue),
             "apply_busy": self._apply_busy,
+            "order_queue": len(self._order_queue),
+            "order_busy": self._order_busy,
         })
         return s

@@ -46,6 +46,17 @@ class ControlConfig:
     log_fetch_max: int = 256
     #: AA+SC: DLM lease duration.
     lock_lease: float = 1.0
+    #: AA+EC: group-commit window at the shared-log sequencer — writes
+    #: accepted while a sequenced batch is in flight accumulate and go
+    #: out as one ``log_append_batch`` (1 = a batch per write, i.e. the
+    #: pre-batching behavior modulo the one-in-flight ordering).
+    group_commit_max: int = 16
+    #: MS+SC: max chain writes coalesced into one ``chain_put_batch``
+    #: frame per downstream link (at most one frame in flight per link).
+    chain_batch_max: int = 16
+    #: MS+EC: max ops merged into one coalesced ``replicate`` frame
+    #: while the previous frame to that peer is still in flight.
+    replicate_batch_max: int = 256
 
     def __post_init__(self) -> None:
         for name in (
@@ -59,6 +70,9 @@ class ControlConfig:
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")
         if self.ec_batch_max < 1 or self.log_fetch_max < 1:
+            raise ConfigError("batch sizes must be >= 1")
+        if (self.group_commit_max < 1 or self.chain_batch_max < 1
+                or self.replicate_batch_max < 1):
             raise ConfigError("batch sizes must be >= 1")
 
 

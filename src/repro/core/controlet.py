@@ -118,6 +118,23 @@ class Controlet(Actor):
         self.register("ctl_stats", self._on_stats)
 
     # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def metrics_group(self) -> Dict[str, float]:
+        """Live scrape source for the cluster metrics plane: the request
+        counters plus whatever batching counters the combo maintains
+        (:meth:`_batch_metrics`)."""
+        out = {k: float(v) for k, v in self.stats.items()}
+        out.update(self._batch_metrics())
+        return out
+
+    def _batch_metrics(self) -> Dict[str, float]:
+        """Combo-specific batching/coalescing counters; subclasses that
+        batch override this (group commit, chain frames, replicate
+        frames) so effectiveness is observable without tracing."""
+        return {}
+
+    # ------------------------------------------------------------------
     # cost accounting
     # ------------------------------------------------------------------
     def service_demand(self, msg: Message, costs: Any) -> float:

@@ -39,6 +39,11 @@ class MSEventualControlet(Controlet):
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         # -- master state ---------------------------------------------
+        #: accepted client writes awaiting their local apply, in
+        #: acceptance order; coalesced into one ``apply_batch`` at a
+        #: time (:meth:`_pump_accepts`).
+        self._accept_queue: List = []
+        self._accept_busy = False
         #: buffered (op, key, val, rid) awaiting propagation.
         self._backlog: List[Tuple[str, str, Optional[str], Optional[str]]] = []
         self._flush_timer_armed = False
@@ -58,6 +63,13 @@ class MSEventualControlet(Controlet):
         self.propagated = 0
         self.resends_served = 0
         self.snapshot_syncs_served = 0
+        #: per-peer coalescing buffers: ``peer -> [[start_seq, ops],...]``
+        #: segments awaiting the link (contiguous segments merge), and
+        #: the per-peer one-frame-in-flight flag (:meth:`_pump_replicate`).
+        self._peer_pending: Dict[str, List[list]] = {}
+        self._peer_busy: Dict[str, bool] = {}
+        self.replicate_frames = 0
+        self.replicate_frame_ops = 0
         # -- slave state --------------------------------------------------
         #: (stream identity, next expected sequence).
         self._stream: Tuple[Optional[str], int] = (None, 0)
@@ -214,22 +226,53 @@ class MSEventualControlet(Controlet):
         req = self.begin_write(msg, op)
         if req is None:
             return  # duplicate of a completed/in-flight rid
-        payload = {"key": msg.payload["key"]}
-        if op == "put":
-            payload["val"] = msg.payload["val"]
+        self._accept_queue.append(req)
+        self._pump_accepts()
+
+    def _pump_accepts(self) -> None:
+        """Serialize the master's local applies, one coalesced
+        ``apply_batch`` in flight.
+
+        Per-op datalet calls are not enough: response arrival order is
+        jittered, so the order writes enter the propagation backlog
+        (response order) could invert the order the master's datalet
+        applied them — the master would then permanently disagree with
+        its own slaves on racing same-key writes.  One batch in flight
+        pins acceptance order = master apply order = stream order, and
+        amortizes the master's WAL fsync (one commit group per frame)."""
+        if self._accept_busy or not self._accept_queue:
+            return
+        self._accept_busy = True
+        take = max(1, self.config.ec_batch_max)
+        batch = self._accept_queue[:take]
+        del self._accept_queue[:take]
+        ops = [{"op": r.op, "key": r.msg.payload["key"],
+                "val": r.msg.payload.get("val")} for r in batch]
 
         def after_local(resp: Optional[Message], err: Optional[BespoError]) -> None:
-            if err is not None or resp is None:
-                self.stats["errors"] += 1
-                req.fail(f"local datalet write failed: {err}")
+            self._accept_busy = False
+            if err is not None or resp is None or resp.type == "error":
+                self.stats["errors"] += len(batch)
+                for req in batch:
+                    req.fail(f"local datalet write failed: {err}")
+                self._pump_accepts()
                 return
-            # EC: ack as soon as one replica (ours) has the write.
-            req.finish(resp.type, dict(resp.payload))
-            if resp.type != "error":
-                self._enqueue(op, msg.payload["key"], msg.payload.get("val"),
-                              req.rid)
+            results = resp.payload.get("results") or ["ok"] * len(batch)
+            for req, status in zip(batch, results):
+                if status != "ok":
+                    # e.g. delete of a missing key: nothing applied, so
+                    # nothing propagates for this member.
+                    req.finish("error", {"error": status,
+                                         "key": req.msg.payload["key"]})
+                    continue
+                # EC: ack as soon as one replica (ours) has the write.
+                req.ack()
+                self._enqueue(req.op, req.msg.payload["key"],
+                              req.msg.payload.get("val"), req.rid)
+            self._pump_accepts()
 
-        self.datalet_call(op, payload, callback=after_local)
+        self.datalet_call("apply_batch", {"ops": ops, "want_results": True},
+                          callback=after_local)
 
     # ------------------------------------------------------------------
     # async propagation (master)
@@ -268,13 +311,67 @@ class MSEventualControlet(Controlet):
             self._retained.append((self._seq, dict(op_dict)))
             self._seq += 1
         for peer in self.peers():
-            self.send(peer.controlet, "replicate", {
-                "master": self.node_id,
-                "stream": self._stream_id,
-                "start_seq": start_seq,
-                "ops": [dict(op) for op in ops],
-            })
+            self._queue_replicate(peer.controlet, start_seq, ops)
         self.propagated += len(batch)
+
+    def _queue_replicate(self, peer_id: str, start_seq: int, ops: List[dict]) -> None:
+        """Coalesce ``ops`` into the peer's pending frame.  While a
+        frame to this peer is still in flight, subsequent flushes merge
+        here instead of going out as separate messages — adjacent
+        ``replicate`` sends to the same host collapse into one."""
+        segs = self._peer_pending.setdefault(peer_id, [])
+        copies = [dict(op) for op in ops]
+        if segs and segs[-1][0] + len(segs[-1][1]) == start_seq:
+            segs[-1][1].extend(copies)
+        else:
+            # non-contiguous with the buffered tail (the peer missed a
+            # flush while absent from the view): keep it a separate
+            # segment so the frame's start_seq stays truthful.
+            segs.append([start_seq, copies])
+        self._pump_replicate(peer_id)
+
+    def _pump_replicate(self, peer_id: str) -> None:
+        """At most one replicate frame in flight per peer link.
+
+        The ack is pure flow control — a lost or timed-out frame is
+        *not* retried here, because the slave's gap-repair anti-entropy
+        path re-fetches anything a dropped frame carried.  What the
+        one-in-flight rule buys is coalescing (everything flushed while
+        the link is busy rides the next frame) and in-order frame
+        arrival on the fabric."""
+        if self._peer_busy.get(peer_id):
+            return
+        segs = self._peer_pending.get(peer_id)
+        if not segs:
+            return
+        start_seq, ops = segs[0]
+        cap = max(1, self.config.replicate_batch_max)
+        if len(ops) > cap:
+            send_ops = ops[:cap]
+            segs[0] = [start_seq + cap, ops[cap:]]
+        else:
+            send_ops = ops
+            segs.pop(0)
+            if not segs:
+                del self._peer_pending[peer_id]
+        self._peer_busy[peer_id] = True
+        self.replicate_frames += 1
+        self.replicate_frame_ops += len(send_ops)
+        if self._metrics is not None:
+            self._metrics.histogram("batch.replicate_frame_size").observe(
+                len(send_ops)
+            )
+
+        def on_ack(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            self._peer_busy[peer_id] = False
+            self._pump_replicate(peer_id)
+
+        self.call(peer_id, "replicate", {
+            "master": self.node_id,
+            "stream": self._stream_id,
+            "start_seq": start_seq,
+            "ops": send_ops,
+        }, callback=on_ack, timeout=self.config.replication_timeout)
 
     def _on_resend_request(self, msg: Message) -> None:
         """A slave detected a gap.  Serve from the retained window, or
@@ -310,11 +407,27 @@ class MSEventualControlet(Controlet):
     # ------------------------------------------------------------------
     # slave side
     # ------------------------------------------------------------------
+    def _ack_frame(self, msg: Message) -> None:
+        """Flow-control ack for a coalesced replicate frame.
+
+        Only *request* messages are answered: ``_request_repair`` feeds
+        resend *responses* (``reply_to`` set) through ``_on_replicate``
+        too, and those must not spawn an unsolicited reply.  This ack is
+        not a durability claim — the master treats it purely as
+        link-ready; convergence is owned by the anti-entropy path."""
+        if not msg.reply_to:
+            # Not the client commit point: combo ms-ec acks at the
+            # master's local apply, and a slave's frame ack is pure flow
+            # control (the master never interprets it as replicated).
+            # lint: allow[ack-before-durable]
+            self.respond(msg, "ok")
+
     def _on_replicate(self, msg: Message) -> None:
         if not self.recovered:
             # mid-recovery: replay after the snapshot restore installs
             # our stream cursor (overlap re-applies are idempotent).
             self.buffer_catchup(msg)
+            self._ack_frame(msg)
             return
         master = msg.payload["master"]
         stream = msg.payload.get("stream", master)
@@ -336,9 +449,11 @@ class MSEventualControlet(Controlet):
             self.gaps_detected += 1
             self._stream = (tracked_stream, next_seq)
             self._request_repair(master, next_seq)
+            self._ack_frame(msg)
             return
         skip = next_seq - start_seq
         if skip >= len(ops) and ops:
+            self._ack_frame(msg)
             return  # duplicate/overlapping resend, fully applied already
         fresh = ops[skip:]
         if fresh:
@@ -357,6 +472,7 @@ class MSEventualControlet(Controlet):
                     self._remember_rid(rid)
         self._stream = (tracked_stream, start_seq + len(ops))
         self._repair_pending = False
+        self._ack_frame(msg)
 
     def _pump_applies(self) -> None:
         """At most one replicated apply_batch in flight to the datalet.
@@ -422,6 +538,17 @@ class MSEventualControlet(Controlet):
         # allow the final batch one network round before declaring ready
         self.set_timer(self.config.replication_timeout, done)
 
+    def _batch_metrics(self):
+        ops = self.replicate_frame_ops
+        return {
+            "replicate_frames": float(self.replicate_frames),
+            "replicate_frame_ops": float(ops),
+            # >1.0 means per-peer replicate fan-out is coalescing
+            "coalesce_ratio": (
+                ops / self.replicate_frames if self.replicate_frames else 0.0
+            ),
+        }
+
     # ------------------------------------------------------------------
     # model-checker introspection
     # ------------------------------------------------------------------
@@ -429,6 +556,8 @@ class MSEventualControlet(Controlet):
         s = super().snapshot_state()
         s.update({
             "seq": self._seq,
+            "accept_queue": len(self._accept_queue),
+            "accept_busy": self._accept_busy,
             "backlog": [list(entry) for entry in self._backlog],
             "retained_window": [
                 self._retained[0][0], self._retained[-1][0]
@@ -437,5 +566,10 @@ class MSEventualControlet(Controlet):
             "repair_pending": self._repair_pending,
             "apply_queue": len(self._apply_queue),
             "apply_busy": self._apply_busy,
+            "peer_pending": {
+                p: sum(len(ops) for _seq, ops in segs)
+                for p, segs in sorted(self._peer_pending.items())
+            },
+            "peer_busy": sorted(p for p, b in self._peer_busy.items() if b),
         })
         return s

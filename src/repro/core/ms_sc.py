@@ -18,7 +18,7 @@ repair.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.controlet import Controlet
 from repro.core.request import Request
@@ -29,6 +29,10 @@ __all__ = ["MSStrongControlet"]
 
 #: bounded retries while the coordinator repairs the chain under us.
 MAX_CHAIN_RETRIES = 3
+
+#: one coalesced chain entry + its completion continuation
+#: (``done(err)`` — err None means the suffix of the chain committed).
+_DownEntry = Tuple[Dict[str, object], Callable[[Optional[str]], None]]
 
 
 class MSStrongControlet(Controlet):
@@ -41,7 +45,26 @@ class MSStrongControlet(Controlet):
         #: window — writes committed during the copy would otherwise be
         #: missing from the new tail, i.e. stale strong reads).
         self._sync_successor: Optional[str] = None
+        #: chain writes awaiting the downstream link, in apply order;
+        #: drained in coalesced ``chain_put_batch`` frames with at most
+        #: one frame in flight per link (:meth:`_pump_down`).
+        self._down_queue: List[_DownEntry] = []
+        self._down_busy = False
+        self._down_retries = 0
+        #: inbound frames serialized FIFO (:meth:`_pump_frames`): a
+        #: frame's members finish before the next frame is examined, so
+        #: a duplicate frame only ever observes completed originals.
+        self._frame_queue: List[Message] = []
+        self._frame_busy = False
+        #: head-accepted client writes awaiting their local apply, in
+        #: acceptance order; coalesced into one ``apply_batch`` at a
+        #: time (:meth:`_pump_accepts`).
+        self._accept_queue: List[Request] = []
+        self._accept_busy = False
+        self.chain_frames = 0
+        self.chain_frame_ops = 0
         self.register("chain_put", self._on_chain_put)
+        self.register("chain_put_batch", self._on_chain_put_batch)
         self.register("tail_sync_pull", self._on_tail_sync_pull)
 
     # ------------------------------------------------------------------
@@ -112,7 +135,51 @@ class MSStrongControlet(Controlet):
         req = self.begin_write(msg, op)
         if req is None:
             return  # duplicate of a completed/in-flight rid
-        self._apply_and_forward(req)
+        self._accept_queue.append(req)
+        self._pump_accepts()
+
+    def _pump_accepts(self) -> None:
+        """Serialize the head's own local applies, one coalesced
+        ``apply_batch`` in flight.
+
+        Per-op datalet calls are not enough: response arrival order is
+        jittered, so the order writes entered the chain (response order)
+        could invert the order the head's datalet applied them — the
+        head would then permanently disagree with its own chain suffix
+        on racing same-key writes, visible to any relaxed read it
+        serves.  One batch in flight pins acceptance order = head apply
+        order = chain order, and amortizes the head's WAL fsync as a
+        bonus (the frame shares one commit group)."""
+        if self._accept_busy or not self._accept_queue:
+            return
+        self._accept_busy = True
+        take = max(1, self.config.chain_batch_max)
+        batch = self._accept_queue[:take]
+        del self._accept_queue[:take]
+        ops = [{"op": r.op, "key": r.msg.payload["key"],
+                "val": r.msg.payload.get("val")} for r in batch]
+
+        def after_local(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            self._accept_busy = False
+            if err is not None or resp is None or resp.type == "error":
+                self.stats["errors"] += len(batch)
+                for req in batch:
+                    req.fail(f"local datalet write failed: {err}")
+                self._pump_accepts()
+                return
+            results = resp.payload.get("results") or ["ok"] * len(batch)
+            for req, status in zip(batch, results):
+                if status != "ok":
+                    # e.g. delete of a missing key: surface without
+                    # touching the chain suffix for this member.
+                    req.finish("error", {"error": status,
+                                         "key": req.msg.payload["key"]})
+                else:
+                    self._forward_down(req)
+            self._pump_accepts()
+
+        self.datalet_call("apply_batch", {"ops": ops, "want_results": True},
+                          callback=after_local)
 
     def _on_chain_put(self, msg: Message) -> None:
         """A chain write arriving from our predecessor."""
@@ -137,6 +204,91 @@ class MSStrongControlet(Controlet):
             return
         self._apply_and_forward(req)
 
+    def _on_chain_put_batch(self, msg: Message) -> None:
+        """A coalesced frame of chain writes from our predecessor."""
+        if not self.recovered:
+            # Recovering replacement: buffer and ack (same argument as
+            # the single-op path: the predecessor applied every member
+            # before the frame left, so the writes are durable upstream
+            # and the buffer replays after the snapshot restore).
+            self.buffer_catchup(msg)
+            # lint: allow[ack-before-durable]
+            self.respond(msg, "ok")
+            return
+        self._frame_queue.append(msg)
+        self._pump_frames()
+
+    def _pump_frames(self) -> None:
+        """Process inbound frames strictly FIFO, one at a time.
+
+        Serialization does double duty: it keeps the local datalet's
+        apply order identical to the predecessor's frame order (no
+        multi-slot CPU inversion between two in-flight frames), and it
+        guarantees a duplicate frame — the upstream one-in-flight rule
+        means a dup can only be a retry of a frame that already finished
+        — observes its members in ``_rid_done`` rather than racing the
+        originals."""
+        if self._frame_busy or not self._frame_queue:
+            return
+        self._frame_busy = True
+        msg = self._frame_queue.pop(0)
+        fresh: List[Dict[str, object]] = []
+        for d in msg.payload["entries"]:
+            rid = d.get("rid")
+            if rid is not None and rid in self._rid_done:
+                # retried frame: this member already committed here
+                self.stats["dup_writes"] += 1
+                continue
+            fresh.append(d)
+
+        def frame_done() -> None:
+            self._frame_busy = False
+            self._pump_frames()
+
+        if not fresh:
+            # Every member was a duplicate: rids enter _rid_done only
+            # after the original committed through the whole suffix, so
+            # this frame's writes are already durable and replicated
+            # below us (combo ms-sc) — nothing left to wait for.
+            # lint: allow[ack-before-durable]
+            self.respond(msg, "ok")
+            frame_done()
+            return
+        ops = [{"op": d["op"], "key": d["key"], "val": d.get("val")} for d in fresh]
+
+        def after_local(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type == "error":
+                self.stats["errors"] += len(fresh)
+                self.respond(msg, "error",
+                             {"error": f"local datalet write failed: {err}"})
+                frame_done()
+                return
+            # Members persisted locally in frame order; continue each
+            # down the chain and answer upstream once the whole frame
+            # has committed below us.
+            state = {"left": len(fresh), "err": None}
+
+            def member_done(err2: Optional[str]) -> None:
+                if err2 is not None and state["err"] is None:
+                    state["err"] = err2
+                state["left"] -= 1
+                if state["left"]:
+                    return
+                if state["err"] is None:
+                    for d in fresh:
+                        rid = d.get("rid")
+                        if rid is not None:
+                            self._remember_rid(rid)
+                    self.respond(msg, "ok")
+                else:
+                    self.respond(msg, "error", {"error": state["err"]})
+                frame_done()
+
+            for d in fresh:
+                self._enqueue_down(dict(d), member_done)
+
+        self.datalet_call("apply_batch", {"ops": ops}, callback=after_local)
+
     def _apply_and_forward(self, req: Request) -> None:
         """Persist locally, then continue down the chain; ack upstream
         (or to the client, at the head) once downstream has committed."""
@@ -159,6 +311,38 @@ class MSStrongControlet(Controlet):
         self.datalet_call(req.op, payload, callback=after_local)
 
     def _forward_down(self, req: Request) -> None:
+        """Continue ``req`` down the chain; ack upstream once the whole
+        suffix has committed.  The actual transmission is coalesced: the
+        entry joins the per-link frame queue and rides the next
+        ``chain_put_batch`` (:meth:`_pump_down`)."""
+        entry: Dict[str, object] = {"op": req.op, "key": req.msg.payload["key"],
+                                    "val": req.msg.payload.get("val")}
+        if req.rid is not None:
+            entry["rid"] = req.rid
+
+        def done(err: Optional[str]) -> None:
+            if err is None:
+                req.ack()
+            else:
+                req.fail(err)
+
+        self._enqueue_down(entry, done)
+
+    def _enqueue_down(self, entry: Dict[str, object],
+                      done: Callable[[Optional[str]], None]) -> None:
+        self._down_queue.append((entry, done))
+        self._pump_down()
+
+    def _pump_down(self) -> None:
+        """Drain the downstream queue, one coalesced frame in flight.
+
+        One-in-flight per link is the ordering argument: frame N is
+        fully committed by the chain suffix (or abandoned) before frame
+        N+1 leaves, so two same-key writes can never overtake each other
+        between adjacent chain members, and a duplicate frame is only
+        ever a retry of one that already ran to completion downstream."""
+        if self._down_busy or not self._down_queue:
+            return
         try:
             succ = self.shard.successor(self.node_id)
         except Exception:  # noqa: BLE001 - not in our own view yet
@@ -168,36 +352,64 @@ class MSStrongControlet(Controlet):
         relaying = succ is None and self._sync_successor is not None
         succ_id = succ.controlet if succ is not None else self._sync_successor
         if succ_id is None:  # we are the tail: commit point reached
-            req.ack()
+            batch, self._down_queue = self._down_queue, []
+            for _entry, done in batch:
+                done(None)
             return
+        self._down_busy = True
+        take = max(1, self.config.chain_batch_max)
+        batch = self._down_queue[:take]
+        del self._down_queue[:take]
+        self.chain_frames += 1
+        self.chain_frame_ops += len(batch)
+        if self._metrics is not None:
+            self._metrics.histogram("batch.chain_frame_size").observe(len(batch))
 
         def on_ack(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if err is not None or resp is None:
-                # Successor unresponsive: likely mid-failover. Refresh the
-                # chain view and resume from the (possibly new) successor.
-                if req.retries >= MAX_CHAIN_RETRIES:
+                # Successor unresponsive: likely mid-failover.
+                if self._down_retries >= MAX_CHAIN_RETRIES:
+                    self._down_retries = 0
+                    self._down_busy = False
                     if relaying and self._sync_successor == succ_id:
                         # the recovering replacement died: stop relaying
                         # and resume committing as the tail
                         self._sync_successor = None
-                        req.ack()
-                        return
-                    self.stats["errors"] += 1
-                    req.fail("chain replication failed")
+                        for _entry, done in batch:
+                            done(None)
+                    else:
+                        self.stats["errors"] += len(batch)
+                        for _entry, done in batch:
+                            done("chain replication failed")
+                    self._pump_down()
                     return
-                req.retries += 1
-                self.refresh_shard(then=lambda: self._forward_down(req))
-                return
-            req.finish(resp.type, dict(resp.payload))
+                # Refresh the chain view and resend the same frame to
+                # the (possibly new) successor; the link stays busy so
+                # no younger frame can overtake the retry.
+                self._down_retries += 1
+                self._down_queue[:0] = batch
 
-        payload = {"op": req.op, "key": req.msg.payload["key"],
-                   "val": req.msg.payload.get("val")}
-        if req.rid is not None:
-            payload["rid"] = req.rid
+                def resume() -> None:
+                    self._down_busy = False
+                    self._pump_down()
+
+                self.refresh_shard(then=resume)
+                return
+            self._down_retries = 0
+            self._down_busy = False
+            if resp.type == "error":
+                self.stats["errors"] += len(batch)
+                for _entry, done in batch:
+                    done(str(resp.payload.get("error", "chain replication failed")))
+            else:
+                for _entry, done in batch:
+                    done(None)
+            self._pump_down()
+
         self.call(
             succ_id,
-            "chain_put",
-            payload,
+            "chain_put_batch",
+            {"entries": [dict(e) for e, _done in batch]},
             callback=on_ack,
             timeout=self.config.replication_timeout,
         )
@@ -220,10 +432,27 @@ class MSStrongControlet(Controlet):
             return
         super().handle_scan(msg)
 
+    def _batch_metrics(self):
+        ops = self.chain_frame_ops
+        return {
+            "chain_frames": float(self.chain_frames),
+            "chain_frame_ops": float(ops),
+            # >1.0 means adjacent chain_puts are coalescing per link
+            "coalesce_ratio": (
+                ops / self.chain_frames if self.chain_frames else 0.0
+            ),
+        }
+
     # ------------------------------------------------------------------
     # model-checker introspection
     # ------------------------------------------------------------------
     def snapshot_state(self):
         s = super().snapshot_state()
         s["sync_successor"] = self._sync_successor
+        s["accept_queue"] = len(self._accept_queue)
+        s["accept_busy"] = self._accept_busy
+        s["down_queue"] = len(self._down_queue)
+        s["down_busy"] = self._down_busy
+        s["frame_queue"] = len(self._frame_queue)
+        s["frame_busy"] = self._frame_busy
         return s

@@ -170,10 +170,20 @@ class DataletActor(Actor):
             except KeyError:
                 return 0.0
         if op == "apply_batch":
-            return self._wal_cost(costs, len(msg.payload["ops"])) + sum(
+            base = sum(
                 costs.datalet_cost(self.kind, "put" if e["op"] == "put" else "del")
                 for e in msg.payload["ops"]
             )
+            n_ops = len(msg.payload["ops"])
+            if self.wal is not None and n_ops:
+                base += costs.scaled("wal_append_cost") * n_ops
+                if self.wal.sync_every == 1:
+                    # WAL group commit: the whole batch shares one fsync
+                    base += costs.scaled("wal_fsync_cost")
+                else:
+                    base += (costs.scaled("wal_fsync_cost") * n_ops
+                             / self.wal.sync_every)
+            return base
         return 0.0
 
     # -- handlers ------------------------------------------------------
@@ -241,23 +251,43 @@ class DataletActor(Actor):
         absent keys are tolerated (a lagging replica may see a delete
         for a put it never received)."""
         applied = 0
-        for entry in msg.payload["ops"]:
-            try:
-                if entry["op"] == "put":
-                    self._log_mutation("put", entry["key"], entry["val"])
-                    self.engine.put(entry["key"], entry["val"])
-                    self.ops["put"] += 1
-                else:
-                    if self.wal is not None and not self.engine.contains(entry["key"]):
-                        continue
-                    self._log_mutation("del", entry["key"])
-                    self.engine.delete(entry["key"])
-                    self.ops["del"] += 1
-                applied += 1
-            except KeyNotFound:
-                pass
+        # accept-path callers (the MS head/master batches its own local
+        # applies) need per-op outcomes to answer each client correctly
+        results = [] if msg.payload.get("want_results") else None
+        if self.wal is not None:
+            # group commit: the members' log records share one fsync
+            # (end_commit_group), paid before the batch is acked below
+            self.wal.begin_commit_group()
+        try:
+            for entry in msg.payload["ops"]:
+                try:
+                    if entry["op"] == "put":
+                        self._log_mutation("put", entry["key"], entry["val"])
+                        self.engine.put(entry["key"], entry["val"])
+                        self.ops["put"] += 1
+                    else:
+                        if self.wal is not None and not self.engine.contains(entry["key"]):
+                            if results is not None:
+                                results.append("not_found")
+                            continue
+                        self._log_mutation("del", entry["key"])
+                        self.engine.delete(entry["key"])
+                        self.ops["del"] += 1
+                    applied += 1
+                except KeyNotFound:
+                    if results is not None:
+                        results.append("not_found")
+                    continue
+                if results is not None:
+                    results.append("ok")
+        finally:
+            if self.wal is not None:
+                self.wal.end_commit_group()
         self._maybe_compact()
-        self.respond(msg, "ok", {"applied": applied})
+        payload: Dict[str, object] = {"applied": applied}
+        if results is not None:
+            payload["results"] = results
+        self.respond(msg, "ok", payload)
 
     def _on_snapshot(self, msg: Message) -> None:
         self.respond(msg, "snapshot", {"data": self.engine.snapshot()})

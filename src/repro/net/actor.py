@@ -89,6 +89,10 @@ class Actor:
         #: every span hook is behind an ``is not None`` check so the
         #: untraced hot path pays one flag test and zero allocations.
         self._obs: Any = None
+        #: MetricsRegistry of the hosting cluster (set by add_actor);
+        #: lets actors publish push-style instruments (histograms) in
+        #: addition to the pull-style ``metrics_group``/``stats`` scrape.
+        self._metrics: Any = None
         #: RequestContext of the message/continuation being processed;
         #: stamped onto outgoing messages so the envelope flows
         #: client -> controlet -> replication -> datalet -> ack without

@@ -189,6 +189,7 @@ class SimCluster:
         self._actor_host[actor.node_id] = host
         actor.attach(_NodeCtx(actor.node_id, self))
         actor._obs = self.obs
+        actor._metrics = self.metrics
         # metrics scrape source: an explicit metrics_group() hook wins,
         # else a plain live `stats` dict (controlets) is registered as-is
         group = getattr(actor, "metrics_group", None)
@@ -316,6 +317,26 @@ class SimCluster:
             net_span = self.obs.begin(msg.ctx, f"net:{msg.type}", msg.src)
         else:
             net_span = None
+
+        if (net_span is None and self.sanitizer is None
+                and self.race_tracer is None):
+            # Fast path for saturated benchmark runs: no observability
+            # plane attached, so skip the per-arrival branch ladder and
+            # build the smallest possible closure.
+            hosts = self._hosts
+            costs = self.costs
+
+            def on_arrival_fast() -> None:
+                host = hosts[dst_host]
+                if host.free:
+                    dst_actor.deliver(msg)
+                    return
+                demand = costs.msg_cost(dpdk=host.dpdk) + dst_actor.service_demand(msg, costs)
+                host.cpu.submit(demand).add_done_callback(
+                    lambda _f: dst_actor.deliver(msg))
+
+            self.network.send(src_host, dst_host, nbytes, on_arrival_fast)
+            return
 
         def on_arrival() -> None:
             if self.sanitizer is not None:

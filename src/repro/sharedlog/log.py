@@ -118,6 +118,11 @@ class SharedLogActor(Actor):
     Protocol:
 
     * ``log_append`` {op, key, val[, rid]} → ``appended`` {pos[, dup]}
+    * ``log_append_batch`` {entries: [{op, key, val[, rid]}, ...]} →
+      ``appended_batch`` {results: [{pos[, dup]}, ...]} — one sequenced
+      group commit; entries are ordered (and rid-deduplicated) exactly
+      as if appended one by one, but the sequencer round-trip and most
+      of the append handling are paid once per batch
     * ``log_fetch`` {pos, max} → ``entries`` {entries, tail}
     * ``log_trim`` {pos} → ``ok`` {dropped}
 
@@ -150,10 +155,16 @@ class SharedLogActor(Actor):
         self.auto_trims = 0
         self.appends = 0
         self.dup_appends = 0
+        self.batch_appends = 0
+        self.batched_entries = 0
         #: rid → sequenced position, bounded FIFO (dedup window).
         self._rid_pos: Dict[str, int] = {}
         self._rid_order: Deque[str] = deque(maxlen=65536)
-        self.register("log_append", self._on_append)
+        # Single-append entry point: controlets now group-commit via
+        # log_append_batch, but the one-at-a-time surface stays for
+        # external writers and tooling (identical dedup semantics).
+        self.register("log_append", self._on_append)  # protocol: external
+        self.register("log_append_batch", self._on_append_batch)
         self.register("log_fetch", self._on_fetch)
         # Operator/retention API: driven from outside the actor system
         # (tests, admin tooling); in-cluster trimming happens via the
@@ -163,6 +174,13 @@ class SharedLogActor(Actor):
     def service_demand(self, msg: Message, costs) -> float:
         if msg.type == "log_append":
             return costs.scaled("sharedlog_append_cost")
+        if msg.type == "log_append_batch":
+            # group commit: full append handling once, then only the
+            # marginal sequencing cost per extra entry
+            n = len(msg.payload["entries"])
+            return costs.scaled("sharedlog_append_cost") + max(0, n - 1) * (
+                costs.scaled("sharedlog_append_entry_cost")
+            )
         return costs.scaled("sharedlog_fetch_cost")
 
     def _on_append(self, msg: Message) -> None:
@@ -188,10 +206,42 @@ class SharedLogActor(Actor):
         self.appends += 1
         self.respond(msg, "appended", {"pos": entry.pos})
 
+    def _append_one(self, writer: str, d: Dict[str, Any]) -> Dict[str, Any]:
+        """Sequence one batch member; same dedup semantics as
+        ``log_append`` (a rid already sequenced keeps its original
+        position and is not re-appended)."""
+        rid = d.get("rid")
+        if rid is not None:
+            pos = self._rid_pos.get(rid)
+            if pos is not None:
+                self.dup_appends += 1
+                return {"pos": pos, "dup": True}
+        entry = self.log.append(
+            writer=writer, op=d["op"], key=d["key"], value=d.get("val"), rid=rid,
+        )
+        if rid is not None:
+            if len(self._rid_order) == self._rid_order.maxlen:
+                self._rid_pos.pop(self._rid_order[0], None)
+            self._rid_order.append(rid)
+            self._rid_pos[rid] = entry.pos
+        self.appends += 1
+        return {"pos": entry.pos}
+
+    def _on_append_batch(self, msg: Message) -> None:
+        """One group-commit batch: members are sequenced in payload
+        order, atomically adjacent in the log (no interleaving with
+        other writers' appends — the handler runs to completion)."""
+        results = [self._append_one(msg.src, d) for d in msg.payload["entries"]]
+        self.batch_appends += 1
+        self.batched_entries += len(results)
+        self.respond(msg, "appended_batch", {"results": results})
+
     def metrics_group(self) -> Dict[str, float]:
         return {
             "appends": self.appends,
             "dup_appends": self.dup_appends,
+            "batch_appends": self.batch_appends,
+            "batched_entries": self.batched_entries,
             "auto_trims": self.auto_trims,
             "tail": self.log.tail,
             "retained": len(self.log),

@@ -57,6 +57,11 @@ class CostModel:
     #: shared-log append handling at the sequencer/segment.
     sharedlog_append_cost: float = 10 * US
     sharedlog_fetch_cost: float = 6 * US
+    #: marginal sequencer cost per *additional* entry in a group-commit
+    #: batch (``log_append_batch``): the first entry pays the full
+    #: append handling, the rest only the per-record sequencing work —
+    #: this amortization is what group commit buys at the sequencer.
+    sharedlog_append_entry_cost: float = 1.5 * US
 
     #: WAL durability costs (charged per mutating datalet op when the
     #: deployment enables write-ahead logging).  The append is a

@@ -56,8 +56,14 @@ class _TracerChain:
 
 
 class _Event:
-    """Heap entry.  Hand-rolled (not a dataclass) because ``__lt__`` is
-    the hottest function in saturated simulations."""
+    """Payload of one heap entry.
+
+    The heap itself stores ``(time, seq, event)`` tuples so ordering is
+    decided by C-level tuple comparison — ``seq`` is unique, so the
+    comparison never falls through to the event object.  (An earlier
+    design gave ``_Event`` a Python ``__lt__`` and heaped the objects
+    directly; at saturation that one method dominated kernel profiles.)
+    """
 
     __slots__ = ("time", "seq", "fn", "cancelled")
 
@@ -66,11 +72,6 @@ class _Event:
         self.seq = seq
         self.fn = fn
         self.cancelled = False
-
-    def __lt__(self, other: "_Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
 
 
 class TimerHandle:
@@ -173,7 +174,7 @@ class Simulator:
         if tie_break not in ("fifo", "lifo"):
             raise SimulationError(f"tie_break must be 'fifo' or 'lifo', got {tie_break!r}")
         self._now = 0.0
-        self._heap: list[_Event] = []
+        self._heap: list[tuple[float, int, _Event]] = []
         self._seq = itertools.count(1)
         # "lifo" negates the insertion sequence so simultaneous events
         # pop in reverse order — a legal-but-different schedule used by
@@ -222,7 +223,7 @@ class Simulator:
             if label is not None:
                 fn.timer_label = label  # type: ignore[attr-defined]
         ev = _Event(self._now + delay, self._tie_sign * next(self._seq), fn)
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (ev.time, ev.seq, ev))
         return TimerHandle(ev)
 
     def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> TimerHandle:
@@ -354,7 +355,7 @@ class Simulator:
         the explorer controls how far the clock moves between message
         deliveries."""
         while self._heap:
-            ev = heapq.heappop(self._heap)
+            ev = heapq.heappop(self._heap)[2]
             if ev.cancelled:
                 continue
             self._now = ev.time
@@ -368,7 +369,9 @@ class Simulator:
         from ``timer_label``/``__qualname__`` of the callbacks, which is
         what makes two runs' timer sets comparable."""
         out = []
-        for ev in sorted(e for e in self._heap if not e.cancelled):
+        for _t, _s, ev in sorted(self._heap):
+            if ev.cancelled:
+                continue
             label = getattr(ev.fn, "timer_label", None) or getattr(
                 ev.fn, "__qualname__", type(ev.fn).__name__
             )
@@ -382,15 +385,17 @@ class Simulator:
         ``run_until`` calls tile the timeline without gaps.
         """
         self._stopped = False
-        while self._heap and not self._stopped:
-            ev = self._heap[0]
-            if ev.time > deadline:
+        heap = self._heap
+        pop = heapq.heappop
+        execute = self._execute
+        while heap and not self._stopped:
+            if heap[0][0] > deadline:
                 break
-            heapq.heappop(self._heap)
+            ev = pop(heap)[2]
             if ev.cancelled:
                 continue
             self._now = ev.time
-            self._execute(ev)
+            execute(ev)
         if not self._stopped:
             self._now = max(self._now, deadline)
 
@@ -400,12 +405,15 @@ class Simulator:
             self.run_until(until)
             return
         self._stopped = False
-        while self._heap and not self._stopped:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        execute = self._execute
+        while heap and not self._stopped:
+            ev = pop(heap)[2]
             if ev.cancelled:
                 continue
             self._now = ev.time
-            self._execute(ev)
+            execute(ev)
 
     def run_future(self, fut: SimFuture, timeout: Optional[float] = None) -> Any:
         """Drive the simulation until ``fut`` resolves and return its result.
@@ -413,15 +421,19 @@ class Simulator:
         Convenience for tests: ``sim.run_future(sim.spawn(proc()))``.
         """
         deadline = None if timeout is None else self._now + timeout
+        heap = self._heap
+        pop = heapq.heappop
+        execute = self._execute
         while not fut.done:
-            if not self._heap:
+            if not heap:
                 raise SimulationError("simulation quiesced before future resolved")
-            ev = heapq.heappop(self._heap)
+            entry = pop(heap)
+            ev = entry[2]
             if ev.cancelled:
                 continue
             if deadline is not None and ev.time > deadline:
-                heapq.heappush(self._heap, ev)
+                heapq.heappush(heap, entry)
                 raise SimulationError(f"future unresolved after {timeout}s of sim time")
             self._now = ev.time
-            self._execute(ev)
+            execute(ev)
         return fut.result()

@@ -82,8 +82,9 @@ def test_span_tree_well_formed_and_stages_present():
     assert any(n.startswith("rpc:") for n in names)
     assert any(n.startswith("net:") for n in names)
     assert any(n.startswith("cpu:") for n in names)
-    # replication shows up under its own RPC type (MS+SC: chain_put)
-    assert "rpc:chain_put" in names
+    # replication shows up under its own RPC type (MS+SC: coalesced
+    # chain_put_batch frames since the batching tier)
+    assert "rpc:chain_put_batch" in names
     breakdown = recorder.breakdown()
     assert breakdown["op:put"]["count"] >= 1
     assert breakdown["op:put"]["p95_ms"] >= breakdown["op:put"]["p50_ms"] >= 0
@@ -263,6 +264,46 @@ def test_collect_registry_scrapes_cluster_without_messages():
     # client latency histograms fed by the op path
     assert any(name.startswith("client.c0.latency_") and v["count"] > 0
                for name, v in snap["histograms"].items())
+
+
+def test_batch_metrics_populated_and_seed_stable():
+    """The batching tier's instruments — batch size histograms, per-
+    controlet coalesce ratios, WAL fsyncs-per-op — land in the registry
+    and are bit-identical for a fixed seed."""
+    from repro.client import PipelinedClient
+
+    def run(seed):
+        dep = Deployment(
+            DeploymentSpec(shards=1, replicas=3, topology=Topology.AA,
+                           consistency=Consistency.EVENTUAL, seed=seed,
+                           durable=True)
+        )
+        dep.start()
+        client = dep.client("c0")
+        dep.sim.run_future(client.connect())
+        pipe = PipelinedClient(client, window=8, window_max=32)
+        for i in range(150):
+            pipe.put(f"k{i % 10}", f"v{i}")
+        dep.sim.run_future(pipe.drain(), timeout=120.0)
+        pipe.stop()
+        dep.sim.run_until(dep.sim.now + 1.0)
+        return collect_registry(dep)
+
+    snap = run(11)
+    # sequencer group commit engaged: size histogram fed, >1 op/batch
+    hist = snap["histograms"]["batch.group_commit_size"]
+    assert hist["count"] > 0
+    ratios = [g["coalesce_ratio"] for g in snap["groups"].values()
+              if "group_commits" in g]
+    assert ratios and max(ratios) > 1.0
+    # WAL group commit amortizes fsyncs below one per logged record
+    datalet = snap["groups"]["d0.0"]
+    assert 0.0 < datalet["wal_fsyncs_per_op"] < 1.0
+    # pipelining plane is scraped too
+    assert snap["groups"]["client.c0.pipeline"]["completed"] == 150.0
+    # the whole registry — counters, gauges, histograms, groups — is
+    # seed-stable: adaptive windowing ran on the virtual clock only
+    assert snap == run(11)
 
 
 # ---------------------------------------------------------------------------

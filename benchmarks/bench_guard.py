@@ -52,6 +52,17 @@ def _load(path: Path) -> dict:
 
 
 def check(current_path: Path, baseline_path: Path) -> int:
+    # a lost summary file is a guard failure, not a stack trace: CI
+    # runs this right after the producing benchmarks, and "the run that
+    # was supposed to produce the figures didn't" is exactly the kind
+    # of regression the guard exists to catch
+    missing = [p for p in (current_path, baseline_path) if not p.is_file()]
+    if missing:
+        print("\nbench guard: FAIL")
+        for p in missing:
+            print(f"  - missing summary {p} "
+                  "(benchmark run did not produce it?)")
+        return 1
     current = _load(current_path)["figures"]
     baseline = _load(baseline_path)["figures"]
     failures = []

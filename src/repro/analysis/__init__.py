@@ -15,7 +15,13 @@ relies on but nothing else enforces:
 * :mod:`repro.analysis.commitpoints` — static commit-point analysis of
   the write paths (ack-before-durable / ack-before-replication), whose
   waiver table doubles as the per-combo durability contract consumed by
-  the chaos runner and the recovery-aware model checker.
+  the chaos runner and the recovery-aware model checker;
+* :mod:`repro.analysis.flow` — path-sensitive flow-control passes over
+  the controlet hot paths (pump-liveness, backpressure,
+  retry-idempotency, config-epoch fencing), built on the
+  :mod:`repro.analysis.cfg` walker that inlines RPC callbacks and
+  timer continuations; seeded must-fail defects live in
+  :mod:`repro.analysis.flowdefects`.
 
 On top of those sit the model-checking modules (imported directly, not
 re-exported here, so ``import repro.analysis`` stays light):
@@ -47,6 +53,13 @@ from repro.analysis.commitpoints import (
     contract_for,
 )
 from repro.analysis.conformance import ProtocolModel, check_sources, check_tree
+from repro.analysis.flow import (
+    FLOW_INJECTION_SOURCES,
+    FLOW_RULES,
+    FLOW_WAIVERS,
+    analyze_flow_sources,
+    analyze_flow_tree,
+)
 from repro.analysis.findings import (
     FINDINGS_SCHEMA,
     Finding,
@@ -89,6 +102,11 @@ __all__ = [
     "analyze_sources",
     "analyze_tree",
     "contract_for",
+    "FLOW_INJECTION_SOURCES",
+    "FLOW_RULES",
+    "FLOW_WAIVERS",
+    "analyze_flow_sources",
+    "analyze_flow_tree",
     "RaceDetector",
     "RaceReport",
     "PerturbationResult",
@@ -105,12 +123,16 @@ def package_root() -> Path:
     return Path(repro.__file__).resolve().parent
 
 
-def run_lint(root: Optional[Path] = None, conformance: bool = True) -> List[Finding]:
-    """Run the determinism linter (and optionally the protocol checker)
-    over one package tree; returns every finding, suppressed included."""
+def run_lint(root: Optional[Path] = None, conformance: bool = True,
+             flow: bool = True) -> List[Finding]:
+    """Run the determinism linter, the commit-point pass, the flow
+    passes, and (optionally) the protocol checker over one package
+    tree; returns every finding, suppressed included."""
     root = package_root() if root is None else Path(root)
     findings = lint_tree(root)
     findings.extend(analyze_tree(root))
+    if flow:
+        findings.extend(analyze_flow_tree(root))
     if conformance:
         findings.extend(check_tree(root).findings())
     return findings

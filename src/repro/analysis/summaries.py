@@ -158,13 +158,22 @@ class SummaryTable:
         return "\n".join(lines)
 
 
+#: methods of :class:`repro.core.controlet.Pump` that run the bound
+#: issue callable synchronously (push/kick drain inline when idle).
+_PUMP_DRIVERS = {"push", "kick", "requeue_front"}
+
+
 class _MethodScanner(ast.NodeVisitor):
     """Direct (non-transitive) footprint of one method body."""
 
-    def __init__(self) -> None:
+    def __init__(self, pumps: Optional[Dict[str, str]] = None) -> None:
         self.reads: Set[str] = set()
         self.writes: Set[str] = set()
         self.calls: Set[str] = set()  # self.<method>() invocations
+        #: ``self.<attr> = Pump(self.<issue>)`` bindings for this class:
+        #: driving the pump runs the issue callable (synchronously when
+        #: the pump is idle), so its footprint belongs to the driver.
+        self.pumps = pumps or {}
         self.opaque = False
 
     def _is_self(self, node: ast.expr) -> bool:
@@ -217,6 +226,8 @@ class _MethodScanner(ast.NodeVisitor):
             # so count it as BOTH read and write (conservative).
             self.reads.add(func.value.attr)
             self.writes.add(func.value.attr)
+            if func.value.attr in self.pumps and func.attr in _PUMP_DRIVERS:
+                self.calls.add(self.pumps[func.value.attr])
         # bare self passed as an argument escapes the analysis entirely —
         # except into known-safe constructors: a Request only reaches
         # back through ``respond``/``_complete_request`` (an emit plus
@@ -271,12 +282,46 @@ def _resolve_method(classes: Dict[str, _ClassAst], cls: str, name: str):
     return None
 
 
+def _pump_bindings(classes: Dict[str, _ClassAst], cls: str) -> Dict[str, str]:
+    """``attr -> issue method`` for every ``self.<attr> = Pump(self.<m>)``
+    along the ancestry (the canonical one-in-flight drain helper from
+    core/controlet.py).  Issue callables that are not plain self-method
+    references (e.g. local closures) resolve to nothing here — their
+    effects are already folded in because the scanner visits nested
+    defs — so only the cross-method indirection needs the table."""
+    out: Dict[str, str] = {}
+    for ancestor in _ancestry(classes, cls):
+        if ancestor not in classes:
+            continue
+        for node in classes[ancestor].methods.values():
+            for n in ast.walk(node):
+                if not (isinstance(n, ast.Assign) and isinstance(n.value, ast.Call)
+                        and isinstance(n.value.func, ast.Name)
+                        and n.value.func.id == "Pump"):
+                    continue
+                issue = n.value.args[0] if n.value.args else next(
+                    (kw.value for kw in n.value.keywords if kw.arg == "issue"),
+                    None,
+                )
+                if not (isinstance(issue, ast.Attribute)
+                        and isinstance(issue.value, ast.Name)
+                        and issue.value.id == "self"):
+                    continue
+                for tgt in n.targets:
+                    if isinstance(tgt, ast.Attribute) \
+                            and isinstance(tgt.value, ast.Name) \
+                            and tgt.value.id == "self":
+                        out.setdefault(tgt.attr, issue.attr)
+    return out
+
+
 def _footprint(
     classes: Dict[str, _ClassAst],
     cls: str,
     method: str,
     cache: Dict[Tuple[str, str], HandlerFootprint],
     stack: Set[Tuple[str, str]],
+    pumps: Optional[Dict[str, str]] = None,
 ) -> HandlerFootprint:
     key = (cls, method)
     if key in cache:
@@ -289,7 +334,9 @@ def _footprint(
         fp.opaque = True
         cache[key] = fp
         return fp
-    scanner = _MethodScanner()
+    if pumps is None:
+        pumps = _pump_bindings(classes, cls)
+    scanner = _MethodScanner(pumps)
     # scan the whole body *including* nested callback closures: their
     # accesses happen at later events, and folding them in only widens
     # the footprint (conservative in the right direction)
@@ -300,7 +347,7 @@ def _footprint(
     fp.opaque |= scanner.opaque
     stack.add(key)
     for callee in sorted(scanner.calls):
-        sub = _footprint(classes, cls, callee, cache, stack)
+        sub = _footprint(classes, cls, callee, cache, stack, pumps)
         fp.reads |= sub.reads
         fp.writes |= sub.writes
         fp.opaque |= sub.opaque

@@ -220,7 +220,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "ad-hoc RNG, set-order iteration, builtin hash()/id() ordering "
         "in protocol code) and the protocol-conformance checker "
         "(message types sent but never handled, handlers registered "
-        "for types nothing sends).  Exit 1 on unsuppressed errors; "
+        "for types nothing sends) plus the commit-point and flow-control "
+        "passes (pump-liveness, backpressure, retry-idempotency, "
+        "config-epoch fencing).  Exit 1 on unsuppressed errors; "
         "--strict also fails on warnings.",
     )
     lint.add_argument("--root", default=None,
@@ -231,6 +233,12 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="also print findings silenced by pragmas/allowlist")
     lint.add_argument("--no-conformance", action="store_true",
                       help="skip the protocol-conformance pass")
+    lint.add_argument("--no-flow", action="store_true",
+                      help="skip the flow-control passes")
+    lint.add_argument("--inject-flow-defects", action="store_true",
+                      help="also run the flow passes over the seeded "
+                      "known-bad builds in analysis/flowdefects.py; "
+                      "MUST exit 1 (CI's must-fail regression step)")
     lint.add_argument("--format", choices=("text", "json", "github"),
                       default="text",
                       help="text = human lines; json = versioned machine "
@@ -583,6 +591,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis import (
+        FLOW_INJECTION_SOURCES,
+        analyze_flow_sources,
         findings_to_json,
         format_findings,
         format_github,
@@ -592,7 +602,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     )
 
     root = Path(args.root) if args.root else package_root()
-    findings = run_lint(root, conformance=not args.no_conformance)
+    findings = run_lint(root, conformance=not args.no_conformance,
+                        flow=not args.no_flow)
+    if args.inject_flow_defects:
+        sources = [(rel, (root / rel).read_text())
+                   for rel in FLOW_INJECTION_SOURCES
+                   if (root / rel).is_file()]
+        findings.extend(analyze_flow_sources(sources))
     counts = summarize(findings)
     if args.format == "json":
         print(findings_to_json(findings))

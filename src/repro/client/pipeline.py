@@ -19,6 +19,12 @@ reports) and compares the worst p99 against ``target_p99``:
   by one (additive increase, up to ``window_max``).
 * p99 over target — queueing is building somewhere; halve the window
   (multiplicative decrease, down to ``window_min``).
+* any RPC timeout since the last tick — halve immediately and skip the
+  p99 comparison.  The :class:`KVClient` swallows ``RequestTimeout``
+  into retries, so timed-out ops never land in the latency histograms;
+  without watching ``client.timeouts`` the controller would hold (or
+  even grow) the window through the very congestion that caused the
+  timeouts.
 
 Both the latency measurements and the controller's timer run on the
 simulation's virtual clock, so a seeded run adapts — and therefore
@@ -83,6 +89,13 @@ class PipelinedClient:
         self.failed = 0
         self.grows = 0
         self.shrinks = 0
+        self.timeout_shrinks = 0
+        #: timeouts counter snapshot — KVClient swallows RequestTimeout
+        #: into retries, so timed-out ops never reach the latency
+        #: histograms and the p99 check alone would keep the window wide
+        #: through congestion.  The tuner watches the counter delta
+        #: instead.
+        self._timeouts_seen = client.timeouts
         self._stopped = False
         self._timer = None
         metrics = client.cluster.metrics
@@ -100,6 +113,7 @@ class PipelinedClient:
                 "window": self.window,
                 "grows": self.grows,
                 "shrinks": self.shrinks,
+                "timeout_shrinks": self.timeout_shrinks,
             },
         )
         if adaptive:
@@ -187,6 +201,21 @@ class PipelinedClient:
 
     def _tune(self) -> None:
         if self._stopped:
+            return
+        timeouts = self.client.timeouts
+        if timeouts > self._timeouts_seen:
+            # RPC timeouts this interval: the strongest congestion
+            # signal we have, and one the latency histograms never see
+            # (timed-out ops are retried, not recorded).  Shrink
+            # multiplicatively and skip the p99 check — a stale under-
+            # target p99 must not grow the window straight back.
+            self._timeouts_seen = timeouts
+            if self.window > self.window_min:
+                self.window = max(self.window_min, self.window // 2)
+                self.shrinks += 1
+                self.timeout_shrinks += 1
+                self._window_gauge.set(self.window)
+            self._arm_tuner()
             return
         p99 = self._worst_p99()
         if p99 is not None:

@@ -11,9 +11,9 @@ its own.  Reads are local.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core.controlet import Controlet
+from repro.core.controlet import Controlet, Pump
 from repro.core.request import Request
 from repro.errors import BespoError
 from repro.net.message import Message
@@ -41,9 +41,8 @@ class AAEventualControlet(Controlet):
         self._start_at_tail = start_cursor_at_tail
         self.applied_from_log = 0
         #: replayed batches waiting for the datalet, in log order; see
-        #: :meth:`_pump_applies` for why they must be serialized.
-        self._apply_queue: List[list] = []
-        self._apply_busy = False
+        #: :meth:`_issue_apply` for why they must be serialized.
+        self._applies = Pump(self._issue_apply)
         #: accepted writes waiting for the sequencer, in arrival order;
         #: drained in group-commit batches by :meth:`_pump_orders` with
         #: at most one sequenced batch in flight per controlet.
@@ -272,11 +271,10 @@ class AAEventualControlet(Controlet):
             self.cursor = pos + 1
             ops.append({"op": d["op"], "key": d["key"], "val": d["value"]})
         if ops:
-            self._apply_queue.append(ops)
             self.applied_from_log += len(ops)
-            self._pump_applies()
+            self._applies.push(ops)
 
-    def _pump_applies(self) -> None:
+    def _issue_apply(self, ops: list, done: Callable[[], None]) -> None:
         """At most one replay apply_batch in flight to the datalet.
 
         Fire-and-forget sends are not enough: the host CPU is a
@@ -284,15 +282,11 @@ class AAEventualControlet(Controlet):
         the shape a recovering node's catch-up produces — one big
         backlog batch, then the fresh tail) can finish service first and
         apply log entries out of order, permanently diverging this
-        replica.  Found by the rolling-restart chaos schedule."""
-        if self._apply_busy or not self._apply_queue:
-            return
-        self._apply_busy = True
-        ops = self._apply_queue.pop(0)
+        replica.  Found by the rolling-restart chaos schedule; the
+        one-in-flight discipline lives in :class:`Pump`."""
 
         def applied(resp: Optional[Message], err: Optional[BespoError]) -> None:
-            self._apply_busy = False
-            self._pump_applies()
+            done()
 
         self.datalet_call("apply_batch", {"ops": ops}, callback=applied)
 
@@ -343,8 +337,8 @@ class AAEventualControlet(Controlet):
             "start_at_tail": self._start_at_tail,
             "fetch_armed": self._fetch_armed,
             "draining": self._draining is not None,
-            "apply_queue": len(self._apply_queue),
-            "apply_busy": self._apply_busy,
+            "apply_queue": len(self._applies.queue),
+            "apply_busy": self._applies.busy,
             "order_queue": len(self._order_queue),
             "order_busy": self._order_busy,
         })

@@ -27,13 +27,65 @@ from repro.errors import BespoError
 from repro.net.actor import Actor
 from repro.net.message import Message
 
-__all__ = ["Controlet"]
+__all__ = ["Controlet", "Pump"]
 
 #: client-facing operation message types.
 CLIENT_OPS = ("put", "get", "del", "scan")
 
 #: request-id dedup memory per controlet (completed-write cache size).
 RID_CACHE = 65536
+
+
+class Pump:
+    """One-in-flight drain loop: busy flag + FIFO queue + retry-requeue.
+
+    Every hot path in the batched controlets serializes its async work
+    through the same hand-rolled shape — a queue, a busy flag, and a
+    completion callback that releases the flag and re-enters the drain.
+    ``Pump`` is that shape as a reusable primitive, so there is exactly
+    one canonical implementation for the flow-control static passes
+    (:mod:`repro.analysis.flow`) to certify.
+
+    ``issue(item, done)`` starts the asynchronous work for one queued
+    item and MUST invoke ``done()`` on **every** completion path —
+    success, error response, and RPC timeout alike.  A dropped ``done``
+    freezes the pump permanently; the pump-liveness pass checks every
+    issue callable wired into a ``Pump`` for exactly this obligation.
+    """
+
+    __slots__ = ("issue", "queue", "busy")
+
+    def __init__(self, issue: Callable[[Any, Callable[[], None]], None]):
+        self.issue = issue
+        self.queue: List[Any] = []
+        self.busy = False
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def push(self, item: Any) -> None:
+        """Queue one item and start draining if idle."""
+        self.queue.append(item)
+        self.kick()
+
+    def requeue_front(self, items: List[Any]) -> None:
+        """Put failed work back at the head of the line so a retry keeps
+        its place — younger items must not overtake it (FIFO under
+        retry is what keeps per-key ordering through link flaps)."""
+        self.queue[:0] = list(items)
+
+    def kick(self) -> None:
+        """Issue the next item unless one is already in flight."""
+        if self.busy or not self.queue:
+            return
+        self.busy = True
+        item = self.queue.pop(0)
+
+        def done() -> None:
+            self.busy = False
+            self.kick()
+
+        self.issue(item, done)
 
 
 class Controlet(Actor):

@@ -18,11 +18,12 @@ controlets, demonstrating the framework's extensibility claim.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.aa_ec import AAEventualControlet
+from repro.core.controlet import Pump
 from repro.datalet import Engine, HashTableEngine
-from repro.errors import KeyNotFound
+from repro.errors import BespoError, KeyNotFound
 from repro.hashing import stable_hash
 from repro.net.actor import Actor
 from repro.net.message import Message
@@ -42,6 +43,10 @@ class AAMSHybridControlet(AAEventualControlet):
         self.slaves = slaves or []
         self._backlog: List[Dict[str, Optional[str]]] = []
         self._flush_armed = False
+        #: one replicate frame in flight per slave link (lazily built in
+        #: :meth:`_slave_pump`); frames queued behind a slow slave stay
+        #: here instead of flooding the fabric.
+        self._slave_pumps: Dict[str, Pump] = {}
         #: sequence stream for our slaves (MS+EC replicate protocol)
         self._slave_seq = 0
         self.propagated = 0
@@ -75,6 +80,29 @@ class AAMSHybridControlet(AAEventualControlet):
         self._flush_armed = False
         self._flush()
 
+    def _slave_pump(self, slave: str) -> Pump:
+        pump = self._slave_pumps.get(slave)
+        if pump is None:
+
+            def issue(frame: Dict[str, object], done: Callable[[], None],
+                      _slave: str = slave) -> None:
+                # The ack is pure flow control, same discipline as
+                # ms_ec._pump_replicate: a dropped or timed-out frame is
+                # not retried here — the slave's gap-repair anti-entropy
+                # re-fetches anything it carried.  One-in-flight per
+                # link is what bounds the fan-out: a slow slave queues
+                # frames at its pump instead of flooding the fabric.
+                def acked(resp: Optional[Message],
+                          err: Optional[BespoError]) -> None:
+                    done()
+
+                self.call(_slave, "replicate", frame, callback=acked,
+                          timeout=self.config.replication_timeout)
+
+            pump = Pump(issue)
+            self._slave_pumps[slave] = pump
+        return pump
+
     def _flush(self) -> None:
         if not self._backlog:
             return
@@ -85,7 +113,7 @@ class AAMSHybridControlet(AAEventualControlet):
             # per-slave copies, op dicts included: the fabric passes
             # payloads by reference and a serializing network would
             # never hand two receivers the same ops list
-            self.send(slave, "replicate", {
+            self._slave_pump(slave).push({
                 "master": self.node_id,
                 "start_seq": start_seq,
                 "ops": [dict(op) for op in batch],

@@ -21,9 +21,9 @@ fault-free case.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.core.controlet import Controlet
+from repro.core.controlet import Controlet, Pump
 from repro.errors import BespoError
 from repro.net.message import Message
 
@@ -78,9 +78,8 @@ class MSEventualControlet(Controlet):
         self.gaps_detected = 0
         #: replicated batches waiting for the datalet, in stream order;
         #: serialized for the same reason as AA+EC log replay (see
-        #: :meth:`_pump_applies`).
-        self._apply_queue: List[list] = []
-        self._apply_busy = False
+        #: :meth:`_issue_apply`).
+        self._applies = Pump(self._issue_apply)
         if self.rejoining and self._view_says_head():
             # A rejoining EC *master* is the authority for acked data:
             # its WAL holds acked-but-never-propagated writes that no
@@ -459,9 +458,8 @@ class MSEventualControlet(Controlet):
         if fresh:
             # one ordered apply_batch per batch — per-op messages could
             # reorder in flight and apply a delete before its put — and
-            # at most one batch in flight (see _pump_applies).
-            self._apply_queue.append(fresh)
-            self._pump_applies()
+            # at most one batch in flight (see _issue_apply).
+            self._applies.push(fresh)
             self.applied_from_master += len(fresh)
             # learn the rids this batch carries: if we are later promoted
             # to master, a client retrying one of these ops gets its
@@ -474,22 +472,18 @@ class MSEventualControlet(Controlet):
         self._repair_pending = False
         self._ack_frame(msg)
 
-    def _pump_applies(self) -> None:
+    def _issue_apply(self, ops: list, done: Callable[[], None]) -> None:
         """At most one replicated apply_batch in flight to the datalet.
 
         The host CPU is a multi-slot server: a small batch chasing a
         large one (a repair resend followed by the fresh tail) could
         finish service first and apply stream ops out of order,
         permanently diverging this slave.  Same defect class the
-        rolling-restart chaos schedule exposed in AA+EC log replay."""
-        if self._apply_busy or not self._apply_queue:
-            return
-        self._apply_busy = True
-        ops = self._apply_queue.pop(0)
+        rolling-restart chaos schedule exposed in AA+EC log replay; the
+        one-in-flight discipline lives in :class:`Pump`."""
 
         def applied(resp: Optional[Message], err: Optional[BespoError]) -> None:
-            self._apply_busy = False
-            self._pump_applies()
+            done()
 
         self.datalet_call("apply_batch", {"ops": ops}, callback=applied)
 
@@ -564,8 +558,8 @@ class MSEventualControlet(Controlet):
             ] if self._retained else None,
             "stream": list(self._stream),
             "repair_pending": self._repair_pending,
-            "apply_queue": len(self._apply_queue),
-            "apply_busy": self._apply_busy,
+            "apply_queue": len(self._applies.queue),
+            "apply_busy": self._applies.busy,
             "peer_pending": {
                 p: sum(len(ops) for _seq, ops in segs)
                 for p, segs in sorted(self._peer_pending.items())

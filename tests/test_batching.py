@@ -292,3 +292,41 @@ def test_batch_size_one_disables_coalescing():
     head = dep.cluster.actor("c0.0")
     assert head.chain_frames == head.chain_frame_ops  # 1 op per frame
     assert head.chain_frames >= 20
+
+# ---------------------------------------------------------------------------
+# AIMD window reacts to RPC timeouts (which never reach the histograms)
+# ---------------------------------------------------------------------------
+def test_rpc_timeouts_shrink_pipeline_window():
+    """The KVClient swallows RequestTimeout into retries, so timed-out
+    ops never land in the latency histograms — the controller must
+    watch the timeout counter delta or it holds the window wide (and
+    keeps growing it on stale healthy p99) through congestion."""
+    dep, client = deploy(Topology.MS, Consistency.EVENTUAL)
+    # target_p99 far above sim latencies: the p99 arm alone always grows
+    pipe = PipelinedClient(client, window=16, window_max=32,
+                           target_p99=10.0, adaptive=False)
+    futs = [pipe.put(f"k{i}", "v") for i in range(4)]
+    dep.sim.run_future(dep.sim.gather(futs), timeout=60.0)
+
+    # healthy tick: p99 under target, no timeouts -> additive increase
+    pipe._tune()
+    assert pipe.window == 17 and pipe.grows == 1
+
+    # timeouts since the last tick: halve even though p99 looks fine
+    client.timeouts += 2
+    pipe._tune()
+    assert pipe.window == 8
+    assert pipe.timeout_shrinks == 1 and pipe.shrinks == 1
+
+    # the signal is a delta, not a level: no new timeouts, no shrink
+    pipe._tune()
+    assert pipe.timeout_shrinks == 1
+    assert pipe.window == 9  # healthy p99 resumes additive increase
+
+    # sustained timeouts walk the window down to the floor and stop
+    for _ in range(6):
+        client.timeouts += 1
+        pipe._tune()
+    assert pipe.window == pipe.window_min
+    assert pipe.timeout_shrinks == 4  # 9 -> 4 -> 2 -> 1, then floored
+    pipe.stop()

@@ -1,0 +1,160 @@
+"""Unit tests for the cross-PR bench regression guard.
+
+The guard is a CI gate, so its edge behavior matters as much as its
+happy path: a missing summary file must read as a guard failure (not a
+traceback), a renamed figure key must read as a regression (the figure
+the baseline promised is gone), and the thresholds must cut exactly
+where the docstring says they do.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GUARD_PATH = (Path(__file__).resolve().parents[1]
+               / "benchmarks" / "bench_guard.py")
+
+spec = importlib.util.spec_from_file_location("bench_guard", _GUARD_PATH)
+bench_guard = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_guard)
+
+
+def _summary(peaks):
+    return {"figures": {fig: {"max": peak} for fig, peak in peaks.items()}}
+
+
+def _write_pair(tmp_path, current_peaks, baseline_peaks):
+    cur = tmp_path / "current.json"
+    base = tmp_path / "baseline.json"
+    cur.write_text(json.dumps(_summary(current_peaks)))
+    base.write_text(json.dumps(_summary(baseline_peaks)))
+    return cur, base
+
+
+@pytest.fixture
+def results_dir(tmp_path, monkeypatch):
+    """Point the guard's side-channel gate files at a tmp dir with
+    passing values; individual tests overwrite to probe the gates."""
+    rd = tmp_path / "results"
+    rd.mkdir()
+    (rd / "obs_overhead.json").write_text(json.dumps({"off_overhead": 0.0}))
+    (rd / "pr8_batching.json").write_text(json.dumps({"aa_ec_speedup": 2.0}))
+    monkeypatch.setattr(bench_guard, "RESULTS_DIR", rd)
+    return rd
+
+
+ALL_FIGS = {fig: 100.0 for fig in bench_guard.THROUGHPUT_FIGURES}
+
+
+# ---------------------------------------------------------------------------
+# missing inputs fail cleanly
+# ---------------------------------------------------------------------------
+def test_missing_baseline_fails_without_traceback(tmp_path, results_dir,
+                                                  capsys):
+    cur = tmp_path / "current.json"
+    cur.write_text(json.dumps(_summary(ALL_FIGS)))
+    rc = bench_guard.check(cur, tmp_path / "nope.json")
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "missing summary" in out and "nope.json" in out
+    assert "bench guard: FAIL" in out
+
+
+def test_missing_current_fails_without_traceback(tmp_path, results_dir,
+                                                 capsys):
+    base = tmp_path / "baseline.json"
+    base.write_text(json.dumps(_summary(ALL_FIGS)))
+    rc = bench_guard.check(tmp_path / "gone.json", base)
+    assert rc == 1
+    assert "gone.json" in capsys.readouterr().out
+
+
+def test_missing_gate_file_is_a_failure(tmp_path, results_dir, capsys):
+    (results_dir / "obs_overhead.json").unlink()
+    cur, base = _write_pair(tmp_path, ALL_FIGS, ALL_FIGS)
+    rc = bench_guard.check(cur, base)
+    assert rc == 1
+    assert "obs_overhead.json" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# renamed / dropped figure keys
+# ---------------------------------------------------------------------------
+def test_renamed_figure_key_reads_as_missing(tmp_path, results_dir, capsys):
+    renamed = dict(ALL_FIGS)
+    renamed["fig6_batched"] = renamed.pop("fig6")
+    cur, base = _write_pair(tmp_path, renamed, ALL_FIGS)
+    rc = bench_guard.check(cur, base)
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "fig6: missing from current" in out
+
+
+def test_figure_dropped_from_baseline_also_flagged(tmp_path, results_dir,
+                                                   capsys):
+    shrunk = dict(ALL_FIGS)
+    del shrunk["ablation_mapping"]
+    cur, base = _write_pair(tmp_path, ALL_FIGS, shrunk)
+    rc = bench_guard.check(cur, base)
+    assert rc == 1
+    assert "ablation_mapping: missing from baseline" in (
+        capsys.readouterr().out)
+
+
+# ---------------------------------------------------------------------------
+# threshold boundaries cut exactly where documented
+# ---------------------------------------------------------------------------
+def test_exact_ten_percent_regression_passes(tmp_path, results_dir):
+    # "more than 10%" fails, so exactly 0.90x is still legal
+    degraded = {fig: 90.0 for fig in bench_guard.THROUGHPUT_FIGURES}
+    cur, base = _write_pair(tmp_path, degraded, ALL_FIGS)
+    assert bench_guard.check(cur, base) == 0
+
+
+def test_just_past_ten_percent_fails(tmp_path, results_dir, capsys):
+    degraded = dict(ALL_FIGS)
+    degraded["fig7"] = 89.9
+    cur, base = _write_pair(tmp_path, degraded, ALL_FIGS)
+    rc = bench_guard.check(cur, base)
+    assert rc == 1
+    assert "fig7" in capsys.readouterr().out
+
+
+def test_obs_off_gate_boundary(tmp_path, results_dir):
+    cur, base = _write_pair(tmp_path, ALL_FIGS, ALL_FIGS)
+    (results_dir / "obs_overhead.json").write_text(
+        json.dumps({"off_overhead": 0.02}))
+    assert bench_guard.check(cur, base) == 0  # gate is <=
+    (results_dir / "obs_overhead.json").write_text(
+        json.dumps({"off_overhead": 0.021}))
+    assert bench_guard.check(cur, base) == 1
+
+
+def test_headline_speedup_boundary(tmp_path, results_dir):
+    cur, base = _write_pair(tmp_path, ALL_FIGS, ALL_FIGS)
+    (results_dir / "pr8_batching.json").write_text(
+        json.dumps({"aa_ec_speedup": 1.5}))
+    assert bench_guard.check(cur, base) == 0  # gate is >=
+    (results_dir / "pr8_batching.json").write_text(
+        json.dumps({"aa_ec_speedup": 1.49}))
+    assert bench_guard.check(cur, base) == 1
+
+
+def test_improvements_pass(tmp_path, results_dir):
+    improved = {fig: 150.0 for fig in bench_guard.THROUGHPUT_FIGURES}
+    cur, base = _write_pair(tmp_path, improved, ALL_FIGS)
+    assert bench_guard.check(cur, base) == 0
+
+
+# ---------------------------------------------------------------------------
+# CLI entry
+# ---------------------------------------------------------------------------
+def test_main_uses_positional_paths(tmp_path, results_dir, capsys):
+    cur, base = _write_pair(tmp_path, ALL_FIGS, ALL_FIGS)
+    rc = bench_guard.main(["bench_guard.py", str(cur), str(base)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "current.json vs baseline.json" in out
+    assert "bench guard: PASS" in out

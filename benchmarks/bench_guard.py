@@ -1,7 +1,7 @@
 """Cross-PR bench regression guard.
 
 Compares the consolidated summary of this PR's benchmark run
-(``BENCH_PR8.json``) against the frozen ``BENCH_PR5.json`` baseline:
+(``BENCH_PR10.json``) against the frozen ``BENCH_PR5.json`` baseline:
 
 * every tier-1 *throughput* figure's peak may not regress more than
   10% (latency/feature figures are excluded — their leaves mix units
@@ -9,7 +9,12 @@ Compares the consolidated summary of this PR's benchmark run
 * the observability off-switch must stay effectively free: the
   ``obs_overhead`` off-mode overhead gate is 2%;
 * the PR 8 headline must hold: the batched AA+EC write path at least
-  1.5x its coalescing-disabled self.
+  1.5x its coalescing-disabled self;
+* the PR 10 headline must hold: an online reshard is *online* — in
+  every combo the worst one-second interval inside the migration
+  window retains at least 20% of the pre-reshard throughput
+  (``pause_ratio`` below 0.8), keys actually moved, and post-commit
+  throughput recovers to at least 70% of the pre-reshard level.
 
 Exit status 0 = all gates pass; 1 = regression (details on stdout).
 
@@ -17,7 +22,7 @@ Usage::
 
     python benchmarks/bench_guard.py [CURRENT [BASELINE]]
 
-defaulting to ``BENCH_PR8.json`` / ``BENCH_PR5.json`` at the repo root.
+defaulting to ``BENCH_PR10.json`` / ``BENCH_PR5.json`` at the repo root.
 """
 
 from __future__ import annotations
@@ -42,6 +47,11 @@ THROUGHPUT_FIGURES = (
 MAX_REGRESSION = 0.10
 OBS_OFF_GATE = 0.02
 HEADLINE_SPEEDUP = 1.5
+#: worst in-window 1s interval may lose at most this fraction of the
+#: pre-reshard throughput (1.0 would mean a full cutover pause).
+RESHARD_PAUSE_GATE = 0.8
+#: post-commit throughput must recover to this fraction of pre-reshard.
+RESHARD_RECOVERY_GATE = 0.7
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -109,6 +119,27 @@ def check(current_path: Path, baseline_path: Path) -> int:
     else:
         failures.append(f"missing {pr8_path} (run benchmarks/test_pr8_batching.py)")
 
+    pr10_path = RESULTS_DIR / "pr10_resharding.json"
+    if pr10_path.exists():
+        for combo, ph in sorted(_load(pr10_path).items()):
+            pause = float(ph["pause_ratio"])
+            recovery = (float(ph["after_qps"]) / float(ph["before_qps"])
+                        if ph["before_qps"] else 0.0)
+            ok = (pause <= RESHARD_PAUSE_GATE
+                  and recovery >= RESHARD_RECOVERY_GATE
+                  and ph["keys_moved"] > 0)
+            print(f"  reshard {combo:<14} pause {pause:5.2f} "
+                  f"(gate {RESHARD_PAUSE_GATE:.2f})  recovery {recovery:4.2f} "
+                  f"(gate {RESHARD_RECOVERY_GATE:.2f})  "
+                  f"moved {ph['keys_moved']:>4}  {'OK' if ok else 'FAIL'}")
+            if not ok:
+                failures.append(
+                    f"reshard {combo}: pause {pause:.2f} / recovery "
+                    f"{recovery:.2f} / moved {ph['keys_moved']} outside gates")
+    else:
+        failures.append(
+            f"missing {pr10_path} (run benchmarks/test_pr10_resharding.py)")
+
     if failures:
         print("\nbench guard: FAIL")
         for f in failures:
@@ -119,7 +150,7 @@ def check(current_path: Path, baseline_path: Path) -> int:
 
 
 def main(argv: list) -> int:
-    current = Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "BENCH_PR8.json"
+    current = Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "BENCH_PR10.json"
     baseline = Path(argv[2]) if len(argv) > 2 else REPO_ROOT / "BENCH_PR5.json"
     print(f"bench guard: {current.name} vs {baseline.name}")
     return check(current, baseline)

@@ -97,12 +97,15 @@ _DEDUP_GATE_ATTRS = {"_rid_done", "_rid_pending", "_rid_pos", "dup_appends"}
 #: classes analyzed: protocol actors by name-based ancestry, plus the
 #: non-actor flow machinery that still owns queues/flags.
 _FLOW_BASES = ("Controlet", "Actor")
-_EXTRA_ANALYZED = {"PipelinedClient", "SharedLog", "Pump", "Request"}
+_EXTRA_ANALYZED = {"PipelinedClient", "SharedLog", "Pump", "Request",
+                   "ClusterView", "MigrationPump"}
 
 #: generic machinery exempt from the queue-discipline passes: Pump's
 #: own queue/requeue ARE the drain/retry primitives the user-side
-#: rules check at each binding site.
-_GENERIC_CLASSES = {"Pump"}
+#: rules check at each binding site, and MigrationPump's retry requeue
+#: is rid-disciplined by its issue callable (the controlet stamps the
+#: stable per-key migration rid), which the binding-site rules cover.
+_GENERIC_CLASSES = {"Pump", "MigrationPump"}
 
 #: how deep the defer-discharge recursion chases timer continuations
 #: (arm → tick → re-arm chains settle well within this).
@@ -119,6 +122,8 @@ FLOW_INJECTION_SOURCES = [
     "core/controlet.py",
     "core/ms_ec.py",
     "core/ms_sc.py",
+    "cluster/view.py",
+    "cluster/migrate.py",
     "analysis/flowdefects.py",
 ]
 
@@ -486,28 +491,62 @@ def _mentions_epoch_compare(funcdef) -> bool:
     return False
 
 
+#: double-ring routing state a controlet may only install through the
+#: epoch-fenced paths below — a stale broadcast writing these directly
+#: can re-open a committed reshard window.
+_RING_STATE_ATTRS = ("_ring", "_old_ring", "_reshard")
+_RING_INSTALLERS = ("__init__", "_install_shard", "_install_ring",
+                    "_adopt_window")
+
+
 def _check_epoch(table: ClassTable, cls: str) -> List[_Raw]:
-    if not any("Controlet" in a for a in table.ancestry(cls)):
-        return []
-    raws: List[_Raw] = []
+    ancestry = table.ancestry(cls)
     file = table.file_of(cls)
     methods = _own_methods(table, cls)
+    if cls == "ClusterView" or any("ClusterView" in a for a in ancestry):
+        # the membership view's install() IS the fence every follower
+        # relies on: it must compare incoming vs held epoch.
+        raws: List[_Raw] = []
+        if "install" in methods \
+                and not _mentions_epoch_compare(methods["install"]):
+            raws.append(_Raw(
+                file, methods["install"].lineno, "ring-epoch",
+                f"{cls}.install: override drops the epoch comparison — "
+                "a lagging standby's snapshot can roll the membership "
+                "view (and its ring generation) backwards",
+                cls))
+        return raws
+    if not any("Controlet" in a for a in ancestry):
+        return []
+    raws = []
     for name, funcdef in sorted(methods.items()):
         if name in ("__init__", "_install_shard"):
             continue
         for node in ast.walk(funcdef):
             if isinstance(node, ast.Assign):
                 for target in node.targets:
-                    if isinstance(target, ast.Attribute) \
-                            and isinstance(target.value, ast.Name) \
-                            and target.value.id == "self" \
-                            and target.attr == "shard":
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    if target.attr == "shard":
                         raws.append(_Raw(
                             file, node.lineno, "ring-epoch",
                             f"{cls}.{name}: ring state installed directly "
                             "(self.shard = ...) instead of through the "
                             "epoch-fenced _install_shard — a stale config "
                             "delivery can resurrect a retired replica set",
+                            cls))
+                    elif target.attr in _RING_STATE_ATTRS \
+                            and name not in _RING_INSTALLERS:
+                        raws.append(_Raw(
+                            file, node.lineno, "ring-epoch",
+                            f"{cls}.{name}: double-ring routing state "
+                            f"(self.{target.attr} = ...) installed outside "
+                            "the fenced installers "
+                            f"({', '.join(_RING_INSTALLERS)}) — a delayed "
+                            "broadcast from a previous window can re-open "
+                            "dual-routing after the cutover committed",
                             cls))
     if "_install_shard" in methods \
             and not _mentions_epoch_compare(methods["_install_shard"]):
@@ -595,7 +634,7 @@ def analyze_flow_tree(root: Optional[_FsPath] = None) -> List[Finding]:
         root = _FsPath(repro.__file__).resolve().parent
     root = _FsPath(root)
     files: List[_FsPath] = []
-    for sub in ("core", "sharedlog"):
+    for sub in ("core", "sharedlog", "cluster"):
         d = root / sub
         if d.is_dir():
             files.extend(sorted(d.glob("*.py")))

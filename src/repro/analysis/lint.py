@@ -83,6 +83,7 @@ __all__ = [
 #: everywhere.
 PROTOCOL_PREFIXES: Tuple[str, ...] = (
     "core/",
+    "cluster/",
     "coordinator/",
     "dlm/",
     "net/",

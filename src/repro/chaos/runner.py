@@ -138,6 +138,7 @@ def run_combo(
     durable: bool = False,
     restarts: bool = False,
     rolling_restart: bool = False,
+    reshard: bool = False,
 ) -> ComboResult:
     """Run one seeded chaotic soak of one combo and judge the history.
 
@@ -149,6 +150,15 @@ def run_combo(
     deterministic :func:`~repro.chaos.schedule.rolling_restart_schedule`
     power-cycling every data host in sequence (implies both of the
     above).
+
+    ``reshard=True`` drives two online reshards through the soaked
+    cluster — a shard *add* at ~25% of the load window, then a drain +
+    *remove* of an original shard at ~60% — while the client sessions
+    keep hammering the shared keyspace.  The random schedule drops to
+    the mild fault menu (latency spikes, slow nodes, duplicates,
+    reorders): reshard participants are assumed live for the window.
+    The usual consistency oracle judges the full history, so a lost or
+    duplicated key at the cutover fails the run.
     """
     from repro.harness.deploy import Deployment, DeploymentSpec  # local: avoid cycle
 
@@ -217,6 +227,7 @@ def run_combo(
                 consistency=consistency,
                 failure_timeout=dep.spec.control.failure_timeout,
                 restarts=restarts,
+                mild=reshard,
             )
     schedule.validate(failure_timeout=dep.spec.control.failure_timeout)
 
@@ -244,12 +255,50 @@ def run_combo(
     for i, c in enumerate(sessions):
         sim.spawn(session_loop(c, i))
 
+    # -- online reshards under load --------------------------------------
+    reshard_events: List[Dict] = []
+    if reshard:
+
+        def reshard_driver():
+            yield sim.sleep(chaos_start + 0.25 * duration - sim.now)
+            try:
+                stats_add = yield dep.request_reshard("add")
+                reshard_events.append({"action": "add", **stats_add})
+            except BespoError as e:
+                reshard_events.append({"action": "add", "error": str(e)})
+            target = chaos_start + 0.60 * duration
+            if sim.now < target:
+                yield sim.sleep(target - sim.now)
+            try:
+                stats_rm = yield dep.request_reshard("remove", shard="s0")
+                reshard_events.append({"action": "remove", **stats_rm})
+            except BespoError as e:
+                reshard_events.append({"action": "remove", "error": str(e)})
+
+        sim.spawn(reshard_driver())
+
     # -- chaos window ----------------------------------------------------
     sim.run_until(chaos_start)
     controller = ChaosController(dep, schedule)
     controller.arm()
     sim.run_until(chaos_start + max(duration, schedule.horizon) + 0.5)
     controller.heal_all()
+
+    # -- reshard settle ----------------------------------------------------
+    # Both scheduled reshards must have committed before the marker
+    # writes and the final sweep: the cluster map (and every ring) has
+    # to be settled for the dumps below to describe the final topology.
+    if reshard:
+        deadline = sim.now + 120.0
+        while (
+            (len(reshard_events) < 2 or dep.coordinator.view.reshard is not None)
+            and sim.now < deadline
+        ):
+            sim.run_until(sim.now + 1.0)
+        if dep.coordinator.view.reshard is not None:
+            raise BespoError("reshard window failed to close before quiesce")
+        # force the marker/sweep client onto the committed ring
+        sim.run_future(sessions[0].connect())
 
     # -- convergence nudges + quiesce ------------------------------------
     # One marker write routed to every shard: gives each EC stream a
@@ -337,6 +386,10 @@ def run_combo(
             f"recovery|{r.host}|{r.datalet}|{r.replayed_seq}|"
             f"{r.records_applied}|{r.torn_tail_dropped}\n".encode()
         )
+    for ev in reshard_events:
+        h.update(
+            ("reshard|" + "|".join(f"{k}={ev[k]}" for k in sorted(ev)) + "\n").encode()
+        )
     for shard_id in sorted(replica_dumps):
         for datalet in sorted(replica_dumps[shard_id]):
             for k in sorted(replica_dumps[shard_id][datalet]):
@@ -353,6 +406,14 @@ def run_combo(
     if durable:
         stats["recoveries"] = len(recoveries)
         stats["torn_tails"] = sum(r.torn_tail_dropped for r in recoveries)
+    if reshard:
+        stats["reshards"] = sum(1 for ev in reshard_events if "error" not in ev)
+        stats["keys_migrated"] = sum(ev.get("moved", 0) for ev in reshard_events)
+        failed = [ev for ev in reshard_events if "error" in ev]
+        if failed:
+            report.violations.extend(
+                f"reshard {ev['action']} failed: {ev['error']}" for ev in failed
+            )
     if sanitizer is not None:
         stats["sanitized_sends"] = sanitizer.sends
         stats["payload_violations"] = len(sanitizer.violations)

@@ -291,6 +291,7 @@ def random_schedule(
     failure_timeout: Optional[float] = None,
     restarts: bool = False,
     max_restarts: int = 2,
+    mild: bool = False,
 ) -> FaultSchedule:
     """Draw a reproducible random schedule for one combo.
 
@@ -305,6 +306,13 @@ def random_schedule(
     ``restarts=True`` additionally draws crash + recover-restart pairs
     with *short* downtime (inside the detection window), exercising
     WAL replay and stale-rejoin catch-up; at most ``max_restarts``.
+
+    ``mild=True`` restricts the menu to the non-lossy perturbations
+    (latency spikes, slow nodes, duplicates, reorders) — no crashes or
+    partitions.  Used by the reshard soaks: a reshard's participants
+    (migration sources, the destination shard, the coordinator driving
+    the cutover) are assumed live for the duration of the window, so
+    only faults that delay or duplicate traffic are in scope.
     """
     if len(hosts) < 2:
         raise ConfigError("need at least two hosts to schedule faults")
@@ -320,6 +328,11 @@ def random_schedule(
     rng = RngRegistry(seed).stream("chaos.schedule")
     hosts = sorted(hosts)
     menu = fault_menu(topology, consistency, restarts=restarts)
+    if mild:
+        menu = tuple(
+            k for k in menu
+            if k in ("latency_spike", "slow_node", "duplicate", "reorder")
+        )
     events: List[FaultEvent] = []
     crashes = 0
     restarts_drawn = 0

@@ -121,6 +121,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        "sequence, one at a time, recovering from its WAL "
                        "(implies --durable; the recovery oracle judges every "
                        "recovery)")
+    chaos.add_argument("--reshard", action="store_true",
+                       help="online resharding under load: add a shard at "
+                       "~25%% of the window, drain + remove an original "
+                       "shard at ~60%%, live key migration throughout; the "
+                       "fault menu drops to mild perturbations (latency, "
+                       "slow nodes, duplicates, reorders)")
     chaos.add_argument("--wal-sync-every", type=int, default=1,
                        help="fsync after this many appends (1 = every ack; "
                        ">1 = group commit, crash may lose the unsynced tail)")
@@ -408,6 +414,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             durable=args.durable or args.restart or args.rolling_restart,
             restarts=args.restart,
             rolling_restart=args.rolling_restart,
+            reshard=args.reshard,
             spec_overrides=spec_overrides or None,
         )
     except ConfigError as e:
@@ -430,6 +437,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"({n_tied} tied event groups examined)")
     if args.trace:
         _print_violation_traces(report)
+    if args.reshard:
+        n_rs = sum(r.stats.get("reshards", 0) for r in report.results)
+        n_moved = sum(r.stats.get("keys_migrated", 0) for r in report.results)
+        print(f"online resharding: {n_rs} cutovers committed "
+              f"({n_moved} keys migrated live)")
     if args.durable or args.restart or args.rolling_restart:
         n_rec = sum(r.stats.get("recoveries", 0) for r in report.results)
         n_torn = sum(r.stats.get("torn_tails", 0) for r in report.results)

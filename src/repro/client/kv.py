@@ -81,6 +81,15 @@ class KVClient:
         self.map: Optional[ClusterMap] = None
         self._ring: Optional[HashRing] = None
         self._range: Optional[RangePartitioner] = None
+        #: ring generation mirrored from the coordinator's ClusterView;
+        #: stamped on every op so controlets (and the DLM / sequencer
+        #: backstops) can fence stale-routed requests during a reshard.
+        self._ring_gen = 0
+        #: open reshard window descriptor + the old ring: while set,
+        #: writes for moved keys dual-route to both owners and reads
+        #: prefer the new owner with fallback to the old one.
+        self._reshard: Optional[Dict[str, Any]] = None
+        self._old_ring: Optional[HashRing] = None
         # Named stream from the registry, not a derived ad-hoc Random:
         # the client's jitter draws replay bit-for-bit for a given seed.
         self._rng = cluster.rng.stream(f"client.{name}")
@@ -126,7 +135,7 @@ class KVClient:
             except RequestTimeout as e:
                 last_error = e
                 continue
-            self._install_map(ClusterMap.from_dict(resp.payload["map"]))
+            self._install_map(resp.payload)
             self.refreshes += 1
             if coord != self.coordinators[0]:
                 # promote the responsive coordinator to the front
@@ -135,12 +144,50 @@ class KVClient:
             return self.map.epoch
         raise last_error or BespoError("no coordinator reachable")
 
-    def _install_map(self, cmap: ClusterMap) -> None:
+    def _install_map(self, payload: Dict[str, Any]) -> None:
+        """Adopt a refresh response *incrementally*.
+
+        The response is epoch-fenced: a map at or below the cached
+        epoch (with an unchanged ring generation) re-versions nothing
+        and is dropped without re-deriving any routing state.  When it
+        does advance, the hash ring is patched with the membership
+        *diff* — vnode placement is a pure function of the member name,
+        so add/remove reproduces a rebuilt ring exactly (see
+        ``HashRing.diff``) — instead of being rebuilt from scratch on
+        every refresh.
+        """
+        epoch = int(payload["map"]["epoch"])
+        view = payload.get("view") or {}
+        gen = int(view.get("gen", 0))
+        if self.map is not None:
+            if epoch < self.map.epoch:
+                return  # stale refresh (e.g. a lagging standby)
+            if epoch == self.map.epoch and gen == self._ring_gen:
+                return  # unchanged: keep every derived structure
+        cmap = ClusterMap.from_dict(payload["map"])
         self.map = cmap
-        shard_ids = cmap.shard_ids()
-        self._ring = HashRing(shard_ids)
-        if self.partitioner == "range":
-            self._range = RangePartitioner.uniform_alpha(shard_ids)
+        new_ids = [str(s) for s in (view.get("ids") or cmap.shard_ids())]
+        changed = True
+        if self._ring is None:
+            self._ring = HashRing(new_ids)
+        else:
+            want, have = set(new_ids), set(self._ring.members)
+            changed = want != have
+            for sid in sorted(have - want):
+                self._ring.remove(sid)
+            for sid in sorted(want - have):
+                self._ring.add(sid)
+        desc = view.get("reshard")
+        if desc is not None:
+            if self._reshard is None or self._reshard.get("gen") != desc.get("gen"):
+                self._old_ring = HashRing([str(s) for s in desc["old"]])
+            self._reshard = dict(desc)
+        else:
+            self._reshard = None
+            self._old_ring = None
+        self._ring_gen = gen
+        if self.partitioner == "range" and (changed or self._range is None):
+            self._range = RangePartitioner.uniform_alpha(cmap.shard_ids())
 
     def auto_refresh(self, interval: float) -> None:
         """Poll the coordinator for map updates (transition pickup)."""
@@ -247,11 +294,32 @@ class KVClient:
             last_error: Optional[str] = None
             for attempt in range(self.max_retries + 1):
                 shard = self.shard_for(key)
+                # the ring generation rides along so servers (and the
+                # DLM / sequencer backstops) can fence stale-routed
+                # requests during a reshard window
+                req_payload = dict(payload)
+                req_payload["gen"] = self._ring_gen
+                old_shard = self._reshard_old_shard(key, shard)
+                if old_shard is not None:
+                    outcome, result = yield from self._dual_attempt(
+                        op, shard, old_shard, req_payload, consistency,
+                        prefer_kind, ctx)
+                    if outcome == "ok":
+                        status = "ok"
+                        return result
+                    if outcome == "not_found":
+                        status = "not_found"
+                        raise KeyNotFound(key)
+                    last_error = result
+                    self.retries += 1
+                    yield from self._sleep(attempt, ctx)
+                    yield from self._refresh_best_effort()
+                    continue
                 target = override_target or self._route(shard, op, consistency, prefer_kind)
                 override_target = None
                 try:
                     resp = yield self.port.request(
-                        target, op, dict(payload), timeout=self.op_timeout, ctx=ctx
+                        target, op, req_payload, timeout=self.op_timeout, ctx=ctx
                     )
                 except RequestTimeout:
                     last_error = f"timeout talking to {target}"
@@ -277,6 +345,14 @@ class KVClient:
                     yield from self._sleep(attempt, ctx)
                     yield from self._refresh_best_effort()
                     continue
+                if err == "wrong_shard":
+                    # stale routing across a reshard: refresh picks up
+                    # the new ring (and any open window), then re-route
+                    last_error = f"{target} is not the owner of {key!r}"
+                    self.retries += 1
+                    yield from self._sleep(attempt, ctx)
+                    yield from self._refresh_best_effort()
+                    continue
                 raise BespoError(f"{op} {key!r} failed: {err}")
             raise ShardUnavailable(f"{op} {key!r} exhausted retries: {last_error}")
         finally:
@@ -292,6 +368,84 @@ class KVClient:
             yield self.sim.spawn(self._refresh_proc())
         except BespoError:
             pass
+
+    # ------------------------------------------------------------------
+    # reshard-window dual routing
+    # ------------------------------------------------------------------
+    def _reshard_old_shard(
+        self, key: str, new_shard: ShardInfo
+    ) -> Optional[ShardInfo]:
+        """During an open reshard window: the *old* ring's owner of
+        ``key`` when it differs from the new owner (else None — the key
+        is unaffected by the window)."""
+        if self._reshard is None or self._old_ring is None:
+            return None
+        if self.partitioner != "hash" or self.map is None:
+            return None
+        old_sid = self._old_ring.lookup(key)
+        if old_sid == new_shard.shard_id or old_sid not in self.map.shards:
+            return None
+        return self.map.shard(old_sid)
+
+    def _leg(self, target: str, op: str, payload: Dict[str, Any],
+             ctx: Optional[RequestContext]):
+        """One dual-route leg: returns ``(kind, resp)`` instead of
+        raising, so the caller can join two concurrent legs."""
+        try:
+            resp = yield self.port.request(
+                target, op, dict(payload), timeout=self.op_timeout, ctx=ctx
+            )
+        except RequestTimeout:
+            self.timeouts += 1
+            return "timeout", None
+        if resp.type != "error":
+            return "ok", resp
+        return resp.payload.get("error", "error"), resp
+
+    def _dual_attempt(self, op, new_shard, old_shard, payload, consistency,
+                      prefer_kind, ctx):
+        """One attempt for a key the open reshard window *moves*.
+
+        Reads prefer the new owner and fall back to the old one (the
+        copy may not have migrated yet); mutations go to **both**
+        owners under the same request id and complete only when both
+        legs settle, so a concurrent reader observes the same committed
+        value whichever owner serves it.  An old leg answering
+        ``wrong_shard``/``retired`` is already fenced — the window
+        closed under us — and the new leg alone decides.
+
+        Returns ``("ok", resp)``, ``("not_found", None)`` or
+        ``("retry", why)``.
+        """
+        new_target = self._route(new_shard, op, consistency, prefer_kind)
+        old_target = self._route(old_shard, op, consistency, prefer_kind)
+        if op == "get":
+            kind, resp = yield from self._leg(new_target, op, payload, ctx)
+            if kind == "ok":
+                return "ok", resp
+            if kind == "not_found":
+                okind, oresp = yield from self._leg(old_target, op, payload, ctx)
+                if okind == "ok":
+                    return "ok", oresp
+                if okind in ("not_found", "wrong_shard", "retired"):
+                    return "not_found", None
+                return "retry", f"old-leg read on {old_target}: {okind}"
+            return "retry", f"new-leg read on {new_target}: {kind}"
+        # put/del: both legs in flight at once (the shared rid lets
+        # controlets deduplicate any later retry of either leg)
+        new_fut = self.sim.spawn(self._leg(new_target, op, payload, ctx))
+        old_fut = self.sim.spawn(self._leg(old_target, op, payload, ctx))
+        nkind, nresp = yield new_fut
+        okind, oresp = yield old_fut
+        if okind not in ("ok", "not_found", "wrong_shard", "retired"):
+            return "retry", f"old-leg {op} on {old_target}: {okind}"
+        if nkind == "ok":
+            return "ok", nresp
+        if nkind == "not_found":  # only `del` reports it
+            if okind == "ok":
+                return "ok", oresp
+            return "not_found", None
+        return "retry", f"new-leg {op} on {new_target}: {nkind}"
 
     def _backoff(self, attempt: int) -> float:
         """Jittered exponential backoff, capped: ``base * 2^attempt`` up

@@ -1,0 +1,101 @@
+"""Background per-key migration pump for online resharding.
+
+A :class:`MigrationPump` wraps the shared one-in-flight
+:class:`~repro.core.controlet.Pump` primitive with the bookkeeping the
+reshard protocol needs: a key census (``feed`` + ``seal``), per-key
+outcome counters, and a completion callback that fires exactly once
+when every fed key has been copied or skipped.
+
+The *issue* callable owns the actual copy — read the key at the source
+authority, ship a rid-stamped idempotent ``migrate_put`` to the
+new-ring owner — and reports back through the ``complete(outcome)``
+continuation it is handed.  Outcomes:
+
+``"moved"``
+    the destination applied the copy;
+``"skipped"``
+    the destination (or its lock/log authority) reported the key dirty
+    — a client wrote it during the window, so the copy would clobber a
+    newer value — or the key vanished at the source;
+``"retry"``
+    transient failure (timeout); the key is requeued at the *front* so
+    FIFO retry keeps the same rid and stays idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.core.controlet import Pump
+
+__all__ = ["MigrationPump"]
+
+#: outcome labels an issue callable may report.
+OUTCOMES = ("moved", "skipped", "retry")
+
+
+class MigrationPump:
+    """Drives one shard's side of a reshard key migration."""
+
+    def __init__(
+        self,
+        issue: Callable[[str, Callable[[str], None]], None],
+        on_done: Optional[Callable[[], None]] = None,
+    ):
+        self._issue = issue
+        self._on_done = on_done
+        self.pump = Pump(self._issue_one)
+        self.total = 0
+        self.moved = 0
+        self.skipped = 0
+        self.retries = 0
+        self._sealed = False
+        self._finished = False
+
+    # -- census ----------------------------------------------------------
+    def feed(self, keys: Iterable[str]) -> None:
+        """Queue keys for copy (issued one at a time, FIFO)."""
+        for key in keys:
+            self.total += 1
+            self.pump.push(key)
+
+    def seal(self) -> None:
+        """No more keys will be fed; completion may now fire."""
+        self._sealed = True
+        self._maybe_finish()
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # -- pump glue -------------------------------------------------------
+    def _issue_one(self, key: str, done: Callable[[], None]) -> None:
+        def complete(outcome: str) -> None:
+            if outcome == "retry":
+                self.retries += 1
+                self.pump.requeue_front([key])
+            elif outcome == "skipped":
+                self.skipped += 1
+            else:
+                self.moved += 1
+            done()
+            self._maybe_finish()
+
+        self._issue(key, complete)
+
+    def _maybe_finish(self) -> None:
+        if self._finished or not self._sealed:
+            return
+        if self.pump.busy or len(self.pump):
+            return
+        self._finished = True
+        if self._on_done is not None:
+            self._on_done()
+
+    def stats(self) -> dict:
+        return {
+            "total": self.total,
+            "moved": self.moved,
+            "skipped": self.skipped,
+            "retries": self.retries,
+        }

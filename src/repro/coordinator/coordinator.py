@@ -23,8 +23,9 @@ datalets).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
+from repro.cluster.view import RESHARD_ADD, RESHARD_REMOVE, ClusterView
 from repro.core.config import ControlConfig
 from repro.core.types import ClusterMap, Consistency, Replica, ShardInfo, Topology
 from repro.net.actor import Actor
@@ -36,6 +37,9 @@ __all__ = ["CoordinatorActor"]
 Spawner = Callable[[ShardInfo, str], Optional[Replica]]
 #: (shard, topology, consistency) -> new ShardInfo with fresh controlets.
 TransitionSpawner = Callable[[ShardInfo, Topology, Consistency], ShardInfo]
+#: () -> a fresh ShardInfo (spawned controlet/datalet pairs + shared log
+#: when the combo needs one), or None when capacity is exhausted.
+ReshardSpawner = Callable[[], Optional[ShardInfo]]
 
 
 class CoordinatorActor(Actor):
@@ -48,12 +52,22 @@ class CoordinatorActor(Actor):
         config: Optional[ControlConfig] = None,
         spawner: Optional[Spawner] = None,
         transition_spawner: Optional[TransitionSpawner] = None,
+        reshard_spawner: Optional[ReshardSpawner] = None,
+        partitioner: str = "hash",
+        dlm: str = "dlm",
     ):
         super().__init__(node_id)
-        self.map = cluster_map or ClusterMap()
+        #: the epoch'd membership view; ``self.map`` stays an alias of
+        #: the (shared) underlying ClusterMap so the deployment harness,
+        #: model checker and tests keep observing every change.
+        self.view = ClusterView(cluster_map if cluster_map is not None else ClusterMap())
+        self.map = self.view.map
         self.config = config or ControlConfig()
         self.spawner = spawner
         self.transition_spawner = transition_spawner
+        self.reshard_spawner = reshard_spawner
+        self.partitioner = partitioner
+        self.dlm = dlm
         self._last_seen: Dict[str, float] = {}
         self._dead: Set[str] = set()
         #: desired replica count per shard: repairs refill to this
@@ -70,6 +84,8 @@ class CoordinatorActor(Actor):
         #: in-flight transitions per shard.
         self._transitions: Dict[str, Dict[str, object]] = {}
         self._transition_requester: Optional[Message] = None
+        #: in-flight reshard (double-ring cutover) state machine.
+        self._reshard: Optional[Dict[str, object]] = None
         self.failovers = 0
         self.register("heartbeat", self._on_heartbeat)
         self.register("datalet_failed", self._on_datalet_failed)
@@ -78,6 +94,9 @@ class CoordinatorActor(Actor):
         self.register("recovery_done", self._on_recovery_done)
         self.register("request_transition", self._on_request_transition)
         self.register("transition_ready", self._on_transition_ready)
+        self.register("request_reshard", self._on_request_reshard)
+        self.register("migrate_done", self._on_migrate_done)
+        self.register("reshard_fenced", self._on_reshard_fenced)
 
     def service_demand(self, msg: Message, costs) -> float:
         return costs.scaled("coordinator_overhead")
@@ -100,6 +119,10 @@ class CoordinatorActor(Actor):
         # The deployment populates the (shared) map after constructing
         # us, so repair targets are captured here, not in __init__.
         self._record_targets()
+        if not self.view.log and self.map.shards:
+            # the ctor saw an empty map; log the seed membership now
+            # (a note, not a commit: epoch numbering must not shift)
+            self.view.note("bootstrap", ",".join(self.map.shard_ids()))
         # phase-staggered first arm: the sweep must never share a
         # timestamp with the follower-sync loop (same period, same boot)
         self.set_timer(
@@ -116,7 +139,15 @@ class CoordinatorActor(Actor):
     # metadata queries
     # ------------------------------------------------------------------
     def _on_get_map(self, msg: Message) -> None:
-        self.respond(msg, "cluster_map", {"map": self.map.to_dict()})
+        self.respond(
+            msg,
+            "cluster_map",
+            {
+                "map": self.map.to_dict(),
+                "view": self.view.ring_info(),
+                "partitioner": self.partitioner,
+            },
+        )
 
     def _on_get_shard(self, msg: Message) -> None:
         sid = msg.payload["shard"]
@@ -126,7 +157,12 @@ class CoordinatorActor(Actor):
         self.respond(
             msg,
             "shard_info",
-            {"shard": self.map.shard(sid).to_dict(), "epoch": self.map.epoch},
+            {
+                "shard": self.map.shard(sid).to_dict(),
+                "epoch": self.map.epoch,
+                "ring": self.view.ring_info(),
+                "partitioner": self.partitioner,
+            },
         )
 
     # ------------------------------------------------------------------
@@ -179,7 +215,7 @@ class CoordinatorActor(Actor):
         # simply re-links around it.
         for pos, replica in enumerate(shard.ordered()):
             replica.chain_pos = pos
-        self.map.bump()
+        self.view.commit("failover", f"{shard.shard_id}:-{dead.controlet}")
         self._broadcast_config(shard)
 
         # Refill toward the deployment's target strength, counting
@@ -204,7 +240,7 @@ class CoordinatorActor(Actor):
                 # with fewer replicas, but flag the exposure so clients
                 # and operators can see it.
                 self.map.degraded.add(shard.shard_id)
-                self.map.bump()
+                self.view.commit("degraded", shard.shard_id)
                 self._broadcast_config(shard)
                 return
             self._recovering[new_replica.controlet] = shard.shard_id
@@ -224,7 +260,9 @@ class CoordinatorActor(Actor):
                 )
                 replica.chain_pos = len(shard.replicas)
                 shard.replicas.append(replica)
-                self.map.bump()
+                self.view.commit(
+                    "replica-join", f"{shard.shard_id}:+{replica.controlet}"
+                )
                 self._broadcast_config(shard)
 
     def _on_recovery_done(self, msg: Message) -> None:
@@ -247,7 +285,7 @@ class CoordinatorActor(Actor):
             return
         replica.chain_pos = len(shard.replicas)
         shard.replicas.append(replica)
-        self.map.bump()
+        self.view.commit("replica-join", f"{sid}:+{replica.controlet}")
         self._broadcast_config(shard)
 
     def register_pending(self, replica: Replica) -> None:
@@ -256,9 +294,21 @@ class CoordinatorActor(Actor):
         self._pending_replicas[replica.controlet] = replica
 
     def _broadcast_config(self, shard: ShardInfo) -> None:
-        payload = {"shard": shard.to_dict(), "epoch": self.map.epoch}
+        payload = {
+            "shard": shard.to_dict(),
+            "epoch": self.map.epoch,
+            "ring": self.view.ring_info(),
+            "partitioner": self.partitioner,
+        }
         for replica in shard.ordered():
             self.send(replica.controlet, "config_update", dict(payload))
+
+    def _broadcast_all(self) -> None:
+        """Push fresh config to every shard — ring-wide changes
+        (reshard begin/commit) re-route every controlet, not just one
+        shard's."""
+        for shard in self.map.shards.values():
+            self._broadcast_config(shard)
 
     def leader_elect(self, shard_id: str) -> str:
         """LeaderElect(s) (Table III): current head after repairs."""
@@ -295,6 +345,10 @@ class CoordinatorActor(Actor):
             "recovering": dict(self._recovering),
             "pending_replicas": sorted(self._pending_replicas),
             "transitions": sorted(self._transitions),
+            "view": self.view.snapshot(),
+            "reshard_phase": (
+                self._reshard["phase"] if self._reshard else None  # type: ignore[index]
+            ),
         })
         return s
 
@@ -307,6 +361,9 @@ class CoordinatorActor(Actor):
             return
         if self._transitions:
             self.respond(msg, "error", {"error": "transition already in progress"})
+            return
+        if self._reshard is not None:
+            self.respond(msg, "error", {"error": "reshard in progress"})
             return
         topology = Topology(msg.payload["topology"])
         consistency = Consistency(msg.payload["consistency"])
@@ -335,7 +392,10 @@ class CoordinatorActor(Actor):
         # Every old controlet drained: flip the shard to the new service.
         new_shard: ShardInfo = state["new_shard"]  # type: ignore[assignment]
         self.map.shards[sid] = new_shard
-        self.map.bump()
+        self.view.commit(
+            "transition-flip",
+            f"{sid}:{new_shard.topology.value}-{new_shard.consistency.value}",
+        )
         now = self.now()
         for replica in new_shard.ordered():
             self._last_seen.setdefault(replica.controlet, now)
@@ -346,3 +406,226 @@ class CoordinatorActor(Actor):
         if not self._transitions and self._transition_requester is not None:
             req, self._transition_requester = self._transition_requester, None
             self.respond(req, "transition_done", {"epoch": self.map.epoch})
+
+    # ------------------------------------------------------------------
+    # online resharding (double-ring cutover + live key migration)
+    # ------------------------------------------------------------------
+    #
+    # Phases of ``self._reshard``:
+    #
+    # ``arming``     the shard-log sequencers / DLM learn the window
+    #                *before* any client or controlet does, so every
+    #                dual-routed write is dirty-tracked from the first;
+    # ``migrating``  the window is open (double ring broadcast, clients
+    #                dual-route writes / prefer-new-fallback-old reads)
+    #                while each source shard's entry pumps its moved
+    #                keys to the new-ring owners;
+    # ``fencing``    copies done: every old-ring controlet acks that it
+    #                now rejects moved-key ops, so no stale read can be
+    #                served from an old owner after the flip;
+    # then the view commits ``reshard-commit``, a removed shard is
+    # retired, and the new ring becomes the only ring.
+    def _on_request_reshard(self, msg: Message) -> None:
+        if self._reshard is not None:
+            self.respond(msg, "error", {"error": "reshard already in progress"})
+            return
+        if self._transitions:
+            self.respond(msg, "error", {"error": "transition in progress"})
+            return
+        if self.partitioner != "hash":
+            self.respond(
+                msg, "error",
+                {"error": f"resharding requires hash partitioning, not {self.partitioner!r}"},
+            )
+            return
+        action = msg.payload["action"]
+        if action == RESHARD_ADD:
+            if self.reshard_spawner is None:
+                self.respond(msg, "error", {"error": "no reshard spawner configured"})
+                return
+            new_shard = self.reshard_spawner()
+            if new_shard is None:
+                self.respond(msg, "error", {"error": "no capacity for a new shard"})
+                return
+            sid = new_shard.shard_id
+        elif action == RESHARD_REMOVE:
+            sid = msg.payload["shard"]
+            if sid not in self.map.shards:
+                self.respond(msg, "error", {"error": f"unknown shard {sid!r}"})
+                return
+            if len(self.map.shards) < 2:
+                self.respond(msg, "error", {"error": "cannot remove the last shard"})
+                return
+            new_shard = None
+        else:
+            self.respond(msg, "error", {"error": f"unknown reshard action {action!r}"})
+            return
+        old_ids = self.map.shard_ids()
+        new_ids = (
+            sorted(old_ids + [sid]) if action == RESHARD_ADD
+            else [s for s in old_ids if s != sid]
+        )
+        self._reshard = {
+            "phase": "arming",
+            "action": action,
+            "shard": sid,
+            "new_shard": new_shard,
+            "requester": msg,
+            "old": old_ids,
+            "new": new_ids,
+            "waiting": set(),
+            "stats": {"moved": 0, "skipped": 0, "total": 0},
+        }
+        self._arm_authorities()
+
+    def _reshard_authorities(self) -> List[str]:
+        """Ordering authorities that must learn the window first: the
+        DLM for AA+SC shards, each shard's log sequencer for AA+EC —
+        including the incoming shard's fresh sequencer."""
+        state = self._reshard
+        assert state is not None
+        targets: List[str] = []
+        shards = list(self.map.shards.values())
+        if state["new_shard"] is not None:
+            shards.append(state["new_shard"])  # type: ignore[arg-type]
+        if any(
+            s.topology is Topology.AA and s.consistency is Consistency.STRONG
+            for s in shards
+        ):
+            targets.append(self.dlm)
+        for s in shards:
+            if s.topology is Topology.AA and s.consistency is Consistency.EVENTUAL:
+                # deployment naming convention: one log actor per shard
+                targets.append(f"sharedlog.{s.shard_id}")
+        return targets
+
+    def _arm_authorities(self) -> None:
+        state = self._reshard
+        assert state is not None
+        targets = self._reshard_authorities()
+        if not targets:
+            self._open_window()
+            return
+        waiting: Set[str] = set(targets)
+        state["waiting"] = waiting
+        payload = {
+            "gen": self.view.ring_gen + 1,
+            "new": list(state["new"]),  # type: ignore[arg-type]
+            "old": list(state["old"]),  # type: ignore[arg-type]
+        }
+
+        def acked(target):
+            def cb(resp, err):
+                if err is not None:
+                    # authority unreachable mid-arm: re-ask (the window
+                    # must not open until every authority is armed)
+                    self.call(target, "reshard_begin", dict(payload),
+                              callback=acked(target), timeout=5.0)
+                    return
+                waiting.discard(target)
+                if not waiting and state is self._reshard:
+                    self._open_window()
+            return cb
+
+        for t in targets:
+            self.call(t, "reshard_begin", dict(payload),
+                      callback=acked(t), timeout=5.0)
+
+    def _open_window(self) -> None:
+        state = self._reshard
+        assert state is not None
+        action: str = state["action"]  # type: ignore[assignment]
+        sid: str = state["shard"]  # type: ignore[assignment]
+        self.view.begin_reshard(action, sid)
+        new_shard: Optional[ShardInfo] = state["new_shard"]  # type: ignore[assignment]
+        if new_shard is not None:
+            self.map.shards[sid] = new_shard
+            self._shard_target[sid] = len(new_shard.replicas)
+            now = self.now()
+            for r in new_shard.ordered():
+                self._last_seen.setdefault(r.controlet, now)
+        # entry (ordering authority) per shard, for migration targets
+        entries = {
+            s.shard_id: s.head.controlet for s in self.map.shards.values()
+        }
+        assert self.view.reshard is not None
+        self.view.reshard["entries"] = entries
+        state["phase"] = "migrating"
+        # sources: shards whose owned key ranges shrink under the new
+        # ring — every old shard on an add, the leaving shard on remove
+        source_ids = (
+            list(state["old"]) if action == RESHARD_ADD else [sid]  # type: ignore[arg-type]
+        )
+        state["sources"] = set(source_ids)
+        self._broadcast_all()
+        for source in sorted(source_ids):
+            shard = self.map.shard(source)
+            self.send(
+                shard.head.controlet,
+                "reshard_migrate",
+                {"reshard": dict(self.view.reshard), "epoch": self.map.epoch},
+            )
+
+    def _on_migrate_done(self, msg: Message) -> None:
+        state = self._reshard
+        if state is None or state["phase"] != "migrating":
+            return
+        sources: Set[str] = state["sources"]  # type: ignore[assignment]
+        sid = msg.payload["shard"]
+        if sid not in sources:
+            return  # duplicate completion report
+        sources.discard(sid)
+        stats: Dict[str, int] = state["stats"]  # type: ignore[assignment]
+        for k in ("moved", "skipped", "total"):
+            stats[k] += int(msg.payload.get(k, 0))
+        if sources:
+            return
+        # every source drained: fence the old ring before the flip so
+        # no stale client can read a moved key from an old owner after
+        # new-ring-only writes begin
+        state["phase"] = "fencing"
+        waiting: Set[str] = set()
+        for old_sid in state["old"]:  # type: ignore[union-attr]
+            if old_sid not in self.map.shards:
+                continue
+            for r in self.map.shard(old_sid).ordered():
+                waiting.add(r.controlet)
+                self.send(r.controlet, "reshard_fence", {"gen": self.view.ring_gen})
+        state["waiting"] = waiting
+        if not waiting:
+            self._finish_reshard()
+
+    def _on_reshard_fenced(self, msg: Message) -> None:
+        state = self._reshard
+        if state is None or state["phase"] != "fencing":
+            return
+        waiting: Set[str] = state["waiting"]  # type: ignore[assignment]
+        waiting.discard(msg.payload["controlet"])
+        if not waiting:
+            self._finish_reshard()
+
+    def _finish_reshard(self) -> None:
+        state = self._reshard
+        assert state is not None
+        for t in self._reshard_authorities():
+            self.send(t, "reshard_end", {"gen": self.view.ring_gen})
+        self.view.commit_reshard()
+        sid: str = state["shard"]  # type: ignore[assignment]
+        if state["action"] == RESHARD_REMOVE:
+            removed = self.map.shards.pop(sid, None)
+            self._shard_target.pop(sid, None)
+            if removed is not None:
+                for r in removed.ordered():
+                    self._last_seen.pop(r.controlet, None)
+                    self._dead.discard(r.controlet)
+                    self.send(r.controlet, "retire", {})
+        self._broadcast_all()
+        req: Optional[Message] = state["requester"]  # type: ignore[assignment]
+        stats: Dict[str, int] = state["stats"]  # type: ignore[assignment]
+        self._reshard = None
+        if req is not None:
+            self.respond(
+                req,
+                "reshard_done",
+                {"epoch": self.map.epoch, "shard": sid, **stats},
+            )

@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.coordinator.coordinator import CoordinatorActor
-from repro.core.types import ClusterMap
 from repro.net.message import Message
 
 __all__ = ["PrimaryCoordinator", "StandbyCoordinator"]
@@ -38,7 +37,7 @@ class PrimaryCoordinator(CoordinatorActor):
         self._sync_followers(stagger=True)
 
     def _sync_followers(self, stagger: bool = False) -> None:
-        payload = {"map": self.map.to_dict()}
+        payload = {"view": self.view.to_dict()}
         for f in self.followers:
             self.send(f, "coord_sync", dict(payload))
         delay = self.config.heartbeat_interval
@@ -78,10 +77,13 @@ class StandbyCoordinator(CoordinatorActor):
     def _on_sync(self, msg: Message) -> None:
         self._primary_seen = self.now()
         if not self.promoted:
-            self.map = ClusterMap.from_dict(msg.payload["map"])
-            # First sight of each shard fixes its repair target (we are
-            # constructed with an empty map, so on_start saw none).
-            self._record_targets()
+            # Epoch-fenced adoption: a reordered stale snapshot (older
+            # or equal epoch) must never roll the mirrored view back.
+            if self.view.install(msg.payload["view"]):
+                # First sight of each shard fixes its repair target (we
+                # are constructed with an empty map, so on_start saw
+                # none).
+                self._record_targets()
 
     def _watch_primary(self) -> None:
         if self.promoted:

@@ -193,6 +193,14 @@ class AAEventualControlet(Controlet):
                     # replica only, diverging it from its peers.
                     req.ack()
                     continue
+                if r.get("wrong_shard"):
+                    # Sequencer reshard backstop: our ring view is stale
+                    # for this (moved) key — the entry was *not*
+                    # sequenced.  Surface it so the client refreshes and
+                    # re-routes; nothing to apply locally.
+                    self.stats["errors"] += 1
+                    req.fail("wrong_shard")
+                    continue
                 fresh.append((req, op))
                 ops.append({"op": op, "key": key, "val": val})
             if not fresh:
@@ -221,10 +229,100 @@ class AAEventualControlet(Controlet):
         self.call(
             self.sharedlog,
             "log_append_batch",
-            {"entries": entries},
+            # the ring generation rides along so the sequencer can fence
+            # stale-routed writes during a reshard window
+            {"entries": entries, "gen": self._ring_gen},
             callback=on_appended,
             timeout=self.config.replication_timeout,
         )
+
+    # ------------------------------------------------------------------
+    # resharding: log-ordered migration
+    # ------------------------------------------------------------------
+    def _migrate_barrier(self, then) -> None:
+        """Reshard census barrier: drain our accepted-but-unsequenced
+        writes, then replay our own log up to its current tail — after
+        that the local engine holds every write sequenced before the
+        window opened, so the census (and the per-key copies) read
+        authoritative values.  Writes sequenced *during* the window are
+        covered by the destination sequencer's dirty marks instead."""
+
+        def orders_drained() -> None:
+            def on_tail(resp: Optional[Message], err: Optional[BespoError]) -> None:
+                if resp is None or resp.type != "entries":
+                    # log briefly unreachable: the barrier must land
+                    self.set_timer(self.config.replication_timeout, orders_drained)
+                    return
+                target = int(resp.payload["tail"])
+
+                def wait_replay() -> None:
+                    if self.cursor >= target:
+                        then()
+                    else:
+                        self.set_timer(0.05, wait_replay)
+
+                wait_replay()
+
+            self.call(
+                self.sharedlog,
+                "log_fetch",
+                {"pos": self.cursor, "max": 1},
+                callback=on_tail,
+                timeout=self.config.replication_timeout,
+            )
+
+        def poll_orders() -> None:
+            if self._order_busy or self._order_queue:
+                self.set_timer(0.05, poll_orders)
+                return
+            orders_drained()
+
+        poll_orders()
+
+    def _migrate_copy(self, key, complete) -> None:
+        """Copy one moved key by appending it to the *destination*
+        shard's log (deployment naming convention: one sequencer per
+        shard).  The destination's sequencer is the ordering authority:
+        it refuses the copy (``skipped``) when a client write for the
+        key was sequenced during the window, and a clean copy enters the
+        log as a plain put entry — replaying replicas (and the hybrid's
+        slaves) need no special casing."""
+        desc = self._reshard
+        if desc is None or self._ring is None:
+            complete("skipped")
+            return
+        dest_log = f"sharedlog.{self._ring.lookup(key)}"
+
+        def have(r2: Optional[Message], e2: Optional[BespoError]) -> None:
+            if e2 is not None or r2 is None:
+                complete("retry")
+                return
+            if r2.type != "value":
+                complete("skipped")  # deleted at the source
+                return
+
+            def acked(r3: Optional[Message], e3: Optional[BespoError]) -> None:
+                if e3 is not None or r3 is None or r3.type != "appended":
+                    complete("retry")
+                    return
+                complete("skipped" if r3.payload.get("skipped") else "moved")
+
+            self.call(
+                dest_log,
+                "log_append",
+                {
+                    "op": "put",
+                    "key": key,
+                    "val": r2.payload["val"],
+                    "rid": f"mig.g{desc['gen']}.{key}",
+                    "mig": True,
+                    "gen": desc["gen"],
+                },
+                callback=acked,
+                timeout=self.config.replication_timeout,
+            )
+
+        self.datalet_call("get", {"key": key}, callback=have)
 
     # ------------------------------------------------------------------
     # log replay

@@ -128,6 +128,16 @@ class AAStrongControlet(Controlet):
         def on_grant(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if err is not None or resp is None or resp.type != "granted":
                 self.stats["errors"] += 1
+                if (
+                    resp is not None
+                    and resp.type == "error"
+                    and resp.payload.get("error") == "wrong_shard"
+                ):
+                    # DLM reshard backstop: our ring view is stale for
+                    # this (moved) key — surface it so the client
+                    # refreshes and re-routes.
+                    fail("wrong_shard")
+                    return
                 fail(f"lock acquisition failed: {err}")
                 return
             body()
@@ -136,7 +146,9 @@ class AAStrongControlet(Controlet):
         self.call(
             self.dlm,
             "lock",
-            {"key": key, "mode": mode},
+            # the ring generation rides along so the DLM can fence
+            # stale-routed writes during a reshard window
+            {"key": key, "mode": mode, "gen": self._ring_gen},
             callback=on_grant,
             timeout=self.config.lock_lease * 4,
         )
@@ -200,6 +212,97 @@ class AAStrongControlet(Controlet):
                 )
 
         self._with_lock(key, "w", body, req.fail)
+
+    # ------------------------------------------------------------------
+    # resharding: lock-serialized migration
+    # ------------------------------------------------------------------
+    def _migrate_copy(self, key, complete) -> None:
+        """Copy one moved key under the cluster-wide w-lock: the grant
+        tells us (``dirty``) whether a client write beat us to the key
+        during the window — then the copy would clobber a newer value
+        and is skipped.  The DLM serializes us against every concurrent
+        writer, so a clean grant means the local engine's value *is*
+        the key's latest committed state (AA+SC applies acked writes at
+        all replicas)."""
+        desc = self._reshard
+        if desc is None or self._ring is None:
+            complete("skipped")
+            return
+        entries = desc.get("entries", {})
+        dest = entries.get(self._ring.lookup(key))
+        if dest is None:
+            complete("skipped")
+            return
+
+        def done(outcome: str) -> None:
+            self._unlock(key)
+            complete(outcome)
+
+        def on_grant(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type != "granted":
+                complete("retry")  # no lock held: retry from scratch
+                return
+            if resp.payload.get("dirty"):
+                done("skipped")
+                return
+
+            def have(r2: Optional[Message], e2: Optional[BespoError]) -> None:
+                if e2 is not None or r2 is None:
+                    done("retry")
+                    return
+                if r2.type != "value":
+                    done("skipped")  # deleted at the source
+                    return
+                self._ship_copy(key, r2.payload["val"], dest, done)
+
+            self.datalet_call("get", {"key": key}, callback=have)
+
+        self.lock_waits += 1
+        self.call(
+            self.dlm,
+            "lock",
+            {"key": key, "mode": "w", "gen": self._ring_gen, "mig": True},
+            callback=on_grant,
+            timeout=self.config.lock_lease * 4,
+        )
+
+    def _admit_migrate(self, msg: Message) -> None:
+        """The migration driver already holds the cluster-wide w-lock on
+        this key, so the destination fan-out must not re-acquire it (it
+        would queue behind its own driver forever); replicate to every
+        active directly, exactly like the locked body of a write."""
+        req = self.begin_write(msg, "put", rid=msg.payload.get("rid"))
+        if req is None:
+            return
+        payload = {"op": "put", "key": msg.payload["key"],
+                   "val": msg.payload["val"]}
+        targets = [r.controlet for r in self.shard.ordered()]
+
+        def then(error: Optional[str]) -> None:
+            if error is not None:
+                self.stats["errors"] += 1
+                req.fail(error)
+            else:
+                req.ack()
+
+        req.arm(len(targets), then=then)
+
+        def on_ack(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None:
+                req.settle(str(err))
+            elif resp is not None and resp.type == "error":
+                req.settle(str(resp.payload))
+            else:
+                req.settle()
+
+        for target in targets:
+            self.call(
+                target,
+                "peer_apply",
+                dict(payload),
+                callback=on_ack,
+                timeout=self.config.replication_timeout,
+            )
 
     # ------------------------------------------------------------------
     # read path

@@ -24,6 +24,7 @@ from repro.core.config import ControlConfig
 from repro.core.request import Request
 from repro.core.types import Replica, ShardInfo
 from repro.errors import BespoError
+from repro.hashing.ring import HashRing
 from repro.net.actor import Actor
 from repro.net.message import Message
 
@@ -144,6 +145,32 @@ class Controlet(Actor):
         self._config_epoch = 0
         #: during a transition, client *writes* are forwarded here.
         self.forward_writes_to: Optional[str] = None
+        #: cluster-view routing state, mirrored from the coordinator's
+        #: :class:`~repro.cluster.view.ClusterView` broadcasts.  The
+        #: ring generation + member ids give every controlet the same
+        #: key→shard function the clients route by, which is what makes
+        #: *ownership fencing* possible: once the ring has re-versioned
+        #: (gen > 0 under hash partitioning), ops for keys the new ring
+        #: assigns elsewhere bounce with ``wrong_shard``.
+        self._partitioner = "hash"
+        self._ring_gen = 0
+        self._ring_ids: List[str] = []
+        self._ring: Optional[HashRing] = None
+        #: open reshard window descriptor (+ the old ring) while writes
+        #: dual-route; ``None`` when the topology is settled.
+        self._reshard: Optional[Dict[str, Any]] = None
+        self._old_ring: Optional[HashRing] = None
+        #: highest window generation we acked a ``reshard_fence`` for:
+        #: from then on the dual-routed old-ring leg of that window is
+        #: rejected too, so no stale read survives the cutover.
+        self._fenced_gen = 0
+        #: keys written by clients — a migrated copy must never clobber
+        #: them (cleared when the window commits).
+        self._dirty_keys: set = set()
+        #: in-flight source-side migration drive + last driven gen
+        #: (duplicate ``reshard_migrate`` orders are dropped).
+        self._migration: Optional[Any] = None
+        self._migrated_gen = 0
         self.stats: Dict[str, int] = {
             "puts": 0, "gets": 0, "dels": 0, "scans": 0,
             "redirects": 0, "forwarded": 0, "errors": 0,
@@ -168,6 +195,9 @@ class Controlet(Actor):
         self.register("transition_start", self._on_transition_start)
         self.register("retire", self._on_retire)
         self.register("ctl_stats", self._on_stats)
+        self.register("reshard_migrate", self._on_reshard_migrate)
+        self.register("reshard_fence", self._on_reshard_fence)
+        self.register("migrate_put", self._on_migrate_put)
 
     # ------------------------------------------------------------------
     # metrics
@@ -510,10 +540,13 @@ class Controlet(Actor):
 
         def on_info(resp: Optional[Message], err: Optional[BespoError]) -> None:
             if resp is not None and resp.type == "shard_info":
-                self._install_shard(
+                if self._install_shard(
                     ShardInfo.from_dict(resp.payload["shard"]),
                     resp.payload.get("epoch"),
-                )
+                ):
+                    self._install_ring(
+                        resp.payload.get("ring"), resp.payload.get("partitioner")
+                    )
             if then is not None:
                 then()
 
@@ -536,6 +569,37 @@ class Controlet(Actor):
             self.stats["errors"] += 1
             self.respond(msg, "error", {"error": "retired"})
             return
+        if (
+            msg.type != "scan"
+            and self._partitioner == "hash"
+            and self._ring_gen > 0
+            and self._ring is not None
+        ):
+            # ownership fence: the ring has re-versioned at least once,
+            # so routing is no longer derivable from the static shard
+            # list — ops for keys the current ring assigns elsewhere are
+            # bounced.  The one sanctioned exception is the dual-routed
+            # *old-ring* leg of an open, not-yet-fenced reshard window,
+            # and only from clients that stamped that window's gen.
+            key = msg.payload["key"]
+            if self._ring.lookup(key) != self.shard.shard_id:
+                desc = self._reshard
+                dual_leg = (
+                    desc is not None
+                    and int(desc["gen"]) > self._fenced_gen
+                    and msg.payload.get("gen") == desc["gen"]
+                    and self._old_ring is not None
+                    and self._old_ring.lookup(key) == self.shard.shard_id
+                )
+                if not dual_leg:
+                    self.stats["errors"] += 1
+                    self.respond(msg, "error", {"error": "wrong_shard"})
+                    return
+        if msg.type in ("put", "del"):
+            # dirty-track every admitted client mutation so an in-window
+            # migrated copy (an older value by construction) can never
+            # clobber it; see :meth:`_on_migrate_put`.
+            self._dirty_keys.add(msg.payload["key"])
         if self.forward_writes_to is not None and msg.type in ("put", "del"):
             self._forward_write(msg)
             return
@@ -587,6 +651,11 @@ class Controlet(Actor):
             ctx = msg.ctx
             if ctx is not None:
                 rid = ctx.req_id
+        if rid is None and msg.payload.get("mig"):
+            # migration copies travel controlet→controlet without a
+            # client request context; their rid rides in the payload so
+            # FIFO retries of the same copy stay idempotent.
+            rid = msg.payload.get("rid")
         if rid is None:
             return Request(self, msg, op)
         cached = self._rid_done.get(rid)
@@ -716,6 +785,7 @@ class Controlet(Actor):
             return  # not ours; stale broadcast
         if not self._install_shard(new_shard, msg.payload.get("epoch")):
             return  # reordered broadcast older than our current view
+        self._install_ring(msg.payload.get("ring"), msg.payload.get("partitioner"))
         self.on_shard_changed()
 
     def on_shard_changed(self) -> None:
@@ -749,6 +819,203 @@ class Controlet(Actor):
         self.respond(msg, "ctl_stats", {k: float(v) for k, v in self.stats.items()})
 
     # ------------------------------------------------------------------
+    # online resharding: ring install, ownership fence, key migration
+    # ------------------------------------------------------------------
+    def _install_ring(
+        self,
+        ring: Optional[Dict[str, Any]],
+        partitioner: Optional[str],
+    ) -> None:
+        """Adopt the routing block of an (epoch-fenced) config payload:
+        ring generation + member ids, plus the reshard window when one
+        is open.  Callers must only reach here through the epoch fence
+        in :meth:`_install_shard` — installing a stale ring would
+        re-open a committed window."""
+        if partitioner:
+            self._partitioner = partitioner
+        if not ring:
+            return
+        gen = int(ring.get("gen", 0))
+        ids = list(ring.get("ids", []))
+        if gen != self._ring_gen or ids != self._ring_ids:
+            self._ring_gen = gen
+            self._ring_ids = ids
+            self._ring = HashRing(ids) if ids else None
+        desc = ring.get("reshard")
+        if desc is not None:
+            desc = dict(desc)
+            if self._reshard is None or self._reshard.get("gen") != desc.get("gen"):
+                self._reshard = desc
+                self._old_ring = HashRing(list(desc["old"]))
+        elif self._reshard is not None:
+            # window committed: the new ring is the only ring now, and
+            # the in-window dirty marks have served their purpose
+            self._reshard = None
+            self._old_ring = None
+            self._dirty_keys.clear()
+
+    def _adopt_window(self, gen: int, ids: List[str], desc: Dict[str, Any]) -> None:
+        """Install a reshard window directly from its descriptor (the
+        ``reshard_migrate`` order can outrun the config broadcast)."""
+        self._ring_gen = gen
+        self._ring_ids = list(ids)
+        self._ring = HashRing(self._ring_ids)
+        self._reshard = desc
+        self._old_ring = HashRing(list(desc["old"]))
+
+    # -- source side: drive the per-key copy pump ----------------------
+    def _on_reshard_migrate(self, msg: Message) -> None:
+        """Coordinator order: this shard's owned range shrinks under the
+        new ring — copy every moved key to its new owner, then report
+        ``migrate_done``."""
+        desc = dict(msg.payload["reshard"])
+        gen = int(desc["gen"])
+        if self._migration is not None or gen <= self._migrated_gen:
+            return  # duplicate order (fabric dup or coordinator retry)
+        epoch = msg.payload.get("epoch")
+        if epoch is not None and int(epoch) > self._config_epoch:
+            self._config_epoch = int(epoch)
+        if self._reshard is None or self._reshard.get("gen") != gen:
+            self._adopt_window(gen, list(desc["new"]), desc)
+        self._migrated_gen = gen
+        # local import: cluster.migrate builds on Pump from this module
+        from repro.cluster.migrate import MigrationPump
+
+        pump = MigrationPump(self._migrate_copy, on_done=self._migration_done)
+        self._migration = pump
+
+        def census_ready(keys: List[str]) -> None:
+            pump.feed(keys)
+            pump.seal()
+
+        self._migrate_barrier(lambda: self._migration_census(census_ready))
+
+    def _migrate_barrier(self, then: Callable[[], None]) -> None:
+        """Hook: wait until every write admitted *before* the window
+        opened is applied to the local engine, so the census read sees
+        it.  Default: nothing buffers ahead of the engine — proceed
+        immediately.  Combos with an accept queue / replication backlog
+        override this (writes admitted *during* the window are covered
+        by the destination's dirty marks instead)."""
+        then()
+
+    def _migration_census(self, then: Callable[[List[str]], None]) -> None:
+        """Snapshot the local engine and keep only keys this shard owns
+        under the *old* ring whose *new*-ring owner is another shard
+        (sorted: deterministic copy order).
+
+        The old-ring clause is load-bearing: a source shard may hold
+        stale leftovers of keys that migrated *away* in an earlier
+        reshard (copies are not purged at commit).  Those keys are not
+        ours to ship — the current owner's value is newer, and none of
+        the dirty gates protect a key the open window does not move —
+        so re-migrating them would clobber live data at the owner."""
+
+        def have(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type != "snapshot":
+                # datalet briefly unreachable: the census must land
+                self.set_timer(0.05, lambda: self._migration_census(then))
+                return
+            data = resp.payload["data"]
+            assert self._ring is not None and self._old_ring is not None
+            me = self.shard.shard_id
+            then([
+                k for k in sorted(data)
+                if self._old_ring.lookup(k) == me
+                and self._ring.lookup(k) != me
+            ])
+
+        self.datalet_call("snapshot", {}, callback=have)
+
+    def _migrate_copy(self, key: str, complete: Callable[[str], None]) -> None:
+        """Copy one key to its new-ring owner: read the local engine,
+        ship a rid-stamped idempotent ``migrate_put`` to the destination
+        shard's entry controlet.  Combos with an external ordering
+        authority override this (AA+SC locks the key first; AA+EC
+        appends to the destination's shared log instead)."""
+        desc = self._reshard
+        if desc is None or self._ring is None:
+            complete("skipped")
+            return
+        entries: Dict[str, str] = desc.get("entries", {})  # type: ignore[assignment]
+        dest = entries.get(self._ring.lookup(key))
+        if dest is None:
+            complete("skipped")
+            return
+
+        def have(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None:
+                complete("retry")
+                return
+            if resp.type != "value":
+                complete("skipped")  # vanished at the source (deleted)
+                return
+            self._ship_copy(key, resp.payload["val"], dest, complete)
+
+        self.datalet_call("get", {"key": key}, callback=have)
+
+    def _ship_copy(
+        self,
+        key: str,
+        val: str,
+        dest: str,
+        complete: Callable[[str], None],
+    ) -> None:
+        """Send one ``migrate_put`` copy; retries reuse the same rid so
+        the destination's dedup gate keeps them exactly-once."""
+        desc = self._reshard
+        if desc is None:
+            complete("skipped")
+            return
+        rid = f"mig.g{desc['gen']}.{key}"
+
+        def acked(resp: Optional[Message], err: Optional[BespoError]) -> None:
+            if err is not None or resp is None or resp.type == "error":
+                complete("retry")
+                return
+            complete("skipped" if resp.payload.get("skipped") else "moved")
+
+        self.call(
+            dest,
+            "migrate_put",
+            {"key": key, "val": val, "gen": desc["gen"], "rid": rid, "mig": True},
+            callback=acked,
+            timeout=self.config.replication_timeout,
+        )
+
+    def _migration_done(self) -> None:
+        pump, self._migration = self._migration, None
+        stats = pump.stats() if pump is not None else {}
+        self.send(
+            self.coordinator,
+            "migrate_done",
+            {"shard": self.shard.shard_id, **stats},
+        )
+
+    # -- destination side: dirty-checked idempotent apply ---------------
+    def _on_migrate_put(self, msg: Message) -> None:
+        key = msg.payload["key"]
+        if key in self._dirty_keys:
+            # a client wrote this key during the window — the source's
+            # copy is older by construction and must not clobber it
+            self.respond(msg, "ok", {"skipped": True})
+            return
+        self._admit_migrate(msg)
+
+    def _admit_migrate(self, msg: Message) -> None:
+        """Protocol hook: run a migrated copy through the combo's write
+        path (idempotent under the in-band rid; see
+        :meth:`begin_write`).  AA+SC overrides — the source already
+        holds the cluster-wide lock, so its fan-out must not try to
+        re-acquire it."""
+        self.handle_put(msg)
+
+    # -- fence: close the old-ring leg before the view flips ------------
+    def _on_reshard_fence(self, msg: Message) -> None:
+        self._fenced_gen = max(self._fenced_gen, int(msg.payload.get("gen", 0)))
+        self.send(self.coordinator, "reshard_fenced", {"controlet": self.node_id})
+
+    # ------------------------------------------------------------------
     # model-checker introspection
     # ------------------------------------------------------------------
     def snapshot_state(self) -> Dict[str, Any]:
@@ -765,5 +1032,8 @@ class Controlet(Actor):
             "retired": self.retired,
             "catchup": len(self._catchup),
             "forward_writes_to": self.forward_writes_to,
+            "ring_gen": self._ring_gen,
+            "reshard_window": self._reshard is not None,
+            "fenced_gen": self._fenced_gen,
         })
         return s

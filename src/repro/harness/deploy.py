@@ -123,6 +123,7 @@ class Deployment:
         self.cluster.durable_loss = spec.durable_loss
         self._gen = itertools.count(1)  # transition generation counter
         self._standby_counter = itertools.count()
+        self._shard_seq = itertools.count(spec.shards)  # next reshard shard index
         self._standbys: List[str] = []
         #: host -> (shard_id, replica) for every controlet-datalet pair
         #: placed on its own host — the lookup recover_host uses to
@@ -141,6 +142,8 @@ class Deployment:
                 config=spec.control,
                 spawner=self._spawn_replacement,
                 transition_spawner=self._spawn_transition,
+                reshard_spawner=self._spawn_shard,
+                partitioner=spec.partitioner,
                 followers=["coordinator.standby"],
             )
             self.standby = StandbyCoordinator(
@@ -148,6 +151,8 @@ class Deployment:
                 config=spec.control,
                 spawner=self._spawn_replacement,
                 transition_spawner=self._spawn_transition,
+                reshard_spawner=self._spawn_shard,
+                partitioner=spec.partitioner,
                 primary="coordinator",
             )
             self.cluster.add_host("coordinator.standby", cpus=spec.host_cpus)
@@ -159,6 +164,8 @@ class Deployment:
                 config=spec.control,
                 spawner=self._spawn_replacement,
                 transition_spawner=self._spawn_transition,
+                reshard_spawner=self._spawn_shard,
+                partitioner=spec.partitioner,
             )
         self.cluster.add_host("coordinator", cpus=spec.host_cpus)
         self.cluster.add_actor(self.coordinator, host="coordinator")
@@ -384,6 +391,41 @@ class Deployment:
             )
         return new_shard
 
+    def _spawn_shard(self) -> Optional[ShardInfo]:
+        """Launch a whole new shard for an online reshard (shard add).
+
+        Fresh hosts, fresh controlet-datalet pairs — and for AA+EC a
+        fresh shared-log sequencer under the ``sharedlog.<sid>`` naming
+        convention the coordinator's reshard arming relies on.  The new
+        shard is *not* entered into the cluster map here: the
+        coordinator does that when it opens the double-ring window.
+        """
+        spec = self.spec
+        i = next(self._shard_seq)
+        sid = f"s{i}"
+        if spec.topology is Topology.AA and spec.consistency is Consistency.EVENTUAL:
+            log_id = f"sharedlog.{sid}"
+            self.cluster.add_host(log_id, cpus=spec.host_cpus)
+            from repro.sharedlog import SharedLogActor  # local: keep import graph flat
+
+            self.cluster.add_actor(SharedLogActor(log_id), host=log_id)
+            self.sharedlogs[sid] = log_id
+        shard = ShardInfo(sid, spec.topology, spec.consistency, [])
+        for j in range(spec.replicas):
+            kind = spec.datalet_kinds[j % len(spec.datalet_kinds)]
+            shard.replicas.append(
+                Replica(
+                    controlet=f"c{i}.{j}",
+                    datalet=f"d{i}.{j}",
+                    host=f"node{i}.{j}",
+                    chain_pos=j,
+                    datalet_kind=kind,
+                )
+            )
+        for replica in shard.ordered():
+            self._place_pair(shard, replica)
+        return shard
+
     # ------------------------------------------------------------------
     # public surface
     # ------------------------------------------------------------------
@@ -532,5 +574,30 @@ class Deployment:
             if resp.type != "transition_done":
                 raise ConfigError(f"transition failed: {resp.payload}")
             return resp.payload["epoch"]
+
+        return self.sim.spawn(proc())
+
+    def request_reshard(self, action: str, shard: Optional[str] = None,
+                        client_name: str = "reshard-admin"):
+        """Ask the coordinator to add a shard (``action="add"``) or
+        drain and remove one (``action="remove"``, with ``shard``);
+        returns a future resolving to the reshard stats payload once
+        the double-ring cutover commits."""
+        # reuse the admin port across repeated reshards (soak schedules
+        # drive several add/remove cycles through one deployment)
+        port = self.cluster.actors.get(client_name)
+        if port is None:
+            port = self.cluster.add_port(client_name)
+
+        def proc():
+            payload = {"action": action}
+            if shard is not None:
+                payload["shard"] = shard
+            resp = yield port.request(
+                "coordinator", "request_reshard", payload, timeout=300.0
+            )
+            if resp.type != "reshard_done":
+                raise ConfigError(f"reshard failed: {resp.payload}")
+            return resp.payload
 
         return self.sim.spawn(proc())

@@ -62,6 +62,20 @@ class HashRing:
     def members(self) -> List[str]:
         return sorted(self._members)
 
+    def diff(self, other: "HashRing") -> Dict[str, List[str]]:
+        """Membership delta from ``self`` to ``other``.
+
+        Returns ``{"added": [...], "removed": [...]}`` — the exact
+        ``add``/``remove`` calls that turn this ring into ``other``.
+        Because vnode placement is a pure function of the member name,
+        applying the diff reproduces ``other``'s ownership exactly
+        (remove + re-add is an identity, see ``tests/test_hashing.py``).
+        """
+        return {
+            "added": sorted(other._members - self._members),
+            "removed": sorted(self._members - other._members),
+        }
+
     def __len__(self) -> int:
         return len(self._members)
 

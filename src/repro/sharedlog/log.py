@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import BespoError
+from repro.hashing.ring import HashRing
 from repro.net.actor import Actor
 from repro.net.message import Message
 
@@ -160,6 +161,13 @@ class SharedLogActor(Actor):
         #: rid → sequenced position, bounded FIFO (dedup window).
         self._rid_pos: Dict[str, int] = {}
         self._rid_order: Deque[str] = deque(maxlen=65536)
+        #: open reshard window.  The sequencer is the ordering authority
+        #: for its AA+EC shard, so it is *armed before* any controlet or
+        #: client learns the window: ``{"gen", "old", "new", "dirty"}``
+        #: — the two rings plus every moved key a client wrote while
+        #: the window is open (a later migrated copy of such a key would
+        #: clobber the newer value and is refused with ``skipped``).
+        self._reshard: Optional[Dict[str, Any]] = None
         # Single-append entry point: controlets now group-commit via
         # log_append_batch, but the one-at-a-time surface stays for
         # external writers and tooling (identical dedup semantics).
@@ -170,6 +178,8 @@ class SharedLogActor(Actor):
         # (tests, admin tooling); in-cluster trimming happens via the
         # auto-trim watermark above.
         self.register("log_trim", self._on_trim)  # protocol: external
+        self.register("reshard_begin", self._on_reshard_begin)
+        self.register("reshard_end", self._on_reshard_end)
 
     def service_demand(self, msg: Message, costs) -> float:
         if msg.type == "log_append":
@@ -184,38 +194,43 @@ class SharedLogActor(Actor):
         return costs.scaled("sharedlog_fetch_cost")
 
     def _on_append(self, msg: Message) -> None:
-        rid = msg.payload.get("rid")
-        if rid is not None:
-            pos = self._rid_pos.get(rid)
-            if pos is not None:
-                self.dup_appends += 1
-                self.respond(msg, "appended", {"pos": pos, "dup": True})
-                return
-        entry = self.log.append(
-            writer=msg.src,
-            op=msg.payload["op"],
-            key=msg.payload["key"],
-            value=msg.payload.get("val"),
-            rid=rid,
-        )
-        if rid is not None:
-            if len(self._rid_order) == self._rid_order.maxlen:
-                self._rid_pos.pop(self._rid_order[0], None)
-            self._rid_order.append(rid)
-            self._rid_pos[rid] = entry.pos
-        self.appends += 1
-        self.respond(msg, "appended", {"pos": entry.pos})
+        result = self._append_one(msg.src, msg.payload, msg.payload.get("gen"))
+        self.respond(msg, "appended", result)
 
-    def _append_one(self, writer: str, d: Dict[str, Any]) -> Dict[str, Any]:
-        """Sequence one batch member; same dedup semantics as
-        ``log_append`` (a rid already sequenced keeps its original
-        position and is not re-appended)."""
+    def _append_one(
+        self, writer: str, d: Dict[str, Any], gen: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Sequence one entry; same dedup semantics for single and batch
+        appends (a rid already sequenced keeps its original position and
+        is not re-appended).
+
+        During a reshard window, entries for *moved* keys pass the
+        window gate: a migrated copy (``mig``) of a key a client wrote
+        during the window is refused (``skipped`` — the copy is older by
+        construction); a client write stamped with a stale ring
+        generation is refused (``wrong_shard`` — it would land only on
+        the old owner and be lost at the cutover); an in-generation
+        client write marks the key dirty.  Clean migrated copies enter
+        the log as plain put entries, so replaying replicas need no
+        special casing."""
         rid = d.get("rid")
         if rid is not None:
             pos = self._rid_pos.get(rid)
             if pos is not None:
                 self.dup_appends += 1
                 return {"pos": pos, "dup": True}
+        win = self._reshard
+        if win is not None:
+            key = d["key"]
+            moved = win["old"].lookup(key) != win["new"].lookup(key)
+            if moved:
+                if d.get("mig"):
+                    if key in win["dirty"]:
+                        return {"skipped": True}
+                elif gen != win["gen"]:
+                    return {"wrong_shard": True}
+                else:
+                    win["dirty"].add(key)
         entry = self.log.append(
             writer=writer, op=d["op"], key=d["key"], value=d.get("val"), rid=rid,
         )
@@ -231,10 +246,31 @@ class SharedLogActor(Actor):
         """One group-commit batch: members are sequenced in payload
         order, atomically adjacent in the log (no interleaving with
         other writers' appends — the handler runs to completion)."""
-        results = [self._append_one(msg.src, d) for d in msg.payload["entries"]]
+        gen = msg.payload.get("gen")
+        results = [
+            self._append_one(msg.src, d, gen) for d in msg.payload["entries"]
+        ]
         self.batch_appends += 1
         self.batched_entries += len(results)
         self.respond(msg, "appended_batch", {"results": results})
+
+    def _on_reshard_begin(self, msg: Message) -> None:
+        gen = int(msg.payload["gen"])
+        if self._reshard is None or self._reshard["gen"] != gen:
+            self._reshard = {
+                "gen": gen,
+                "old": HashRing(list(msg.payload["old"])),
+                "new": HashRing(list(msg.payload["new"])),
+                "dirty": set(),
+            }
+        self.respond(msg, "ok", {"gen": gen})
+
+    def _on_reshard_end(self, msg: Message) -> None:
+        if (
+            self._reshard is not None
+            and self._reshard["gen"] == int(msg.payload.get("gen", -1))
+        ):
+            self._reshard = None
 
     def metrics_group(self) -> Dict[str, float]:
         return {
@@ -275,6 +311,7 @@ class SharedLogActor(Actor):
     def snapshot_state(self):
         s = super().snapshot_state()
         s.update({
+            "reshard_gen": self._reshard["gen"] if self._reshard else 0,
             "base": self.log.base,
             "tail": self.log.tail,
             "entries": [

@@ -41,6 +41,10 @@ def results_dir(tmp_path, monkeypatch):
     rd.mkdir()
     (rd / "obs_overhead.json").write_text(json.dumps({"off_overhead": 0.0}))
     (rd / "pr8_batching.json").write_text(json.dumps({"aa_ec_speedup": 2.0}))
+    (rd / "pr10_resharding.json").write_text(json.dumps({
+        "ms_sc": {"before_qps": 100.0, "after_qps": 100.0,
+                  "pause_ratio": 0.1, "keys_moved": 50},
+    }))
     monkeypatch.setattr(bench_guard, "RESULTS_DIR", rd)
     return rd
 
@@ -140,6 +144,35 @@ def test_headline_speedup_boundary(tmp_path, results_dir):
     (results_dir / "pr8_batching.json").write_text(
         json.dumps({"aa_ec_speedup": 1.49}))
     assert bench_guard.check(cur, base) == 1
+
+
+def test_reshard_pause_gate_boundary(tmp_path, results_dir):
+    cur, base = _write_pair(tmp_path, ALL_FIGS, ALL_FIGS)
+
+    def write(pause, after=100.0, moved=50):
+        (results_dir / "pr10_resharding.json").write_text(json.dumps({
+            "ms_sc": {"before_qps": 100.0, "after_qps": after,
+                      "pause_ratio": pause, "keys_moved": moved},
+        }))
+
+    write(bench_guard.RESHARD_PAUSE_GATE)
+    assert bench_guard.check(cur, base) == 0  # gate is <=
+    write(bench_guard.RESHARD_PAUSE_GATE + 0.01)
+    assert bench_guard.check(cur, base) == 1
+    write(0.1, after=bench_guard.RESHARD_RECOVERY_GATE * 100.0)
+    assert bench_guard.check(cur, base) == 0  # recovery gate is >=
+    write(0.1, after=bench_guard.RESHARD_RECOVERY_GATE * 100.0 - 1.0)
+    assert bench_guard.check(cur, base) == 1
+    write(0.1, moved=0)  # a no-op "reshard" is a failure too
+    assert bench_guard.check(cur, base) == 1
+
+
+def test_missing_reshard_results_is_a_failure(tmp_path, results_dir, capsys):
+    (results_dir / "pr10_resharding.json").unlink()
+    cur, base = _write_pair(tmp_path, ALL_FIGS, ALL_FIGS)
+    rc = bench_guard.check(cur, base)
+    assert rc == 1
+    assert "pr10_resharding.json" in capsys.readouterr().out
 
 
 def test_improvements_pass(tmp_path, results_dir):

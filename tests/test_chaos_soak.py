@@ -39,6 +39,28 @@ def test_soak_all_combos_multiple_seeds():
     assert all(res.stats["acked"] > 50 for res in report.results)
 
 
+def test_reshard_soak_passes_oracle_and_reproduces():
+    """A soak with two live cutovers (add at 25%, drain+remove at 60%)
+    under the mild fault menu still satisfies the combo's consistency
+    oracle, and the reshard outcomes are folded into the digest."""
+    a = run_combo(Topology.AA, Consistency.STRONG, seed=1, duration=12.0,
+                  reshard=True)
+    assert a.ok, a.report.describe() if hasattr(a.report, "describe") else a
+    assert a.stats["reshards"] == 2
+    assert a.stats["keys_migrated"] > 0
+    b = run_combo(Topology.AA, Consistency.STRONG, seed=1, duration=12.0,
+                  reshard=True)
+    assert a.digest == b.digest
+
+
+def test_reshard_soak_eventual_combo():
+    res = run_combo(Topology.MS, Consistency.EVENTUAL, seed=2, duration=12.0,
+                    reshard=True)
+    assert res.ok
+    assert res.stats["reshards"] == 2
+    assert res.stats["acked"] > 50
+
+
 def test_failure_report_names_reproducing_seed():
     bad = run_combo(Topology.MS, Consistency.EVENTUAL, seed=3, duration=6.0)
     bad.report.violations.append("synthetic violation")

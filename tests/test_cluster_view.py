@@ -1,0 +1,198 @@
+"""Unit tests for the epoch'd cluster membership view.
+
+``ClusterView`` is the single mutation path for routing state: every
+epoch bump is a named transition, reshards open/close a double-ring
+window, and peer sync (``install``) is epoch-fenced.  These tests pin
+the contract every consumer — coordinator, standbys, controlets,
+clients, the model checker's fingerprints — now leans on.
+"""
+
+import pytest
+
+from repro.cluster.view import (
+    LOG_CAP,
+    RESHARD_ADD,
+    RESHARD_REMOVE,
+    ClusterView,
+    ViewTransition,
+)
+from repro.core.types import (
+    ClusterMap,
+    Consistency,
+    Replica,
+    ShardInfo,
+    Topology,
+)
+from repro.errors import ConfigError
+
+
+def _map(n=2, epoch=1):
+    cmap = ClusterMap()
+    for i in range(n):
+        sid = f"s{i}"
+        cmap.shards[sid] = ShardInfo(
+            shard_id=sid,
+            topology=Topology.MS,
+            consistency=Consistency.STRONG,
+            replicas=[
+                Replica(f"c{i}.0", f"d{i}.0", f"h{i}.0", 0),
+                Replica(f"c{i}.1", f"d{i}.1", f"h{i}.1", 1),
+            ],
+        )
+    cmap.epoch = epoch
+    return cmap
+
+
+# ---------------------------------------------------------------------------
+# epoch bookkeeping and the transition log
+# ---------------------------------------------------------------------------
+def test_commit_is_the_only_epoch_bump_path():
+    view = ClusterView(_map())
+    e0 = view.epoch
+    t = view.commit("failover", "s0: head c0.0 -> c0.1")
+    assert view.epoch == e0 + 1
+    assert t == ViewTransition("failover", e0 + 1, "s0: head c0.0 -> c0.1")
+    assert view.log[-1] is t
+
+
+def test_note_records_without_versioning():
+    view = ClusterView(_map())
+    e0 = view.epoch
+    view.note("observed", "standby caught up")
+    assert view.epoch == e0
+    assert view.log[-1].kind == "observed"
+
+
+def test_bootstrap_transition_lists_members():
+    view = ClusterView(_map(3))
+    assert view.log[0].kind == "bootstrap"
+    assert view.log[0].detail == "s0,s1,s2"
+
+
+def test_log_is_bounded():
+    view = ClusterView(_map())
+    for i in range(LOG_CAP * 2):
+        view.commit("failover", f"n{i}")
+    assert len(view.log) == LOG_CAP
+    # the newest entries survive, the oldest are dropped
+    assert view.log[-1].detail == f"n{LOG_CAP * 2 - 1}"
+    assert all(t.detail != "n0" for t in view.log)
+
+
+# ---------------------------------------------------------------------------
+# the double-ring reshard window
+# ---------------------------------------------------------------------------
+def test_begin_reshard_add_opens_window_and_bumps():
+    view = ClusterView(_map(2))
+    e0, g0 = view.epoch, view.ring_gen
+    view.begin_reshard(RESHARD_ADD, "s2")
+    assert view.epoch == e0 + 1 and view.ring_gen == g0 + 1
+    assert view.reshard == {
+        "action": "add", "shard": "s2", "gen": g0 + 1,
+        "old": ["s0", "s1"], "new": ["s0", "s1", "s2"],
+    }
+    # the authoritative ring is the NEW ring while the window is open
+    assert view.ring_members() == ["s0", "s1", "s2"]
+    info = view.ring_info()
+    assert info["gen"] == g0 + 1 and info["reshard"]["old"] == ["s0", "s1"]
+
+
+def test_begin_reshard_remove_keeps_survivors():
+    view = ClusterView(_map(3))
+    view.begin_reshard(RESHARD_REMOVE, "s0")
+    assert view.reshard["new"] == ["s1", "s2"]
+    assert view.ring_members() == ["s1", "s2"]
+
+
+def test_commit_reshard_closes_window_and_bumps_again():
+    view = ClusterView(_map(2))
+    view.begin_reshard(RESHARD_ADD, "s2")
+    e_open = view.epoch
+    t = view.commit_reshard()
+    assert view.reshard is None
+    assert view.epoch == e_open + 1
+    assert t.kind == "reshard-commit" and "add:s2" in t.detail
+    assert "reshard" not in view.ring_info()
+
+
+def test_reshard_guards():
+    view = ClusterView(_map(2))
+    with pytest.raises(ConfigError):
+        view.begin_reshard("split", "s9")  # unknown action
+    with pytest.raises(ConfigError):
+        view.begin_reshard(RESHARD_ADD, "s0")  # already present
+    with pytest.raises(ConfigError):
+        view.begin_reshard(RESHARD_REMOVE, "s9")  # not present
+    with pytest.raises(ConfigError):
+        view.commit_reshard()  # no window open
+    view.begin_reshard(RESHARD_ADD, "s2")
+    with pytest.raises(ConfigError):
+        view.begin_reshard(RESHARD_ADD, "s3")  # one window at a time
+
+
+def test_cannot_remove_last_shard():
+    view = ClusterView(_map(1))
+    with pytest.raises(ConfigError):
+        view.begin_reshard(RESHARD_REMOVE, "s0")
+
+
+# ---------------------------------------------------------------------------
+# peer sync: the install fence
+# ---------------------------------------------------------------------------
+def test_install_adopts_newer_snapshot_in_place():
+    leader = ClusterView(_map(2, epoch=1))
+    follower = ClusterView(_map(2, epoch=1))
+    held_map = follower.map  # harness/checker hold this object
+    leader.begin_reshard(RESHARD_ADD, "s2")
+    assert follower.install(leader.to_dict()) is True
+    assert follower.map is held_map  # mutated in place, never swapped
+    assert follower.epoch == leader.epoch
+    assert follower.ring_gen == leader.ring_gen
+    assert follower.reshard == leader.reshard
+    assert [t.kind for t in follower.log] == [t.kind for t in leader.log]
+
+
+def test_install_rejects_stale_snapshot():
+    view = ClusterView(_map(2, epoch=1))
+    stale = ClusterView(_map(2, epoch=1)).to_dict()
+    view.commit("failover")  # we are now ahead of the snapshot
+    e, g = view.epoch, view.ring_gen
+    assert view.install(stale) is False
+    assert view.epoch == e and view.ring_gen == g
+
+
+def test_install_equal_epoch_is_idempotent_repeat():
+    leader = ClusterView(_map(2, epoch=1))
+    leader.commit("failover")
+    snap = leader.to_dict()
+    follower = ClusterView(_map(2, epoch=1))
+    assert follower.install(snap) is True
+    assert follower.install(snap) is True  # duplicate delivery: harmless
+    assert follower.epoch == leader.epoch
+    assert len(follower.log) == len(leader.log)
+
+
+def test_view_roundtrips_through_dict():
+    view = ClusterView(_map(3))
+    view.commit("failover", "s1")
+    view.begin_reshard(RESHARD_REMOVE, "s2")
+    other = ClusterView(_map(3))
+    assert other.install(view.to_dict()) is True
+    assert other.to_dict() == view.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# model-checker fingerprint material
+# ---------------------------------------------------------------------------
+def test_snapshot_is_deterministic_and_clock_free():
+    view = ClusterView(_map(2))
+    view.commit("failover", "s0")
+    view.begin_reshard(RESHARD_ADD, "s2")
+    snap = view.snapshot()
+    assert snap["ring_gen"] == 1
+    assert snap["reshard"] == "add:s2@g1"
+    assert snap["transitions"] == [
+        ("bootstrap", 1), ("failover", 2), ("reshard-begin", 3)]
+    assert snap == view.snapshot()  # stable across calls
+    view.commit_reshard()
+    assert view.snapshot()["reshard"] is None

@@ -4,9 +4,10 @@ The four passes (pump-liveness, backpressure, retry-idempotency,
 config-epoch fencing) walk per-handler control-flow paths with RPC
 callbacks and timer continuations inlined (``repro.analysis.cfg``).
 The acceptance bar mirrors the commit-point analyzer's: the real tree
-analyzes clean, and the two seeded defects in
-``repro.analysis.flowdefects`` are each caught by the exact rule they
-plant — through inherited production machinery, not toy snippets.
+analyzes clean (including the cluster membership/migration layer), and
+the three seeded defects in ``repro.analysis.flowdefects`` are each
+caught by the exact rule they plant — through inherited production
+machinery, not toy snippets.
 """
 
 from pathlib import Path
@@ -123,8 +124,24 @@ def test_seeded_uncapped_requeue_caught():
     # the stash is both undrained and rid-stripped: two distinct rules
     assert "unbounded-buffer" in rules, in_defects
     assert "retry-no-dedup" in rules, in_defects
-    stash_line = {f.line for f in in_defects if f.rule != "pump-leak"}
+    stash_line = {f.line for f in in_defects
+                  if f.rule in ("unbounded-buffer", "retry-no-dedup")}
     assert len(stash_line) == 1  # both anchor at the stash append
+
+
+def test_seeded_stale_epoch_dual_route_caught():
+    findings = analyze_flow_sources(
+        [_read(rel) for rel in FLOW_INJECTION_SOURCES])
+    hits = [f for f in _by_rule(findings, "ring-epoch")
+            if f.path.endswith("flowdefects.py") and not f.suppressed]
+    # the defect is loud twice over: the handler bypasses the
+    # _install_shard fence, and the double-ring state (self._reshard,
+    # self._old_ring) is written directly outside the fenced installers
+    assert len(hits) == 3, "\n".join(f.format() for f in findings)
+    msgs = "\n".join(f.message for f in hits)
+    assert "_on_config_update" in msgs
+    assert "_reshard" in msgs and "_old_ring" in msgs
+    assert all("StaleEpochDualRoute" in f.message for f in hits)
 
 
 def test_healthy_ancestry_stays_unflagged_alongside_defects():
@@ -177,6 +194,43 @@ def test_epoch_rule_flags_unfenced_ring_mutation():
 
 def test_epoch_rule_accepts_fenced_install():
     findings = analyze_flow_sources([("good.py", _EPOCH_GOOD)])
+    assert not [f for f in _by_rule(findings, "ring-epoch")
+                if not f.suppressed]
+
+
+_VIEW_BAD = '''\
+class ClusterView:
+    def __init__(self, cmap):
+        self.map = cmap
+
+    def install(self, state):
+        # BUG: adopts any snapshot, including a lagging standby's
+        self.map = state["map"]
+        return True
+'''
+
+_VIEW_GOOD = '''\
+class ClusterView:
+    def __init__(self, cmap):
+        self.map = cmap
+
+    def install(self, state):
+        if state["epoch"] < self.map.epoch:
+            return False
+        self.map = state["map"]
+        return True
+'''
+
+
+def test_epoch_rule_requires_view_install_fence():
+    findings = analyze_flow_sources([("view.py", _VIEW_BAD)])
+    hits = [f for f in _by_rule(findings, "ring-epoch") if not f.suppressed]
+    assert hits, "\n".join(f.format() for f in findings)
+    assert "install" in hits[0].message
+
+
+def test_epoch_rule_accepts_fenced_view_install():
+    findings = analyze_flow_sources([("view.py", _VIEW_GOOD)])
     assert not [f for f in _by_rule(findings, "ring-epoch")
                 if not f.suppressed]
 

@@ -74,6 +74,84 @@ def test_ring_invalid_vnodes():
 
 
 # ---------------------------------------------------------------------------
+# membership diffs and owned-range properties (online resharding relies
+# on these: clients patch their ring incrementally from a diff, and the
+# migration census assumes only the moved slice changes owners)
+# ---------------------------------------------------------------------------
+def test_ring_diff_is_exact_membership_delta():
+    a = HashRing(["s0", "s1", "s2"])
+    b = HashRing(["s1", "s2", "s3", "s4"])
+    assert a.diff(b) == {"added": ["s3", "s4"], "removed": ["s0"]}
+    assert b.diff(a) == {"added": ["s0"], "removed": ["s3", "s4"]}
+    assert a.diff(a) == {"added": [], "removed": []}
+
+
+def test_ring_diff_applied_reproduces_ownership():
+    a = HashRing(["s0", "s1", "s2"])
+    b = HashRing(["s1", "s2", "s3"])
+    d = a.diff(b)
+    for sid in d["removed"]:
+        a.remove(sid)
+    for sid in d["added"]:
+        a.add(sid)
+    assert a.members == b.members
+    # vnode placement is a pure function of the member name, so the
+    # patched ring answers lookups identically to a fresh build
+    assert all(a.lookup(f"k{i}") == b.lookup(f"k{i}") for i in range(2000))
+
+
+def test_ring_add_moves_keys_only_to_new_member():
+    """Owned-range property: growing the ring only moves keys *to* the
+    newcomer — no key shuffles between surviving members — and the
+    moved slice is roughly the newcomer's fair share."""
+    ring = HashRing([f"s{i}" for i in range(4)])
+    before = {f"k{i}": ring.lookup(f"k{i}") for i in range(4000)}
+    ring.add("s4")
+    moved = {k: ring.lookup(k) for k, owner in before.items()
+             if ring.lookup(k) != owner}
+    assert all(dst == "s4" for dst in moved.values())
+    # fair share is 1/5 of the keyspace; allow generous slack for
+    # vnode placement variance
+    assert 0.05 * len(before) < len(moved) < 0.45 * len(before)
+
+
+def test_ring_remove_then_readd_is_identity():
+    ring = HashRing(["a", "b", "c", "d"])
+    before = {f"k{i}": ring.lookup(f"k{i}") for i in range(2000)}
+    ring.remove("b")
+    ring.add("b")
+    assert ring.members == ["a", "b", "c", "d"]
+    assert all(ring.lookup(k) == owner for k, owner in before.items())
+
+
+def test_ring_vnode_collision_skew_is_deterministic(monkeypatch):
+    """When two vnodes hash to the same point, the loser skews one
+    position — deterministically, so independently built rings still
+    agree on every lookup."""
+    import repro.hashing.ring as ring_mod
+
+    def colliding_hash(key: str) -> int:
+        # every vnode of every member lands on one of 4 points; keys
+        # spread normally — forces the skew path on every add
+        if "#" in key:
+            member, i = key.split("#")
+            return (int(i) % 4) * (1 << 60)
+        return stable_hash(key)
+
+    monkeypatch.setattr(ring_mod, "stable_hash", colliding_hash)
+    r1 = ring_mod.HashRing(["a", "b", "c"], vnodes=8)
+    r2 = ring_mod.HashRing(["a", "b", "c"], vnodes=8)
+    # every vnode survives the collisions (losers skew, none dropped)
+    # and the skew lands identically in independently built rings
+    assert r1.members == r2.members == ["a", "b", "c"]
+    assert sorted(r1._points) == sorted(r2._points)
+    assert len(r1._points) == 3 * 8
+    assert r1._owners == r2._owners
+    keys = [f"k{i}" for i in range(500)]
+    assert [r1.lookup(k) for k in keys] == [r2.lookup(k) for k in keys]
+
+
+# ---------------------------------------------------------------------------
 # range partitioner
 # ---------------------------------------------------------------------------
 def test_range_lookup_boundaries():
